@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the capacity algorithms and partition lemmas
+//! (experiments E6–E10, E12 families): Algorithm 1 versus the greedy
+//! baseline, the exact solver, and signal strengthening.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decay_bench::experiments::deployment;
+use decay_capacity::{
+    algorithm1, first_fit_feasible, greedy_affectance, max_feasible_subset,
+    EXACT_CAPACITY_LIMIT,
+};
+use decay_sinr::{signal_strengthen, sparsify_feasible, LinkId, SinrParams};
+
+fn bench_capacity_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    for &m in &[10usize, 20, 40] {
+        let inst = deployment(m, 2.5, 3, &params);
+        group.bench_with_input(BenchmarkId::new("algorithm1", m), &inst, |b, inst| {
+            b.iter(|| algorithm1(&inst.space, &inst.links, &inst.quasi, &inst.aff, None).size())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", m), &inst, |b, inst| {
+            b.iter(|| greedy_affectance(&inst.space, &inst.links, &inst.aff, None).size())
+        });
+        group.bench_with_input(BenchmarkId::new("first-fit", m), &inst, |b, inst| {
+            b.iter(|| first_fit_feasible(&inst.space, &inst.links, &inst.aff, None).size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity-exact");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    for &m in &[10usize, 14, 18] {
+        let inst = deployment(m, 2.5, 3, &params);
+        let all: Vec<LinkId> = inst.links.ids().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &(&inst, all), |b, (inst, all)| {
+            b.iter(|| max_feasible_subset(&inst.aff, all, EXACT_CAPACITY_LIMIT).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitions");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    let inst = deployment(24, 3.0, 5, &params);
+    let all: Vec<LinkId> = inst.links.ids().collect();
+    group.bench_function("signal-strengthen-q4", |b| {
+        b.iter(|| signal_strengthen(&inst.aff, &all, 4.0).map(|c| c.len()).unwrap_or(0))
+    });
+    let feasible = greedy_affectance(&inst.space, &inst.links, &inst.aff, None).selected;
+    group.bench_function("sparsify-feasible", |b| {
+        b.iter(|| {
+            sparsify_feasible(&inst.aff, &inst.quasi, &inst.links, &feasible, 1.0)
+                .map(|c| c.len())
+                .unwrap_or(0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity_algorithms, bench_exact, bench_partitions);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the second-wave systems (experiments E22–E31
+//! families): reception models in netsim, PRR probe campaigns, auctions,
+//! online capacity, contention resolution, conflict-graph scheduling, and
+//! the independence parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decay_bench::experiments::deployment;
+use decay_capacity::{
+    arrival_order, conflict_schedule_report, online_capacity, run_auction, ArrivalOrder,
+    AuctionConfig, OnlineRule,
+};
+use decay_distributed::{run_contention, ContentionConfig, ContentionStrategy};
+use decay_netsim::{run_probe_campaign, ReceptionModel};
+use decay_sinr::{sample_feasible_sets, ConflictGraph, SinrParams};
+use decay_spaces::{geometric_space, line_points};
+
+fn bench_probe_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe-campaign");
+    group.sample_size(10);
+    let params = SinrParams::new(1.0, 0.2).unwrap();
+    for model in [ReceptionModel::Threshold, ReceptionModel::Rayleigh] {
+        let name = format!("{model:?}");
+        let space = geometric_space(&line_points(10, 1.0), 2.0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("line10-100rounds", name),
+            &model,
+            |b, &model| {
+                b.iter(|| run_probe_campaign(&space, &params, model, 100, 1.0, 7).rounds())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_auction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum-auction");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    for &m in &[10usize, 16] {
+        let inst = deployment(m, 2.5, 7, &params);
+        let bids: Vec<f64> = (0..m).map(|i| 1.0 + (i as f64 * 0.61).sin().abs()).collect();
+        group.bench_with_input(BenchmarkId::new("1-channel", m), &m, |b, _| {
+            b.iter(|| run_auction(&inst.aff, &bids, &AuctionConfig { channels: 1 }).welfare)
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online-capacity");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    let inst = deployment(16, 2.5, 9, &params);
+    let arr = arrival_order(&inst.space, &inst.links, ArrivalOrder::Random { seed: 3 });
+    for (name, rule) in [
+        ("greedy", OnlineRule::GreedyFeasible),
+        ("budgeted", OnlineRule::BudgetedAdmission),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| online_capacity(&inst.links, &inst.quasi, &inst.aff, &arr, rule).size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    let inst = deployment(12, 3.0, 11, &params);
+    group.bench_function("fixed-p0.1", |b| {
+        b.iter(|| {
+            run_contention(
+                &inst.aff,
+                &ContentionConfig {
+                    strategy: ContentionStrategy::Fixed { p: 0.1 },
+                    max_slots: 5_000,
+                    seed: 3,
+                },
+            )
+            .slots_used
+        })
+    });
+    group.finish();
+}
+
+fn bench_conflict_and_independence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict-independence");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    let inst = deployment(16, 2.5, 13, &params);
+    group.bench_function("conflict-schedule-report", |b| {
+        b.iter(|| {
+            conflict_schedule_report(&inst.space, &inst.links, &inst.aff, 1.0)
+                .repaired
+                .len()
+        })
+    });
+    group.bench_function("c-independence", |b| {
+        b.iter(|| {
+            ConflictGraph::from_affectance(&inst.aff, 1.0)
+                .c_independence()
+                .c
+        })
+    });
+    group.bench_function("sample-feasible-sets-20", |b| {
+        b.iter(|| sample_feasible_sets(&inst.aff, 20, 5).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probe_campaign,
+    bench_auction,
+    bench_online,
+    bench_contention,
+    bench_conflict_and_independence
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the parameter kernels: metricity, the phi
+//! variant, fading values, packing/dimension estimation (experiments E1,
+//! E2, E4, E5, E11, E13 families).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decay_core::{
+    assouad_dimension_fit, fading_parameter, independence_dimension, metricity,
+    metricity_sampled, phi_metricity,
+};
+use decay_spaces::{geometric_space, random_points, random_premetric};
+
+fn bench_metricity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metricity");
+    group.sample_size(10);
+    for &n in &[12usize, 24, 48] {
+        let space = geometric_space(&random_points(n, 100.0, 3), 2.5).unwrap();
+        group.bench_with_input(BenchmarkId::new("exact", n), &space, |b, s| {
+            b.iter(|| metricity(s).zeta)
+        });
+        group.bench_with_input(BenchmarkId::new("sampled-2k", n), &space, |b, s| {
+            b.iter(|| metricity_sampled(s, 2000, 7).zeta)
+        });
+    }
+    group.finish();
+}
+
+fn bench_phi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phi");
+    group.sample_size(10);
+    for &n in &[12usize, 24, 48] {
+        let space = random_premetric(n, 0.5, 100.0, 5).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, s| {
+            b.iter(|| phi_metricity(s).varphi)
+        });
+    }
+    group.finish();
+}
+
+fn bench_fading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fading-parameter");
+    group.sample_size(10);
+    for &n in &[12usize, 20, 28] {
+        let space = geometric_space(&random_points(n, 50.0, 9), 3.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, s| {
+            b.iter(|| fading_parameter(s, 2.0).value)
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dimensions");
+    group.sample_size(10);
+    let space = geometric_space(&random_points(20, 50.0, 11), 2.0).unwrap();
+    group.bench_function("assouad-fit", |b| {
+        b.iter(|| assouad_dimension_fit(&space, &[2.0, 4.0, 8.0]).dimension)
+    });
+    group.bench_function("independence", |b| {
+        b.iter(|| independence_dimension(&space).dimension())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metricity,
+    bench_phi,
+    bench_fading,
+    bench_dimensions
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the simulators and protocols (experiments
+//! E14–E16 families): envsim scenario construction, local broadcast, the
+//! regret game, and raw netsim slot throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decay_bench::experiments::deployment;
+use decay_distributed::{regret_capacity_game, run_local_broadcast, BroadcastConfig, RegretConfig};
+use decay_envsim::OfficeConfig;
+use decay_sinr::SinrParams;
+use decay_spaces::{geometric_space, line_points};
+
+fn bench_envsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envsim");
+    group.sample_size(10);
+    for &rooms in &[2usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("office-build", rooms),
+            &rooms,
+            |b, &rooms| {
+                b.iter(|| {
+                    OfficeConfig {
+                        rooms_x: rooms,
+                        rooms_y: 2,
+                        ..Default::default()
+                    }
+                    .build()
+                    .truth
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local-broadcast");
+    group.sample_size(10);
+    let space = geometric_space(&line_points(12, 1.0), 3.0).unwrap();
+    group.bench_function("line12-f8", |b| {
+        b.iter(|| {
+            run_local_broadcast(
+                &space,
+                &SinrParams::default(),
+                &BroadcastConfig {
+                    neighborhood_decay: 8.0,
+                    seed: 3,
+                    ..Default::default()
+                },
+            )
+            .completed_in
+        })
+    });
+    group.finish();
+}
+
+fn bench_regret(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regret-game");
+    group.sample_size(10);
+    let params = SinrParams::default();
+    let inst = deployment(12, 2.5, 3, &params);
+    group.bench_function("12links-500rounds", |b| {
+        b.iter(|| {
+            regret_capacity_game(
+                &inst.aff,
+                &RegretConfig {
+                    rounds: 500,
+                    ..Default::default()
+                },
+            )
+            .converged_throughput
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_envsim, bench_broadcast, bench_regret);
+criterion_main!(benches);

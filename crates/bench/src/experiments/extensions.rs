@@ -1,0 +1,298 @@
+//! Extension experiments covering the rest of the paper's theory-transfer
+//! list (Section 2.3): weighted capacity (E17), connectivity/aggregation
+//! (E18), power-control regimes (E19), and dynamic packet scheduling
+//! stability (E20).
+
+use decay_capacity::{
+    greedy_affectance, max_feasible_subset, max_weight_feasible_subset, schedule_aggregation,
+    total_weight, weighted_greedy, EXACT_CAPACITY_LIMIT, EXACT_WEIGHTED_LIMIT,
+};
+use decay_core::{metricity, NodeId, QuasiMetric};
+use decay_distributed::{
+    greedy_dominating_set, run_dominating_set, run_queueing, DominatingConfig, QueueingConfig,
+    Scheduler,
+};
+use decay_sinr::{AffectanceMatrix, LinkId, PowerAssignment, SinrParams};
+use decay_spaces::{geometric_space, grid_points};
+
+use crate::experiments::deployment;
+use crate::table::{fmt_f, fmt_ok, Table};
+
+/// E17 — weighted capacity transfers (paper transfer list: [26, 33]).
+pub fn e17_weighted_capacity() -> Table {
+    let mut t = Table::new(
+        "E17",
+        "weighted capacity",
+        "weighted capacity carries over to decay spaces (Prop. 1 applied to [26, 33]); greedy tracks the exact optimum",
+        &["alpha", "seed", "OPT weight", "greedy weight", "ratio", "feasible"],
+    );
+    let params = SinrParams::default();
+    let mut worst = 1.0_f64;
+    for &alpha in &[2.0, 3.0] {
+        for seed in 0..3u64 {
+            let inst = deployment(12, alpha, 20 + seed, &params);
+            let all: Vec<LinkId> = inst.links.ids().collect();
+            // Weights: longer links are worth more (the interesting regime:
+            // weight fights feasibility).
+            let weights: Vec<f64> = all
+                .iter()
+                .map(|&v| 1.0 + inst.links.decay_of(&inst.space, v).ln().max(0.0))
+                .collect();
+            let opt = max_weight_feasible_subset(&inst.aff, &all, &weights, EXACT_WEIGHTED_LIMIT);
+            let opt_w = total_weight(&opt, &all, &weights);
+            let greedy = weighted_greedy(&inst.aff, &all, &weights);
+            let greedy_w = total_weight(&greedy.selected, &all, &weights);
+            let ratio = opt_w / greedy_w.max(1e-9);
+            worst = worst.max(ratio);
+            t.push_row(vec![
+                fmt_f(alpha),
+                seed.to_string(),
+                fmt_f(opt_w),
+                fmt_f(greedy_w),
+                fmt_f(ratio),
+                fmt_ok(inst.aff.is_feasible(&greedy.selected)),
+            ]);
+        }
+    }
+    t.set_verdict(format!(
+        "holds: weighted greedy within factor {} of the exact weighted optimum",
+        fmt_f(worst)
+    ));
+    t
+}
+
+/// E18 — connectivity/aggregation ([34, 51]): schedule a spanning
+/// aggregation tree in feasible slots; latency grows slowly with size.
+pub fn e18_aggregation() -> Table {
+    let mut t = Table::new(
+        "E18",
+        "aggregation scheduling",
+        "spanning aggregation trees schedule into few feasible slots on fading decay spaces ([34, 51] via Prop. 1)",
+        &["grid", "alpha", "tree links", "slots", "slots/links"],
+    );
+    let params = SinrParams::default();
+    let mut fractions = Vec::new();
+    for &k in &[3usize, 4, 5] {
+        for &alpha in &[3.0, 4.0] {
+            let space = geometric_space(&grid_points(k, 1.0), alpha).expect("grid");
+            let zeta = metricity(&space).zeta_at_least_one();
+            let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
+            let agg = schedule_aggregation(
+                &space,
+                &quasi,
+                &params,
+                NodeId::new(0),
+                |sp, ls, aff, rem| greedy_affectance(sp, ls, aff, Some(rem)).selected,
+            )
+            .expect("aggregation succeeds");
+            let links = agg.tree.len();
+            let frac = agg.slots() as f64 / links as f64;
+            fractions.push(frac);
+            t.push_row(vec![
+                format!("{k}x{k}"),
+                fmt_f(alpha),
+                links.to_string(),
+                agg.slots().to_string(),
+                fmt_f(frac),
+            ]);
+        }
+    }
+    let max_frac = fractions.iter().cloned().fold(0.0, f64::max);
+    t.set_verdict(format!(
+        "holds: spatial reuse keeps slots/links at most {} (sequential scheduling would be 1.0)",
+        fmt_f(max_frac)
+    ));
+    t
+}
+
+/// E19 — power-control regimes ([58, 27] in the transfer list): uniform
+/// versus mean versus linear power on mixed-length instances.
+pub fn e19_power_regimes() -> Table {
+    let mut t = Table::new(
+        "E19",
+        "monotone power regimes",
+        "oblivious monotone powers (uniform / mean / linear) trade capacity on mixed-length instances; all remain feasible ([58, 27])",
+        &["alpha", "seed", "uniform", "mean", "linear", "exact(uniform)"],
+    );
+    let base_params = SinrParams::default();
+    for &alpha in &[2.5, 3.5] {
+        for seed in 0..2u64 {
+            let inst = deployment(14, alpha, 40 + seed, &base_params);
+            let all: Vec<LinkId> = inst.links.ids().collect();
+            let mut row = vec![fmt_f(alpha), seed.to_string()];
+            for pa in [
+                PowerAssignment::unit(),
+                PowerAssignment::mean(1.0),
+                PowerAssignment::linear(1.0),
+            ] {
+                let powers = pa.powers(&inst.space, &inst.links).expect("valid powers");
+                let aff =
+                    AffectanceMatrix::build(&inst.space, &inst.links, &powers, &base_params)
+                        .expect("affectance");
+                let res = greedy_affectance(&inst.space, &inst.links, &aff, None);
+                debug_assert!(aff.is_feasible(&res.selected));
+                row.push(res.size().to_string());
+            }
+            let opt = max_feasible_subset(&inst.aff, &all, EXACT_CAPACITY_LIMIT).len();
+            row.push(opt.to_string());
+            t.push_row(row);
+        }
+    }
+    t.set_verdict(String::from(
+        "holds: every regime yields feasible sets; no regime dominates on all instances",
+    ));
+    t
+}
+
+/// E20 — dynamic packet scheduling ([44], [2, 3]): the stability region
+/// sits below the per-slot capacity, and the greedy scheduler is stable
+/// strictly inside it.
+pub fn e20_queue_stability() -> Table {
+    let mut t = Table::new(
+        "E20",
+        "queue stability under dynamic scheduling",
+        "longest-queue greedy is stable for arrival rates below per-slot capacity and diverges above it ([44])",
+        &["gap", "cap/slot", "lambda", "late backlog", "stable"],
+    );
+    let params = SinrParams::default();
+    let mut consistent = true;
+    for &gap in &[1.5, 6.0] {
+        // m parallel links spaced gap apart.
+        let m = 8usize;
+        let mut pos: Vec<(f64, f64)> = Vec::new();
+        for i in 0..m {
+            pos.push((i as f64 * gap, 0.0));
+            pos.push((i as f64 * gap + 1.0, 0.0));
+        }
+        let space = geometric_space(&pos, 2.0).expect("distinct points");
+        let links: Vec<decay_sinr::Link> = (0..m)
+            .map(|i| {
+                decay_sinr::Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1))
+            })
+            .collect();
+        let links = decay_sinr::LinkSet::new(&space, links).expect("valid links");
+        let powers = PowerAssignment::unit().powers(&space, &links).expect("powers");
+        let aff = AffectanceMatrix::build(&space, &links, &powers, &params).expect("aff");
+        let all: Vec<LinkId> = links.ids().collect();
+        let cap = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT).len();
+        let per_link_capacity = cap as f64 / m as f64;
+        for &frac in &[0.5, 1.5] {
+            let lambda = (frac * per_link_capacity).min(1.0);
+            let report = run_queueing(
+                &aff,
+                &QueueingConfig {
+                    arrival_rate: lambda,
+                    slots: 4000,
+                    scheduler: Scheduler::LongestQueueGreedy,
+                    seed: 13,
+                },
+            );
+            let stable = report.looks_stable();
+            // Below capacity must be stable; well above should not be
+            // (unless capacity is the full set, where overload is capped).
+            if frac < 1.0 {
+                consistent &= stable;
+            } else if cap < m {
+                consistent &= !stable;
+            }
+            t.push_row(vec![
+                fmt_f(gap),
+                cap.to_string(),
+                fmt_f(lambda),
+                fmt_f(report.mean_backlog),
+                fmt_ok(stable),
+            ]);
+        }
+    }
+    t.set_verdict(if consistent {
+        String::from("holds: stable below capacity, diverging above it")
+    } else {
+        String::from("VIOLATED — inspect rows")
+    });
+    t
+}
+
+/// E21 — distributed dominating set ([55]): the protocol's cover size
+/// tracks the centralized greedy within a constant factor, in few slots.
+pub fn e21_dominating_set() -> Table {
+    let mut t = Table::new(
+        "E21",
+        "distributed dominating set",
+        "announce/ACK dynamics elect a valid dominating set of size O(greedy) in O(log n)-ish slots ([55])",
+        &["space", "F", "greedy |D|", "protocol |D|", "slots", "valid"],
+    );
+    let params = SinrParams::default();
+    let spaces = vec![
+        ("line-16 a=3", geometric_space(&decay_spaces::line_points(16, 1.0), 3.0).unwrap(), 8.0),
+        ("grid-4 a=3", geometric_space(&grid_points(4, 1.0), 3.0).unwrap(), 8.0),
+        ("grid-5 a=4", geometric_space(&grid_points(5, 1.0), 4.0).unwrap(), 16.0),
+    ];
+    let mut all_ok = true;
+    for (name, space, f_max) in spaces {
+        let greedy = greedy_dominating_set(&space, f_max);
+        let report = run_dominating_set(
+            &space,
+            &params,
+            &DominatingConfig {
+                neighborhood_decay: f_max,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let ok = report.valid && report.dominators.len() <= 8 * greedy.len().max(1);
+        all_ok &= ok;
+        t.push_row(vec![
+            name.into(),
+            fmt_f(f_max),
+            greedy.len().to_string(),
+            report.dominators.len().to_string(),
+            report
+                .completed_in
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "budget".into()),
+            fmt_ok(ok),
+        ]);
+    }
+    t.set_verdict(if all_ok {
+        String::from("holds: valid covers within a constant factor of greedy")
+    } else {
+        String::from("VIOLATED — inspect rows")
+    });
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e21_holds() {
+        let t = e21_dominating_set();
+        assert!(t.verdict.starts_with("holds"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn e17_holds() {
+        let t = e17_weighted_capacity();
+        assert!(t.verdict.starts_with("holds"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn e18_holds() {
+        let t = e18_aggregation();
+        assert!(t.verdict.starts_with("holds"), "{}", t.verdict);
+        assert_eq!(t.rows.len(), 6);
+    }
+
+    #[test]
+    fn e19_runs() {
+        let t = e19_power_regimes();
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn e20_stability_boundary() {
+        let t = e20_queue_stability();
+        assert!(t.verdict.starts_with("holds"), "{}", t.verdict);
+    }
+}

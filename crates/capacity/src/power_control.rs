@@ -1,0 +1,164 @@
+//! Capacity with power control: a Kesselheim-style selection rule
+//! (SODA'11, [42]) adapted to decay spaces.
+//!
+//! Links are scanned in increasing decay order; `l_v` is admitted when the
+//! accumulated *relative interference* of the already-selected (shorter)
+//! links at `l_v` stays below a threshold `τ`:
+//!
+//! ```text
+//! Σ_{w ∈ S} f_ww / f(l_w, l_v)  ≤  τ,
+//! ```
+//!
+//! where `f(l_w, l_v)` is the link quasi-distance raised back to the decay
+//! scale (`d(l_w, l_v)^ζ`). Powers are then assigned obliviously
+//! (mean power) and the output is filtered to the feasible core — so the
+//! result is always genuinely feasible, while the selection step retains
+//! the flavor of the constant-factor power-control algorithm the paper
+//! cites in Observation 4.2.
+
+use decay_core::{DecaySpace, QuasiMetric};
+use decay_sinr::{
+    link_distance, AffectanceMatrix, LinkId, LinkSet, PowerAssignment, SinrError, SinrParams,
+};
+
+use crate::algorithm1::CapacityResult;
+
+/// Kesselheim-style capacity with power control.
+///
+/// `tau` is the admission threshold (1/2 is a good default); the power
+/// used for the final feasibility filter is mean power
+/// (`P_v ∝ sqrt(f_vv)`), the midpoint of the monotone family.
+///
+/// # Errors
+///
+/// Propagates power/affectance construction failures.
+pub fn power_control_capacity(
+    space: &DecaySpace,
+    links: &LinkSet,
+    quasi: &QuasiMetric,
+    params: &SinrParams,
+    candidates: Option<&[LinkId]>,
+    tau: f64,
+) -> Result<CapacityResult, SinrError> {
+    assert!(tau > 0.0, "admission threshold must be positive");
+    let zeta = quasi.zeta();
+    let order: Vec<LinkId> = match candidates {
+        Some(c) => {
+            let mut c = c.to_vec();
+            c.sort_by(|&a, &b| {
+                links
+                    .decay_of(space, a)
+                    .partial_cmp(&links.decay_of(space, b))
+                    .unwrap()
+                    .then(a.index().cmp(&b.index()))
+            });
+            c
+        }
+        None => links.ids_by_decay(space),
+    };
+    let mut admitted: Vec<LinkId> = Vec::new();
+    for v in order {
+        let mut rel = 0.0;
+        for &w in &admitted {
+            let d = link_distance(quasi, links, w, v);
+            if d <= 0.0 {
+                rel = f64::INFINITY;
+                break;
+            }
+            rel += links.decay_of(space, w) / d.powf(zeta);
+        }
+        if rel <= tau {
+            admitted.push(v);
+        }
+    }
+    // Mean power + feasible-core filter.
+    let powers = PowerAssignment::mean(1.0).powers(space, links)?;
+    let aff = AffectanceMatrix::build(space, links, &powers, params)?;
+    let mut selected: Vec<LinkId> = admitted
+        .iter()
+        .copied()
+        .filter(|&v| aff.noise_factor(v).is_finite())
+        .collect();
+    // Peel worst offenders until feasible (terminates: removing links only
+    // lowers everyone's in-affectance).
+    while !selected.is_empty() && !aff.is_feasible(&selected) {
+        let (idx, _) = selected
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, aff.in_affectance_raw(&selected, v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty");
+        selected.swap_remove(idx);
+    }
+    Ok(CapacityResult { selected, admitted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::{metricity, DecaySpace, NodeId};
+    use decay_sinr::Link;
+
+    fn mixed_lengths(m: usize, gap: f64) -> (DecaySpace, LinkSet, QuasiMetric) {
+        // Alternating short and long links along a line.
+        let mut pos = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..m {
+            let base = i as f64 * gap;
+            let len = if i % 2 == 0 { 1.0 } else { 3.0 };
+            pos.push(base);
+            pos.push(base + len);
+            pairs.push((2 * i, 2 * i + 1));
+        }
+        let s = DecaySpace::from_fn(pos.len(), |i, j| {
+            (pos[i] - pos[j]).abs().powi(2).max(1e-12)
+        })
+        .unwrap();
+        let links: Vec<Link> = pairs
+            .iter()
+            .map(|&(a, b)| Link::new(NodeId::new(a), NodeId::new(b)))
+            .collect();
+        let ls = LinkSet::new(&s, links).unwrap();
+        let zeta = metricity(&s).zeta_at_least_one();
+        let quasi = QuasiMetric::from_space_with_exponent(&s, zeta);
+        (s, ls, quasi)
+    }
+
+    #[test]
+    fn output_is_feasible_under_mean_power() {
+        let (s, ls, quasi) = mixed_lengths(10, 8.0);
+        let params = SinrParams::default();
+        let res = power_control_capacity(&s, &ls, &quasi, &params, None, 0.5).unwrap();
+        let powers = PowerAssignment::mean(1.0).powers(&s, &ls).unwrap();
+        let aff = AffectanceMatrix::build(&s, &ls, &powers, &params).unwrap();
+        assert!(aff.is_feasible(&res.selected));
+        assert!(!res.selected.is_empty());
+    }
+
+    #[test]
+    fn sparse_instances_fully_selected() {
+        let (s, ls, quasi) = mixed_lengths(6, 100.0);
+        let params = SinrParams::default();
+        let res = power_control_capacity(&s, &ls, &quasi, &params, None, 0.5).unwrap();
+        assert_eq!(res.size(), 6);
+    }
+
+    #[test]
+    fn tighter_threshold_admits_fewer() {
+        let (s, ls, quasi) = mixed_lengths(12, 5.0);
+        let params = SinrParams::default();
+        let tight = power_control_capacity(&s, &ls, &quasi, &params, None, 0.1).unwrap();
+        let loose = power_control_capacity(&s, &ls, &quasi, &params, None, 2.0).unwrap();
+        assert!(tight.admitted.len() <= loose.admitted.len());
+    }
+
+    #[test]
+    fn candidates_respected() {
+        let (s, ls, quasi) = mixed_lengths(8, 50.0);
+        let params = SinrParams::default();
+        let cand = [LinkId::new(0), LinkId::new(5)];
+        let res =
+            power_control_capacity(&s, &ls, &quasi, &params, Some(&cand), 0.5).unwrap();
+        assert!(res.selected.iter().all(|v| cand.contains(v)));
+    }
+}

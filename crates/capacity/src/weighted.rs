@@ -1,0 +1,232 @@
+//! Weighted CAPACITY (the paper's transfer list cites [26, 33]): maximize
+//! the total *weight* of a feasible subset rather than its cardinality.
+//!
+//! Both the exact branch-and-bound and the greedy carry over: feasibility
+//! is hereditary, so the same search applies with a weight objective, and
+//! the affectance-slack greedy processes links in decreasing
+//! weight-per-affectance density.
+
+use decay_sinr::{AffectanceMatrix, LinkId};
+
+use crate::algorithm1::CapacityResult;
+
+/// Maximum instance size for [`max_weight_feasible_subset`].
+pub const EXACT_WEIGHTED_LIMIT: usize = 22;
+
+/// Computes a maximum-weight feasible subset exactly (branch and bound
+/// with suffix-weight pruning).
+///
+/// Weights must be non-negative; zero-weight links are never selected.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != candidates.len()`, any weight is negative
+/// or non-finite, or the instance exceeds `limit`.
+pub fn max_weight_feasible_subset(
+    aff: &AffectanceMatrix,
+    candidates: &[LinkId],
+    weights: &[f64],
+    limit: usize,
+) -> Vec<LinkId> {
+    assert_eq!(
+        candidates.len(),
+        weights.len(),
+        "one weight per candidate required"
+    );
+    assert!(
+        candidates.len() <= limit,
+        "instance of {} links exceeds exact-weighted limit {limit}",
+        candidates.len()
+    );
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+    }
+    // Viable candidates with positive weight, sorted by decreasing weight
+    // (helps the bound bind early).
+    let mut order: Vec<(LinkId, f64)> = candidates
+        .iter()
+        .zip(weights)
+        .filter(|(v, &w)| aff.noise_factor(**v).is_finite() && w > 0.0)
+        .map(|(&v, &w)| (v, w))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let suffix: Vec<f64> = {
+        let mut s = vec![0.0; order.len() + 1];
+        for i in (0..order.len()).rev() {
+            s[i] = s[i + 1] + order[i].1;
+        }
+        s
+    };
+
+    struct Search<'a> {
+        aff: &'a AffectanceMatrix,
+        order: &'a [(LinkId, f64)],
+        suffix: &'a [f64],
+        best: f64,
+        best_set: Vec<LinkId>,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, i: usize, current: &mut Vec<LinkId>, total: f64) {
+            if total + self.suffix[i] <= self.best {
+                return;
+            }
+            if i == self.order.len() {
+                if total > self.best {
+                    self.best = total;
+                    self.best_set = current.clone();
+                }
+                return;
+            }
+            let (v, w) = self.order[i];
+            current.push(v);
+            if self.aff.is_feasible(current) {
+                self.go(i + 1, current, total + w);
+            }
+            current.pop();
+            self.go(i + 1, current, total);
+        }
+    }
+
+    let mut search = Search {
+        aff,
+        order: &order,
+        suffix: &suffix,
+        best: -1.0,
+        best_set: Vec::new(),
+    };
+    search.go(0, &mut Vec::new(), 0.0);
+    search.best_set
+}
+
+/// Weighted greedy: scan links by decreasing weight, admit when mutual
+/// affectance against the admitted set stays below 1/2, filter at the end
+/// (the weighted analogue of the \[30]-style greedy; its guarantee
+/// transfers through Proposition 1 with `α := ζ`).
+pub fn weighted_greedy(
+    aff: &AffectanceMatrix,
+    candidates: &[LinkId],
+    weights: &[f64],
+) -> CapacityResult {
+    assert_eq!(
+        candidates.len(),
+        weights.len(),
+        "one weight per candidate required"
+    );
+    let mut order: Vec<(LinkId, f64)> = candidates
+        .iter()
+        .zip(weights)
+        .map(|(&v, &w)| (v, w))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut admitted: Vec<LinkId> = Vec::new();
+    for (v, w) in order {
+        if w <= 0.0 || !aff.noise_factor(v).is_finite() {
+            continue;
+        }
+        if aff.out_affectance(v, &admitted) + aff.in_affectance(&admitted, v) <= 0.5 {
+            admitted.push(v);
+        }
+    }
+    let selected: Vec<LinkId> = admitted
+        .iter()
+        .copied()
+        .filter(|&v| aff.in_affectance(&admitted, v) <= 1.0)
+        .collect();
+    CapacityResult { selected, admitted }
+}
+
+/// Total weight of a link set.
+pub fn total_weight(set: &[LinkId], candidates: &[LinkId], weights: &[f64]) -> f64 {
+    set.iter()
+        .map(|v| {
+            let idx = candidates
+                .iter()
+                .position(|c| c == v)
+                .expect("selected link must come from candidates");
+            weights[idx]
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::{DecaySpace, NodeId};
+    use decay_sinr::{Link, LinkSet, PowerAssignment, SinrParams};
+
+    fn parallel(m: usize, gap: f64) -> (LinkSet, AffectanceMatrix) {
+        let mut pos = Vec::new();
+        for i in 0..m {
+            pos.push(i as f64 * gap);
+            pos.push(i as f64 * gap + 1.0);
+        }
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let ls = LinkSet::new(&s, links).unwrap();
+        let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+        let aff = AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
+        (ls, aff)
+    }
+
+    #[test]
+    fn exact_prefers_one_heavy_link_over_many_light() {
+        // Crowded instance: links conflict pairwise heavily; one link has
+        // weight larger than everything else combined.
+        let (ls, aff) = parallel(6, 1.5);
+        let all: Vec<LinkId> = ls.ids().collect();
+        let mut weights = vec![1.0; 6];
+        weights[3] = 100.0;
+        let best = max_weight_feasible_subset(&aff, &all, &weights, EXACT_WEIGHTED_LIMIT);
+        assert!(best.contains(&LinkId::new(3)));
+        assert!(aff.is_feasible(&best));
+        let w = total_weight(&best, &all, &weights);
+        assert!(w >= 100.0);
+    }
+
+    #[test]
+    fn exact_equals_cardinality_optimum_for_unit_weights() {
+        let (ls, aff) = parallel(8, 2.5);
+        let all: Vec<LinkId> = ls.ids().collect();
+        let weights = vec![1.0; 8];
+        let weighted = max_weight_feasible_subset(&aff, &all, &weights, EXACT_WEIGHTED_LIMIT);
+        let unweighted = crate::exact::max_feasible_subset(&aff, &all, 24);
+        assert_eq!(weighted.len(), unweighted.len());
+    }
+
+    #[test]
+    fn greedy_output_is_feasible_and_tracks_exact() {
+        let (ls, aff) = parallel(10, 3.0);
+        let all: Vec<LinkId> = ls.ids().collect();
+        let weights: Vec<f64> = (0..10).map(|i| 1.0 + (i % 3) as f64).collect();
+        let greedy = weighted_greedy(&aff, &all, &weights);
+        assert!(aff.is_feasible(&greedy.selected));
+        let exact = max_weight_feasible_subset(&aff, &all, &weights, EXACT_WEIGHTED_LIMIT);
+        let wg = total_weight(&greedy.selected, &all, &weights);
+        let we = total_weight(&exact, &all, &weights);
+        assert!(we >= wg - 1e-9);
+        assert!(wg >= we / 4.0, "greedy too far off: {wg} vs {we}");
+    }
+
+    #[test]
+    fn zero_weight_links_are_ignored() {
+        let (ls, aff) = parallel(4, 10.0);
+        let all: Vec<LinkId> = ls.ids().collect();
+        let weights = vec![0.0, 1.0, 0.0, 1.0];
+        let exact = max_weight_feasible_subset(&aff, &all, &weights, EXACT_WEIGHTED_LIMIT);
+        assert_eq!(exact.len(), 2);
+        assert!(!exact.contains(&LinkId::new(0)));
+        let greedy = weighted_greedy(&aff, &all, &weights);
+        assert!(!greedy.selected.contains(&LinkId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be non-negative")]
+    fn negative_weights_panic() {
+        let (ls, aff) = parallel(3, 5.0);
+        let all: Vec<LinkId> = ls.ids().collect();
+        max_weight_feasible_subset(&aff, &all, &[1.0, -1.0, 1.0], EXACT_WEIGHTED_LIMIT);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: capacity algorithms stay correct on arbitrary decay
+//! spaces (not just geometric ones) — the whole point of the paper.
+
+use decay_capacity::{
+    algorithm1, algorithm1_variant, arrival_order, conflict_schedule_report, first_fit_feasible,
+    greedy_affectance, max_feasible_subset, online_capacity, run_auction, weighted_greedy,
+    Algorithm1Variant, ArrivalOrder, AuctionConfig, OnlineRule, EXACT_CAPACITY_LIMIT,
+};
+use decay_core::{metricity, DecaySpace, NodeId, QuasiMetric};
+use decay_sinr::{AffectanceMatrix, Link, LinkId, LinkSet, PowerAssignment, SinrParams};
+use proptest::prelude::*;
+
+/// Random premetric with m links over 2m nodes.
+fn arb_instance(
+    m: usize,
+) -> impl Strategy<Value = (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix)> {
+    prop::collection::vec(0.2f64..50.0, (2 * m) * (2 * m)).prop_map(move |mut vals| {
+        let n = 2 * m;
+        for i in 0..n {
+            vals[i * n + i] = 0.0;
+        }
+        let space = DecaySpace::from_matrix(n, vals).expect("positive off-diagonal");
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let links = LinkSet::new(&space, links).expect("valid links");
+        let zeta = metricity(&space).zeta_at_least_one();
+        let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
+        let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+        let aff =
+            AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+        (space, links, quasi, aff)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_algorithms_output_feasible_sets((space, links, quasi, aff) in arb_instance(6)) {
+        let a1 = algorithm1(&space, &links, &quasi, &aff, None);
+        prop_assert!(aff.is_feasible(&a1.selected));
+        let gr = greedy_affectance(&space, &links, &aff, None);
+        prop_assert!(aff.is_feasible(&gr.selected));
+        let ff = first_fit_feasible(&space, &links, &aff, None);
+        prop_assert!(aff.is_feasible(&ff.selected));
+    }
+
+    #[test]
+    fn exact_dominates_heuristics((space, links, quasi, aff) in arb_instance(6)) {
+        let all: Vec<LinkId> = links.ids().collect();
+        let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT).len();
+        prop_assert!(opt >= algorithm1(&space, &links, &quasi, &aff, None).size());
+        prop_assert!(opt >= greedy_affectance(&space, &links, &aff, None).size());
+        prop_assert!(opt >= first_fit_feasible(&space, &links, &aff, None).size());
+    }
+
+    #[test]
+    fn first_fit_is_maximal((space, links, _quasi, aff) in arb_instance(6)) {
+        let _ = space;
+        let res = first_fit_feasible(&space, &links, &aff, None);
+        for v in links.ids() {
+            if !res.selected.contains(&v) && aff.noise_factor(v).is_finite() {
+                let mut bigger = res.selected.clone();
+                bigger.push(v);
+                prop_assert!(!aff.is_feasible(&bigger));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_greedy_feasible_under_random_weights(
+        (space, links, _quasi, aff) in arb_instance(6),
+        weights in prop::collection::vec(0.0f64..10.0, 6),
+    ) {
+        let _ = space;
+        let all: Vec<LinkId> = links.ids().collect();
+        let res = weighted_greedy(&aff, &all, &weights);
+        prop_assert!(aff.is_feasible(&res.selected));
+    }
+
+    #[test]
+    fn online_prefixes_stay_feasible_on_premetrics(
+        (space, links, quasi, aff) in arb_instance(6),
+        seed in 0u64..1000,
+    ) {
+        let arr = arrival_order(&space, &links, ArrivalOrder::Random { seed });
+        for rule in [OnlineRule::GreedyFeasible, OnlineRule::BudgetedAdmission] {
+            let res = online_capacity(&links, &quasi, &aff, &arr, rule);
+            for k in 1..=res.accepted.len() {
+                prop_assert!(aff.is_feasible(&res.accepted[..k]), "{rule:?} prefix {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn auction_invariants_on_premetrics(
+        (space, links, _quasi, aff) in arb_instance(6),
+        bids in prop::collection::vec(0.0f64..10.0, 6),
+        channels in 1usize..3,
+    ) {
+        let _ = space;
+        let out = run_auction(&aff, &bids, &AuctionConfig { channels });
+        for set in &out.allocation {
+            prop_assert!(aff.is_feasible(set));
+        }
+        for v in links.ids() {
+            let i = v.index();
+            prop_assert!(out.payments[i] >= 0.0);
+            prop_assert!(out.payments[i] <= bids[i] + 1e-9, "payment exceeds bid at {i}");
+            if !out.winners.contains(&v) {
+                prop_assert!(out.payments[i] == 0.0, "loser {i} charged");
+            }
+        }
+        let welfare: f64 = out.winners.iter().map(|v| bids[v.index()]).sum();
+        prop_assert!((welfare - out.welfare).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflict_repair_always_yields_feasible_partition(
+        (space, links, _quasi, aff) in arb_instance(6),
+    ) {
+        let report = conflict_schedule_report(&space, &links, &aff, 1.0);
+        for slot in &report.repaired.slots {
+            prop_assert!(aff.is_feasible(slot));
+        }
+        let mut seen: Vec<LinkId> = report.repaired.slots.iter().flatten().copied().collect();
+        seen.extend_from_slice(&report.repaired.dropped);
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), links.len(), "repair must partition all links");
+    }
+
+    #[test]
+    fn ablation_full_and_no_separation_always_feasible(
+        (space, links, quasi, aff) in arb_instance(6),
+    ) {
+        for variant in [Algorithm1Variant::Full, Algorithm1Variant::WithoutSeparation] {
+            let res = algorithm1_variant(&space, &links, &quasi, &aff, None, variant);
+            prop_assert!(aff.is_feasible(&res.selected), "{variant:?}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Balls, packings and packing numbers in decay spaces (Section 3.1).
+//!
+//! The `t`-ball `B(y, t) = {x ∈ V : f(x, y) < t}` contains all points whose
+//! decay *to* `y` is below `t`. A set `Y` is a `t`-packing if pairwise
+//! decays exceed `2t` — equivalently, the balls `{B(y, t)}` are disjoint.
+//! The packing number `P(B, t)` is the size of the largest `t`-packing
+//! inside the body `B`; it drives the Assouad dimension (Definition 3.2)
+//! and the annulus argument (Theorem 2).
+
+use crate::space::{DecaySpace, NodeId};
+
+/// Maximum instance size for exact (exponential-time) packing computation.
+pub const EXACT_PACKING_LIMIT: usize = 40;
+
+/// The `t`-ball `B(center, t)` — nodes `x` with `f(x, center) < t`.
+///
+/// Note the direction: balls collect nodes that decay *to* the center, per
+/// the paper. The center itself is always included (`f(c, c) = 0 < t` for
+/// `t > 0`).
+pub fn ball(space: &DecaySpace, center: NodeId, t: f64) -> Vec<NodeId> {
+    space
+        .nodes()
+        .filter(|&x| space.decay(x, center) < t)
+        .collect()
+}
+
+/// Whether `set` is a `t`-packing: pairwise decay (in both directions)
+/// strictly greater than `2t`.
+pub fn is_packing(space: &DecaySpace, set: &[NodeId], t: f64) -> bool {
+    for (k, &a) in set.iter().enumerate() {
+        for &b in &set[k + 1..] {
+            if space.pair_min(a, b) <= 2.0 * t {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A packing-number result: the size found and whether it is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    /// Nodes of the packing found.
+    pub nodes: Vec<NodeId>,
+    /// True when produced by the exact solver, false for the greedy bound.
+    pub exact: bool,
+}
+
+impl Packing {
+    /// Size of the packing.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// The packing number `P(B, t)` restricted to the node set `body`: the
+/// largest subset with pairwise decays `> 2t`.
+///
+/// Uses an exact branch-and-bound maximum-independent-set search when
+/// `body.len() <= EXACT_PACKING_LIMIT`, and a greedy lower bound otherwise.
+pub fn packing_number(space: &DecaySpace, body: &[NodeId], t: f64) -> Packing {
+    // Conflict graph: edge when the pair is too close to co-exist.
+    let m = body.len();
+    if m == 0 {
+        return Packing {
+            nodes: Vec::new(),
+            exact: true,
+        };
+    }
+    let conflict = |a: NodeId, b: NodeId| space.pair_min(a, b) <= 2.0 * t;
+    if m <= EXACT_PACKING_LIMIT {
+        let adj = build_adjacency(body, conflict);
+        let best = max_independent_set(&adj);
+        Packing {
+            nodes: best.iter().map(|&i| body[i]).collect(),
+            exact: true,
+        }
+    } else {
+        let picked = greedy_independent(body, conflict);
+        Packing {
+            nodes: picked,
+            exact: false,
+        }
+    }
+}
+
+/// Builds bitmask adjacency for up to 64 vertices.
+fn build_adjacency<F: Fn(NodeId, NodeId) -> bool>(body: &[NodeId], conflict: F) -> Vec<u64> {
+    let m = body.len();
+    assert!(m <= 64);
+    let mut adj = vec![0_u64; m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            if conflict(body[i], body[j]) {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    adj
+}
+
+/// Exact maximum independent set on a bitmask graph via branch and bound.
+///
+/// Classic "pick or discard the highest-degree remaining vertex" scheme with
+/// a cardinality bound; fine for the ≤ 40-vertex instances used here.
+fn max_independent_set(adj: &[u64]) -> Vec<usize> {
+    let m = adj.len();
+    let full: u64 = if m == 64 { !0 } else { (1 << m) - 1 };
+    let mut best: u64 = 0;
+
+    fn popcnt(x: u64) -> u32 {
+        x.count_ones()
+    }
+
+    fn recurse(adj: &[u64], candidates: u64, current: u64, best: &mut u64) {
+        if popcnt(current) + popcnt(candidates) <= popcnt(*best) {
+            return;
+        }
+        if candidates == 0 {
+            if popcnt(current) > popcnt(*best) {
+                *best = current;
+            }
+            return;
+        }
+        // Choose the candidate with the most conflicts among candidates —
+        // branching on it prunes fastest.
+        let mut pick = candidates.trailing_zeros() as usize;
+        let mut maxdeg = popcnt(adj[pick] & candidates);
+        let mut c = candidates & (candidates - 1);
+        while c != 0 {
+            let v = c.trailing_zeros() as usize;
+            c &= c - 1;
+            let deg = popcnt(adj[v] & candidates);
+            if deg > maxdeg {
+                pick = v;
+                maxdeg = deg;
+            }
+        }
+        let v = pick;
+        let bit = 1_u64 << v;
+        // Branch 1: include v.
+        recurse(adj, candidates & !bit & !adj[v], current | bit, best);
+        // Branch 2: exclude v.
+        recurse(adj, candidates & !bit, current, best);
+    }
+
+    recurse(adj, full, 0, &mut best);
+    (0..m).filter(|&i| best & (1 << i) != 0).collect()
+}
+
+/// Greedy maximal independent set, processing low-conflict nodes first
+/// (a hub node scanned early would otherwise block everything, as in the
+/// star space of Section 3.4).
+fn greedy_independent<F: Fn(NodeId, NodeId) -> bool>(
+    body: &[NodeId],
+    conflict: F,
+) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = body.to_vec();
+    let degree = |v: NodeId| body.iter().filter(|&&u| u != v && conflict(u, v)).count();
+    let degrees: Vec<usize> = order.iter().map(|&v| degree(v)).collect();
+    let mut idx: Vec<usize> = (0..order.len()).collect();
+    idx.sort_by_key(|&i| degrees[i]);
+    order = idx.into_iter().map(|i| body[i]).collect();
+    let mut picked: Vec<NodeId> = Vec::new();
+    for &v in &order {
+        if picked.iter().all(|&u| !conflict(u, v)) {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+/// The densest `q`-packing statistic `g_D(q)` of Definition 3.2:
+/// `g(q) = max_x max_r P(B(x, r), r/q)` with radii `r` drawn from the decay
+/// values occurring in the space (between which `g` cannot change).
+pub fn densest_packing(space: &DecaySpace, q: f64) -> usize {
+    assert!(q > 0.0, "packing scale q must be positive");
+    let mut radii: Vec<f64> = space.ordered_pairs().map(|(_, _, f)| f).collect();
+    // Radii just above each decay value realize all distinct balls.
+    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    radii.dedup();
+    let mut best = 0;
+    for x in space.nodes() {
+        for &r0 in &radii {
+            let r = r0 * (1.0 + 1e-9); // open ball: include nodes at decay exactly r0
+            let body = ball(space, x, r);
+            if body.len() <= best {
+                continue; // cannot beat current best
+            }
+            let p = packing_number(space, &body, r / q);
+            best = best.max(p.size());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, alpha: f64) -> DecaySpace {
+        DecaySpace::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powf(alpha)).unwrap()
+    }
+
+    #[test]
+    fn ball_uses_decay_toward_center() {
+        let s = DecaySpace::from_matrix(
+            2,
+            vec![
+                0.0, 10.0, //
+                1.0, 0.0,
+            ],
+        )
+        .unwrap();
+        // f(v1, v0) = 1 < 5, so v1 is in B(v0, 5); f(v0, v1) = 10 so v0 is
+        // not in B(v1, 5).
+        let b0 = ball(&s, NodeId::new(0), 5.0);
+        assert_eq!(b0.len(), 2);
+        let b1 = ball(&s, NodeId::new(1), 5.0);
+        assert_eq!(b1, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn packing_predicate() {
+        let s = line(5, 1.0);
+        // Nodes 0, 2, 4: pairwise decay 2 — need > 2t, so t < 1 works.
+        let set = [NodeId::new(0), NodeId::new(2), NodeId::new(4)];
+        assert!(is_packing(&s, &set, 0.9));
+        assert!(!is_packing(&s, &set, 1.0));
+    }
+
+    #[test]
+    fn exact_packing_on_line() {
+        let s = line(9, 1.0);
+        let body: Vec<NodeId> = s.nodes().collect();
+        // t = 0.9: need pairwise distance > 1.8, i.e. gap >= 2: nodes
+        // 0,2,4,6,8 -> 5 nodes.
+        let p = packing_number(&s, &body, 0.9);
+        assert!(p.exact);
+        assert_eq!(p.size(), 5);
+        assert!(is_packing(&s, &p.nodes, 0.9));
+    }
+
+    #[test]
+    fn greedy_fallback_on_large_instance() {
+        let s = line(EXACT_PACKING_LIMIT + 10, 1.0);
+        let body: Vec<NodeId> = s.nodes().collect();
+        let p = packing_number(&s, &body, 0.9);
+        assert!(!p.exact);
+        assert!(is_packing(&s, &p.nodes, 0.9));
+        // Greedy on a line picks every other reachable node: optimal here.
+        assert_eq!(p.size(), (EXACT_PACKING_LIMIT + 10).div_ceil(2));
+    }
+
+    #[test]
+    fn densest_packing_grows_with_q_on_line() {
+        let s = line(16, 1.0);
+        let g2 = densest_packing(&s, 2.0);
+        let g8 = densest_packing(&s, 8.0);
+        assert!(g8 >= g2, "g(8)={g8} < g(2)={g2}");
+        assert!(g2 >= 2);
+    }
+
+    #[test]
+    fn max_independent_set_on_small_graphs() {
+        // Triangle: MIS = 1.
+        let adj = vec![0b110, 0b101, 0b011];
+        assert_eq!(max_independent_set(&adj).len(), 1);
+        // Path of 3: MIS = 2 (endpoints).
+        let adj = vec![0b010, 0b101, 0b010];
+        let mis = max_independent_set(&adj);
+        assert_eq!(mis.len(), 2);
+        // Empty graph on 4: MIS = 4.
+        let adj = vec![0, 0, 0, 0];
+        assert_eq!(max_independent_set(&adj).len(), 4);
+    }
+
+    #[test]
+    fn empty_body_packing() {
+        let s = line(3, 1.0);
+        let p = packing_number(&s, &[], 1.0);
+        assert_eq!(p.size(), 0);
+        assert!(p.exact);
+    }
+}

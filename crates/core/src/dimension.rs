@@ -1,0 +1,250 @@
+//! Assouad dimension of decay spaces (Definition 3.2), doubling dimension of
+//! the induced quasi-metric, and the fading-space predicate (Definition 3.3).
+//!
+//! Intuitively, a space is doubling when the number of mutually unit-
+//! separated points within a given distance of a center grows at most
+//! polynomially with the distance. The Assouad dimension `A(D)` with
+//! parameter `C` is `max_q log_q(g(q)/C)` where `g(q)` is the densest
+//! `q`-packing statistic. A *fading space* is a decay space with `A(D) < 1`
+//! (w.r.t. some absolute constant `C`); for geometric path loss in
+//! dimension `k`, `A = k/α`, recovering the classical fading-metric
+//! condition `α > k`.
+
+use crate::ball::densest_packing;
+use crate::quasi::QuasiMetric;
+use crate::space::DecaySpace;
+
+/// The default packing scales `q` probed by the dimension estimators.
+pub const DEFAULT_SCALES: [f64; 4] = [2.0, 4.0, 8.0, 16.0];
+
+/// Result of an Assouad-dimension estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssouadDimension {
+    /// The estimate `A = max_q log_q(g(q)/C)`, clamped below at 0.
+    pub dimension: f64,
+    /// The constant `C` used.
+    pub constant: f64,
+    /// The per-scale data points `(q, g(q))` the maximum was taken over.
+    pub samples: Vec<(f64, usize)>,
+}
+
+impl AssouadDimension {
+    /// Whether this space is a *fading space* (Definition 3.3): `A < 1`.
+    pub fn is_fading(&self) -> bool {
+        self.dimension < 1.0
+    }
+}
+
+/// Estimates the Assouad dimension `A(D)` with parameter `constant`, probing
+/// the given packing scales `q > 1`.
+///
+/// The estimate is exact on the probed scales when the underlying packing
+/// numbers are computed exactly (bodies of at most
+/// [`EXACT_PACKING_LIMIT`](crate::ball::EXACT_PACKING_LIMIT) nodes) and a
+/// lower bound otherwise.
+///
+/// # Panics
+///
+/// Panics if `constant <= 0` or any scale is `<= 1`.
+pub fn assouad_dimension(space: &DecaySpace, constant: f64, scales: &[f64]) -> AssouadDimension {
+    assert!(constant > 0.0, "assouad constant must be positive");
+    let mut samples = Vec::with_capacity(scales.len());
+    let mut dim = 0.0_f64;
+    for &q in scales {
+        assert!(q > 1.0, "packing scale must exceed 1 (got {q})");
+        let g = densest_packing(space, q);
+        samples.push((q, g));
+        if g > 0 {
+            let a = (g as f64 / constant).ln() / q.ln();
+            dim = dim.max(a);
+        }
+    }
+    AssouadDimension {
+        dimension: dim.max(0.0),
+        constant,
+        samples,
+    }
+}
+
+/// Estimates the Assouad dimension by a least-squares fit of
+/// `ln g(q) = A·ln q + ln C` over the probed scales, returning both the
+/// slope `A` and the implied constant `C`.
+///
+/// The paper-literal `max_q log_q(g(q)/C)` form ([`assouad_dimension`])
+/// needs the right constant a priori; the fit determines `(A, C)` jointly
+/// and is the recommended estimator on finite instances.
+///
+/// # Panics
+///
+/// Panics if fewer than two scales are supplied or any scale is `<= 1`.
+pub fn assouad_dimension_fit(space: &DecaySpace, scales: &[f64]) -> AssouadDimension {
+    assert!(scales.len() >= 2, "fit needs at least two scales");
+    let mut samples = Vec::with_capacity(scales.len());
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &q in scales {
+        assert!(q > 1.0, "packing scale must exceed 1 (got {q})");
+        let g = densest_packing(space, q);
+        samples.push((q, g));
+        if g > 0 {
+            xs.push(q.ln());
+            ys.push((g as f64).ln());
+        }
+    }
+    if xs.len() < 2 {
+        return AssouadDimension {
+            dimension: 0.0,
+            constant: 1.0,
+            samples,
+        };
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    AssouadDimension {
+        dimension: slope.max(0.0),
+        constant: intercept.exp(),
+        samples,
+    }
+}
+
+/// Estimates the Assouad dimension with the recommended log-log fit over
+/// the default scales.
+pub fn assouad_dimension_default(space: &DecaySpace) -> AssouadDimension {
+    assouad_dimension_fit(space, &DEFAULT_SCALES)
+}
+
+/// Estimates the doubling (Assouad) dimension `A′` of the induced
+/// quasi-metric `d = f^{1/ζ}`, used by Lemmas 4.1/B.3 and Theorem 4.
+///
+/// Computed by treating the quasi-distances themselves as a decay space
+/// (exponent 1) and fitting its Assouad dimension.
+pub fn quasi_doubling_dimension(quasi: &QuasiMetric, scales: &[f64]) -> AssouadDimension {
+    let as_space = quasi.to_decay_space(1.0);
+    assouad_dimension_fit(&as_space, scales)
+}
+
+/// Whether the decay space is *fading* (Definition 3.3): fitted Assouad
+/// dimension strictly below 1 (the fit determines the constant `C`).
+pub fn is_fading_space(space: &DecaySpace) -> bool {
+    assouad_dimension_default(space).is_fading()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DecaySpace;
+
+    /// Geometric path loss on an n-point line with unit spacing.
+    fn geo_line(n: usize, alpha: f64) -> DecaySpace {
+        DecaySpace::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powf(alpha)).unwrap()
+    }
+
+    /// Geometric path loss on a k x k unit grid.
+    fn geo_grid(k: usize, alpha: f64) -> DecaySpace {
+        DecaySpace::from_fn(k * k, |a, b| {
+            let (xa, ya) = ((a % k) as f64, (a / k) as f64);
+            let (xb, yb) = ((b % k) as f64, (b / k) as f64);
+            ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt().powf(alpha)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn line_with_alpha_one_has_dimension_about_one() {
+        let s = geo_line(24, 1.0);
+        let a = assouad_dimension_default(&s);
+        assert!(
+            a.dimension > 0.6 && a.dimension < 1.4,
+            "dimension = {}",
+            a.dimension
+        );
+    }
+
+    #[test]
+    fn paper_literal_estimator_reports_samples_and_max() {
+        let s = geo_line(16, 1.0);
+        // With a generous constant the literal estimator stays finite and
+        // below the fit + slack.
+        let lit = assouad_dimension(&s, 4.0, &[8.0, 16.0]);
+        assert_eq!(lit.samples.len(), 2);
+        assert!(lit.dimension >= 0.0);
+    }
+
+    #[test]
+    fn line_with_large_alpha_is_fading() {
+        // A = 1/alpha for a line: alpha = 3 gives A ~ 1/3 < 1.
+        let s = geo_line(24, 3.0);
+        let a = assouad_dimension_default(&s);
+        assert!(a.is_fading(), "dimension = {}", a.dimension);
+        assert!(a.dimension < 0.75, "dimension = {}", a.dimension);
+    }
+
+    #[test]
+    fn line_with_alpha_below_one_is_not_fading() {
+        let s = geo_line(30, 0.5);
+        let a = assouad_dimension_default(&s);
+        assert!(!a.is_fading(), "dimension = {}", a.dimension);
+    }
+
+    #[test]
+    fn grid_dimension_exceeds_line_dimension_at_same_alpha() {
+        let line = geo_line(25, 2.0);
+        let grid = geo_grid(5, 2.0);
+        let al = assouad_dimension_default(&line).dimension;
+        let ag = assouad_dimension_default(&grid).dimension;
+        assert!(ag > al, "grid {ag} should exceed line {al}");
+    }
+
+    #[test]
+    fn grid_alpha_3_is_fading_matching_alpha_gt_2_rule() {
+        let s = geo_grid(5, 3.0);
+        let a = assouad_dimension_default(&s);
+        assert!(a.is_fading(), "dimension = {}", a.dimension);
+    }
+
+    #[test]
+    fn quasi_dimension_matches_space_dimension_scaled_by_zeta() {
+        // For f = d^alpha on a line, quasi-metric is the line itself:
+        // quasi doubling dimension ~ 1 regardless of alpha.
+        let s = geo_line(20, 4.0);
+        let q = QuasiMetric::from_space(&s);
+        let as_space = q.to_decay_space(1.0);
+        let a = assouad_dimension_fit(&as_space, &DEFAULT_SCALES);
+        assert!(
+            a.dimension > 0.6 && a.dimension < 1.4,
+            "dimension = {}",
+            a.dimension
+        );
+    }
+
+    #[test]
+    fn samples_are_recorded() {
+        let s = geo_line(10, 2.0);
+        let a = assouad_dimension(&s, 1.0, &[2.0, 4.0]);
+        assert_eq!(a.samples.len(), 2);
+        assert_eq!(a.samples[0].0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packing scale must exceed 1")]
+    fn bad_scale_panics() {
+        let s = geo_line(4, 2.0);
+        assouad_dimension(&s, 1.0, &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assouad constant must be positive")]
+    fn bad_constant_panics() {
+        let s = geo_line(4, 2.0);
+        assouad_dimension(&s, 0.0, &[2.0]);
+    }
+}

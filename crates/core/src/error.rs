@@ -1,0 +1,162 @@
+//! Error types for decay-space construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising when constructing or validating a [`DecaySpace`].
+///
+/// [`DecaySpace`]: crate::DecaySpace
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecayError {
+    /// The matrix supplied to a constructor was not `n * n` entries long.
+    DimensionMismatch {
+        /// Number of nodes the space was declared with.
+        nodes: usize,
+        /// Number of matrix entries actually supplied.
+        entries: usize,
+    },
+    /// A decay value between two distinct nodes was zero.
+    ///
+    /// Decay spaces obey the *identity of indiscernibles*: `f(p, q) = 0`
+    /// if and only if `p = q` (paper, Definition 2.1).
+    ZeroOffDiagonal {
+        /// Source node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+    },
+    /// A decay value was negative.
+    NegativeDecay {
+        /// Source node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A decay value was NaN or infinite.
+    NonFiniteDecay {
+        /// Source node index.
+        from: usize,
+        /// Destination node index.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A diagonal entry (`f(p, p)`) was nonzero.
+    ///
+    /// The paper notes the value of `f(p, p)` is immaterial; we normalize it
+    /// to zero and reject anything else so that equality of nodes is
+    /// recoverable from the matrix alone.
+    NonZeroDiagonal {
+        /// The node index.
+        node: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The space has no nodes.
+    Empty,
+    /// A node index was out of range for this space.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of nodes in the space.
+        len: usize,
+    },
+    /// An exact (exponential-time) solver was asked to run on an instance
+    /// larger than its configured limit.
+    InstanceTooLarge {
+        /// Size of the instance.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DecayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecayError::DimensionMismatch { nodes, entries } => write!(
+                f,
+                "decay matrix for {nodes} nodes must have {} entries, got {entries}",
+                nodes * nodes
+            ),
+            DecayError::ZeroOffDiagonal { from, to } => write!(
+                f,
+                "decay between distinct nodes {from} and {to} must be positive"
+            ),
+            DecayError::NegativeDecay { from, to, value } => {
+                write!(f, "decay from {from} to {to} is negative ({value})")
+            }
+            DecayError::NonFiniteDecay { from, to, value } => {
+                write!(f, "decay from {from} to {to} is not finite ({value})")
+            }
+            DecayError::NonZeroDiagonal { node, value } => {
+                write!(f, "diagonal decay of node {node} must be zero, got {value}")
+            }
+            DecayError::Empty => write!(f, "decay space must contain at least one node"),
+            DecayError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for space of {len} nodes")
+            }
+            DecayError::InstanceTooLarge { size, limit } => write!(
+                f,
+                "instance of size {size} exceeds exact-solver limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for DecayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            DecayError::DimensionMismatch {
+                nodes: 3,
+                entries: 8,
+            }
+            .to_string(),
+            DecayError::ZeroOffDiagonal { from: 0, to: 1 }.to_string(),
+            DecayError::NegativeDecay {
+                from: 1,
+                to: 2,
+                value: -1.0,
+            }
+            .to_string(),
+            DecayError::NonFiniteDecay {
+                from: 1,
+                to: 2,
+                value: f64::NAN,
+            }
+            .to_string(),
+            DecayError::NonZeroDiagonal {
+                node: 0,
+                value: 2.0,
+            }
+            .to_string(),
+            DecayError::Empty.to_string(),
+            DecayError::NodeOutOfRange { node: 9, len: 3 }.to_string(),
+            DecayError::InstanceTooLarge {
+                size: 100,
+                limit: 32,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            let first = m.chars().next().unwrap();
+            assert!(first.is_lowercase(), "message should be lowercase: {m}");
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecayError>();
+    }
+}

@@ -1,0 +1,117 @@
+//! Bounded-growth decay spaces (Section 4.1).
+//!
+//! The paper defines a decay space to be *bounded-growth* when it has
+//! bounded independence dimension **and** its quasi-distance metric has
+//! bounded doubling dimension — the exact precondition of Theorem 4
+//! (amicability) and Theorem 5 (Algorithm 1's `ζ^{O(1)}` approximation).
+//! The two dimensions are incomparable (Section 4.1 gives the uniform
+//! metric and Welzl's construction as separating examples), so both must
+//! be checked.
+
+use crate::dimension::{quasi_doubling_dimension, AssouadDimension};
+use crate::independence::{independence_dimension, Independence};
+use crate::metricity::metricity;
+use crate::quasi::QuasiMetric;
+use crate::space::DecaySpace;
+
+/// The combined growth profile of a decay space: both quantities the
+/// paper's bounded-growth definition constrains, plus the metricity used
+/// to induce the quasi-metric.
+#[derive(Debug, Clone)]
+pub struct GrowthProfile {
+    /// The metricity `ζ` used for the quasi-metric.
+    pub zeta: f64,
+    /// The independence dimension `D` (Definition 4.1).
+    pub independence: Independence,
+    /// The fitted doubling (Assouad) dimension `A'` of the quasi-metric.
+    pub doubling: AssouadDimension,
+}
+
+impl GrowthProfile {
+    /// Whether the space passes the bounded-growth test at the given caps.
+    ///
+    /// There is no canonical constant in the paper ("bounded" is an
+    /// asymptotic notion); callers supply the caps. Planar geometric
+    /// instances satisfy `is_bounded(6, 2.1)` — independence dimension at
+    /// most the planar guard count, doubling dimension essentially 2.
+    pub fn is_bounded(&self, max_independence: usize, max_doubling: f64) -> bool {
+        self.independence.dimension() <= max_independence
+            && self.doubling.dimension <= max_doubling
+    }
+
+    /// The `O(D · ζ² · 2^{A'})` amicability bound of Theorem 4 evaluated
+    /// on this profile (constant factor 1).
+    pub fn theorem4_amicability_bound(&self) -> f64 {
+        self.independence.dimension() as f64
+            * self.zeta.max(1.0).powi(2)
+            * 2.0_f64.powf(self.doubling.dimension)
+    }
+}
+
+/// Computes the growth profile of a space: metricity, independence
+/// dimension, and the doubling dimension of the induced quasi-metric
+/// fitted at the given scales ([`crate::DEFAULT_SCALES`] is a reasonable
+/// default).
+pub fn growth_profile(space: &DecaySpace, scales: &[f64]) -> GrowthProfile {
+    let zeta = metricity(space).zeta_at_least_one();
+    let quasi = QuasiMetric::from_space_with_exponent(space, zeta);
+    GrowthProfile {
+        zeta,
+        independence: independence_dimension(space),
+        doubling: quasi_doubling_dimension(&quasi, scales),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::DEFAULT_SCALES;
+
+    fn geometric_line(n: usize, alpha: f64) -> DecaySpace {
+        DecaySpace::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powf(alpha)).unwrap()
+    }
+
+    #[test]
+    fn geometric_line_is_bounded_growth() {
+        let space = geometric_line(12, 3.0);
+        let profile = growth_profile(&space, &DEFAULT_SCALES);
+        // A line: independence dimension at most the planar bound,
+        // doubling dimension about 1.
+        assert!(profile.is_bounded(6, 1.7), "{profile:?}");
+        assert!((profile.zeta - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_space_fails_the_doubling_side() {
+        // All decays equal: independence dimension 1, but a ball of any
+        // radius above the common decay holds everyone — packings of n
+        // points at every scale, so the estimated doubling dimension grows
+        // with n while a line's stays constant.
+        let uniform =
+            growth_profile(&DecaySpace::from_fn(48, |_, _| 1.0).unwrap(), &DEFAULT_SCALES);
+        let line = growth_profile(&geometric_line(48, 2.0), &DEFAULT_SCALES);
+        assert_eq!(uniform.independence.dimension(), 1, "{uniform:?}");
+        assert!(
+            uniform.doubling.dimension > line.doubling.dimension,
+            "uniform {} vs line {}",
+            uniform.doubling.dimension,
+            line.doubling.dimension
+        );
+        assert!(
+            !uniform.is_bounded(6, line.doubling.dimension),
+            "uniform metric must fail the doubling cap a line satisfies"
+        );
+    }
+
+    #[test]
+    fn theorem4_bound_grows_with_zeta() {
+        let shallow = growth_profile(&geometric_line(10, 2.0), &DEFAULT_SCALES);
+        let steep = growth_profile(&geometric_line(10, 5.0), &DEFAULT_SCALES);
+        assert!(
+            steep.theorem4_amicability_bound() > shallow.theorem4_amicability_bound(),
+            "{} vs {}",
+            steep.theorem4_amicability_bound(),
+            shallow.theorem4_amicability_bound()
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! Independence dimension and guard sets (Definition 4.1, Welzl [63]).
+//!
+//! A set `I` of points is *independent with respect to* a point `x` when
+//! every member of `I` sees `x` closer (in decay) than any other member of
+//! `I`: for all distinct `y, z ∈ I`, `f(y, z) > f(x, z)`. The independence
+//! dimension of the space is the size of the largest independent set over
+//! all anchors `x`. In the Euclidean plane it equals the maximum number of
+//! unit vectors with pairwise angles above 60° (five; at most the kissing
+//! number six), and the uniform metric has independence dimension 1.
+//! Bounded independence dimension is half of the "bounded growth" condition
+//! enabling Theorem 4 and Algorithm 1.
+//!
+//! Ties ("exactly as close as `x`") are resolved by a [`Strictness`]
+//! parameter: [`Strictness::Strict`] matches the paper's uniform-metric
+//! example and Welzl's "more than 60°" characterization and is the default
+//! everywhere; [`Strictness::NonStrict`] admits touching configurations
+//! (hexagon/kissing arrangements) and is provided for boundary studies.
+//!
+//! Spaces of independence dimension `D` admit *guard sets*: for every point
+//! `x` there are at most `D` points `J_x` such that every other point `z`
+//! has some guard `y ∈ J_x` with `d(z, y) ≤ d(z, x)`.
+
+use crate::space::{DecaySpace, NodeId};
+
+/// Maximum anchor-neighborhood size for the exact (exponential) solver.
+pub const EXACT_INDEPENDENCE_LIMIT: usize = 40;
+
+/// Tie handling for the independence predicate; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strictness {
+    /// Members must be strictly farther from each other than from the
+    /// anchor (`f(y, z) > f(x, z)`). The paper's convention.
+    #[default]
+    Strict,
+    /// Ties allowed (`f(y, z) ≥ f(x, z)`); admits kissing configurations.
+    NonStrict,
+}
+
+impl Strictness {
+    /// Relative tolerance for tie detection: geometric constructions
+    /// (hexagons, kissing configurations) produce decays equal only up to
+    /// floating-point rounding, and the predicate must classify them as
+    /// ties under either rule.
+    const TIE_EPS: f64 = 1e-9;
+
+    fn ok(self, pair: f64, anchor: f64) -> bool {
+        match self {
+            Strictness::Strict => pair > anchor * (1.0 + Self::TIE_EPS),
+            Strictness::NonStrict => pair >= anchor * (1.0 - Self::TIE_EPS),
+        }
+    }
+}
+
+/// Whether `set` is independent with respect to anchor `x`
+/// (Definition 4.1) under the given tie rule.
+///
+/// The anchor must not be a member of `set`.
+pub fn is_independent_wrt_with(
+    space: &DecaySpace,
+    set: &[NodeId],
+    x: NodeId,
+    strictness: Strictness,
+) -> bool {
+    debug_assert!(!set.contains(&x));
+    for &z in set {
+        let fxz = space.decay(x, z);
+        for &y in set {
+            if y != z && !strictness.ok(space.decay(y, z), fxz) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// [`is_independent_wrt_with`] under the default strict rule.
+pub fn is_independent_wrt(space: &DecaySpace, set: &[NodeId], x: NodeId) -> bool {
+    is_independent_wrt_with(space, set, x, Strictness::Strict)
+}
+
+/// Result of an independence-dimension computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Independence {
+    /// The anchor point `x` realizing the dimension.
+    pub anchor: NodeId,
+    /// The independent set found (never contains the anchor).
+    pub set: Vec<NodeId>,
+    /// Whether the value is exact or a greedy lower bound.
+    pub exact: bool,
+}
+
+impl Independence {
+    /// The independence dimension realized: `|set|`.
+    pub fn dimension(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// Computes the largest set independent with respect to the given anchor.
+///
+/// Pairwise independence is symmetric in `{y, z}` (both orders are
+/// required), so independent sets w.r.t. `x` are exactly the cliques of a
+/// compatibility graph; we search for a maximum clique exactly when the
+/// candidate count is at most [`EXACT_INDEPENDENCE_LIMIT`], greedily
+/// otherwise.
+pub fn independence_at_with(
+    space: &DecaySpace,
+    x: NodeId,
+    strictness: Strictness,
+) -> Independence {
+    let candidates: Vec<NodeId> = space.nodes().filter(|&v| v != x).collect();
+    let m = candidates.len();
+    let compatible = |y: NodeId, z: NodeId| {
+        strictness.ok(space.decay(y, z), space.decay(x, z))
+            && strictness.ok(space.decay(z, y), space.decay(x, y))
+    };
+    if m <= EXACT_INDEPENDENCE_LIMIT {
+        // Maximum clique = maximum independent set in the complement.
+        let mut adj = vec![0_u64; m];
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if !compatible(candidates[i], candidates[j]) {
+                    adj[i] |= 1 << j;
+                    adj[j] |= 1 << i;
+                }
+            }
+        }
+        let clique = complement_mis(&adj);
+        Independence {
+            anchor: x,
+            set: clique.into_iter().map(|i| candidates[i]).collect(),
+            exact: true,
+        }
+    } else {
+        // Greedy clique: closest-to-anchor first (they constrain least).
+        let mut order = candidates.clone();
+        order.sort_by(|&a, &b| {
+            space
+                .decay(x, a)
+                .partial_cmp(&space.decay(x, b))
+                .unwrap()
+        });
+        let mut set: Vec<NodeId> = Vec::new();
+        for v in order {
+            if set.iter().all(|&u| compatible(u, v)) {
+                set.push(v);
+            }
+        }
+        Independence {
+            anchor: x,
+            set,
+            exact: false,
+        }
+    }
+}
+
+/// [`independence_at_with`] under the default strict rule.
+pub fn independence_at(space: &DecaySpace, x: NodeId) -> Independence {
+    independence_at_with(space, x, Strictness::Strict)
+}
+
+/// Maximum independent set on a "conflict" bitmask graph — i.e. maximum
+/// clique of the complement of `adj`. Branch and bound with cardinality
+/// pruning.
+fn complement_mis(adj: &[u64]) -> Vec<usize> {
+    let m = adj.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let full: u64 = if m == 64 { !0 } else { (1 << m) - 1 };
+    let mut best: u64 = 0;
+
+    fn recurse(adj: &[u64], candidates: u64, current: u64, best: &mut u64) {
+        if current.count_ones() + candidates.count_ones() <= best.count_ones() {
+            return;
+        }
+        if candidates == 0 {
+            if current.count_ones() > best.count_ones() {
+                *best = current;
+            }
+            return;
+        }
+        let v = candidates.trailing_zeros() as usize;
+        let bit = 1_u64 << v;
+        recurse(adj, candidates & !bit & !adj[v], current | bit, best);
+        recurse(adj, candidates & !bit, current, best);
+    }
+
+    recurse(adj, full, 0, &mut best);
+    (0..m).filter(|&i| best & (1 << i) != 0).collect()
+}
+
+/// Computes the independence dimension of the space: the best
+/// [`independence_at_with`] over all anchors.
+pub fn independence_dimension_with(space: &DecaySpace, strictness: Strictness) -> Independence {
+    space
+        .nodes()
+        .map(|x| independence_at_with(space, x, strictness))
+        .max_by_key(|ind| ind.dimension())
+        .expect("decay spaces are non-empty")
+}
+
+/// [`independence_dimension_with`] under the default strict rule.
+pub fn independence_dimension(space: &DecaySpace) -> Independence {
+    independence_dimension_with(space, Strictness::Strict)
+}
+
+/// Whether `guards` is a guard set for `x`: every node `z ∉ guards ∪ {x}`
+/// has some guard `y` with `f(z, y) ≤ f(z, x)` (equivalently
+/// `d(z, y) ≤ d(z, x)`; the quasi-distance transform is monotone).
+pub fn is_guard_set(space: &DecaySpace, x: NodeId, guards: &[NodeId]) -> bool {
+    for z in space.nodes() {
+        if z == x || guards.contains(&z) {
+            continue;
+        }
+        let fzx = space.decay(z, x);
+        if !guards.iter().any(|&y| space.decay(z, y) <= fzx) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedily computes a guard set for `x`: repeatedly adopt the unguarded
+/// node nearest to `x` as a new guard (it guards itself, so the process
+/// terminates in at most `n - 1` steps).
+///
+/// In spaces of independence dimension `D` a guard set of size `≤ D`
+/// exists (Welzl); the greedy result matches that bound on the structured
+/// spaces used in the paper (e.g. 6 sector-guards in the plane) but is not
+/// guaranteed minimum in general.
+pub fn guard_set(space: &DecaySpace, x: NodeId) -> Vec<NodeId> {
+    let mut guards: Vec<NodeId> = Vec::new();
+    loop {
+        let mut nearest: Option<NodeId> = None;
+        for z in space.nodes() {
+            if z == x || guards.contains(&z) {
+                continue;
+            }
+            let fzx = space.decay(z, x);
+            let guarded = guards.iter().any(|&y| space.decay(z, y) <= fzx);
+            if !guarded {
+                let better = match nearest {
+                    None => true,
+                    Some(w) => space.decay(z, x) < space.decay(w, x),
+                };
+                if better {
+                    nearest = Some(z);
+                }
+            }
+        }
+        match nearest {
+            Some(z) => guards.push(z),
+            None => return guards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Planar geometric decay space: f = euclidean distance ^ alpha.
+    fn planar(points: &[(f64, f64)], alpha: f64) -> DecaySpace {
+        DecaySpace::from_fn(points.len(), |i, j| {
+            let (xi, yi) = points[i];
+            let (xj, yj) = points[j];
+            ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().powf(alpha)
+        })
+        .unwrap()
+    }
+
+    /// Regular k-gon of radius 1 around the origin, origin included as
+    /// node 0.
+    fn wheel(k: usize) -> Vec<(f64, f64)> {
+        let mut pts = vec![(0.0, 0.0)];
+        for i in 0..k {
+            let th = 2.0 * std::f64::consts::PI * (i as f64) / (k as f64);
+            pts.push((th.cos(), th.sin()));
+        }
+        pts
+    }
+
+    #[test]
+    fn pentagon_is_strictly_independent_wrt_center() {
+        let s = planar(&wheel(5), 2.0);
+        let set: Vec<NodeId> = (1..=5).map(NodeId::new).collect();
+        // Adjacent pentagon vertices at distance 2 sin 36° ≈ 1.18 > 1.
+        assert!(is_independent_wrt(&s, &set, NodeId::new(0)));
+    }
+
+    #[test]
+    fn hexagon_is_independent_only_non_strictly() {
+        let s = planar(&wheel(6), 2.0);
+        let set: Vec<NodeId> = (1..=6).map(NodeId::new).collect();
+        // Adjacent hexagon vertices at distance exactly 1 = radius.
+        assert!(!is_independent_wrt(&s, &set, NodeId::new(0)));
+        assert!(is_independent_wrt_with(
+            &s,
+            &set,
+            NodeId::new(0),
+            Strictness::NonStrict
+        ));
+    }
+
+    #[test]
+    fn plane_independence_dimension_five_strict_six_kissing() {
+        let s5 = planar(&wheel(5), 2.0);
+        let ind = independence_at(&s5, NodeId::new(0));
+        assert!(ind.exact);
+        assert_eq!(ind.dimension(), 5);
+
+        let s6 = planar(&wheel(6), 2.0);
+        let kissing = independence_at_with(&s6, NodeId::new(0), Strictness::NonStrict);
+        assert_eq!(kissing.dimension(), 6);
+        // Strictly, the hexagon only admits alternating vertices.
+        let strict = independence_at(&s6, NodeId::new(0));
+        assert_eq!(strict.dimension(), 3);
+    }
+
+    #[test]
+    fn uniform_metric_has_independence_dimension_one() {
+        // The paper's example: all decays equal -> independence dimension 1.
+        let s = DecaySpace::from_fn(5, |_, _| 1.0).unwrap();
+        let ind = independence_dimension(&s);
+        assert_eq!(ind.dimension(), 1);
+    }
+
+    #[test]
+    fn independence_dimension_scans_anchors() {
+        let s = planar(&wheel(5), 2.0);
+        let ind = independence_dimension(&s);
+        assert!(ind.dimension() >= 5);
+        assert!(is_independent_wrt(&s, &ind.set, ind.anchor));
+    }
+
+    #[test]
+    fn welzl_construction_has_unbounded_independence() {
+        // V = {v_{-1}, v_0, ..., v_n} with d(v_{-1}, v_i) = 2^i - eps and
+        // d(v_j, v_i) = 2^i for j < i (symmetric); doubling dimension 1 but
+        // all of V \ {v_{-1}} independent w.r.t. v_{-1}.
+        let n = 8usize;
+        let eps = 0.25;
+        let s = DecaySpace::from_fn(n + 2, |a, b| {
+            // Node 0 plays v_{-1}; node k+1 plays v_k.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let i = hi - 1; // index of the larger-labelled v_i
+            if lo == 0 {
+                2.0_f64.powi(i as i32) - eps
+            } else {
+                2.0_f64.powi(i as i32)
+            }
+        })
+        .unwrap();
+        let set: Vec<NodeId> = (1..=(n + 1)).map(NodeId::new).collect();
+        assert!(is_independent_wrt(&s, &set, NodeId::new(0)));
+        let ind = independence_at(&s, NodeId::new(0));
+        assert_eq!(ind.dimension(), n + 1);
+    }
+
+    #[test]
+    fn guard_set_covers_everyone() {
+        let s = planar(&wheel(6), 2.0);
+        for x in s.nodes() {
+            let guards = guard_set(&s, x);
+            assert!(is_guard_set(&s, x, &guards), "bad guard set for {x}");
+            assert!(guards.len() <= 6, "guards for {x}: {}", guards.len());
+        }
+    }
+
+    #[test]
+    fn guard_set_on_line_is_small() {
+        // On a line, two guards (one each side) always suffice.
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.0)).collect();
+        let s = planar(&pts, 3.0);
+        let x = NodeId::new(4);
+        let guards = guard_set(&s, x);
+        assert!(is_guard_set(&s, x, &guards));
+        assert!(guards.len() <= 2, "guards: {guards:?}");
+    }
+
+    #[test]
+    fn singleton_guard_for_two_node_space() {
+        let s = DecaySpace::from_matrix(2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let guards = guard_set(&s, NodeId::new(0));
+        // Node 1 must be guarded; it guards itself.
+        assert_eq!(guards, vec![NodeId::new(1)]);
+    }
+}

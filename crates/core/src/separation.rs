@@ -1,0 +1,107 @@
+//! Separation predicates on node sets (Definition 3.1 and Section 2.4).
+//!
+//! A set of nodes is `r`-separated when all pairwise decays are at least
+//! `r`; for asymmetric spaces we require it of the smaller direction
+//! ([`DecaySpace::pair_min`]), so an `r`-separated set is an `(r/2)`-packing
+//! as used in Theorem 2 (see DESIGN.md reading note 4).
+
+use crate::space::{DecaySpace, NodeId};
+
+/// Whether every pair of distinct nodes in `set` has pairwise decay `≥ r`.
+pub fn is_separated(space: &DecaySpace, set: &[NodeId], r: f64) -> bool {
+    for (k, &a) in set.iter().enumerate() {
+        for &b in &set[k + 1..] {
+            if space.pair_min(a, b) < r {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The smallest pairwise decay within `set` (`+∞` for sets of size < 2);
+/// the largest `r` for which the set is `r`-separated.
+pub fn min_pairwise_decay(space: &DecaySpace, set: &[NodeId]) -> f64 {
+    let mut m = f64::INFINITY;
+    for (k, &a) in set.iter().enumerate() {
+        for &b in &set[k + 1..] {
+            m = m.min(space.pair_min(a, b));
+        }
+    }
+    m
+}
+
+/// Greedily extracts a maximal `r`-separated subset of `candidates`,
+/// scanning in the given order.
+///
+/// The result is maximal (no remaining candidate can be added) but not
+/// necessarily maximum.
+pub fn greedy_separated_subset(
+    space: &DecaySpace,
+    candidates: &[NodeId],
+    r: f64,
+) -> Vec<NodeId> {
+    let mut picked: Vec<NodeId> = Vec::new();
+    for &v in candidates {
+        if picked.iter().all(|&u| space.pair_min(u, v) >= r) {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> DecaySpace {
+        DecaySpace::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs()).unwrap()
+    }
+
+    #[test]
+    fn separation_predicate() {
+        let s = line(6);
+        let set = [NodeId::new(0), NodeId::new(3), NodeId::new(5)];
+        assert!(is_separated(&s, &set, 2.0));
+        assert!(!is_separated(&s, &set, 2.5));
+    }
+
+    #[test]
+    fn min_pairwise() {
+        let s = line(6);
+        let set = [NodeId::new(0), NodeId::new(3), NodeId::new(5)];
+        assert_eq!(min_pairwise_decay(&s, &set), 2.0);
+        assert_eq!(min_pairwise_decay(&s, &[NodeId::new(1)]), f64::INFINITY);
+        assert_eq!(min_pairwise_decay(&s, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn greedy_subset_is_separated_and_maximal() {
+        let s = line(10);
+        let all: Vec<NodeId> = s.nodes().collect();
+        let picked = greedy_separated_subset(&s, &all, 3.0);
+        assert!(is_separated(&s, &picked, 3.0));
+        // Maximality: every unpicked node conflicts with some picked one.
+        for v in s.nodes() {
+            if !picked.contains(&v) {
+                assert!(picked.iter().any(|&u| s.pair_min(u, v) < 3.0));
+            }
+        }
+        assert_eq!(picked, vec![NodeId::new(0), NodeId::new(3), NodeId::new(6), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn asymmetric_uses_pair_min() {
+        let s = DecaySpace::from_matrix(
+            2,
+            vec![
+                0.0, 10.0, //
+                1.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let set = [NodeId::new(0), NodeId::new(1)];
+        assert!(is_separated(&s, &set, 1.0));
+        assert!(!is_separated(&s, &set, 2.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Numeric helpers shared across the crate: bisection root finding,
+//! approximate comparison, and the truncated Riemann zeta function used by
+//! the annulus argument (Theorem 2).
+
+/// Default relative tolerance for scalar root finding.
+pub const ROOT_TOL: f64 = 1e-13;
+
+/// Finds the root of a strictly decreasing function `h` on `(0, hi]` with
+/// `h(0+) > 0 > h(inf)`, by exponential bracketing followed by bisection.
+///
+/// Returns the abscissa `t` with `|h(t)|` below tolerance (or the midpoint of
+/// the final bracket). The caller guarantees monotonicity; no check is made.
+///
+/// # Panics
+///
+/// Panics if a bracket cannot be established within 2^100 growth, which for
+/// the functions used in this crate would indicate a logic error upstream.
+pub fn bisect_decreasing<F: Fn(f64) -> f64>(h: F, mut hi: f64) -> f64 {
+    debug_assert!(hi > 0.0);
+    let mut lo = 0.0_f64;
+    let mut grow = 0;
+    while h(hi) > 0.0 {
+        lo = hi;
+        hi *= 2.0;
+        grow += 1;
+        assert!(grow < 100, "failed to bracket root of decreasing function");
+    }
+    // Invariant: h(lo) > 0 >= h(hi).
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // no representable point strictly inside
+        }
+        if h(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= ROOT_TOL * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Returns true when `a` and `b` agree to within relative tolerance `tol`
+/// (absolute tolerance near zero).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// The Riemann zeta function `ζ̂(x) = Σ_{n≥1} n^{-x}` for `x > 1`.
+///
+/// Computed by a partial sum with an Euler–Maclaurin tail correction,
+/// accurate to well below `1e-10` for `x ≥ 1.05` with `N = 10_000`.
+///
+/// This appears in the fading bound of Theorem 2:
+/// `γ ≤ C·2^{A+1}·(ζ̂(2−A) − 1)`.
+///
+/// # Panics
+///
+/// Panics if `x <= 1` (the series diverges).
+pub fn riemann_zeta(x: f64) -> f64 {
+    assert!(x > 1.0, "riemann zeta diverges for x <= 1 (got {x})");
+    let n = 10_000_u64;
+    let mut sum = 0.0;
+    // Sum smallest terms first for floating-point accuracy.
+    for k in (1..=n).rev() {
+        sum += (k as f64).powf(-x);
+    }
+    let nf = n as f64;
+    // Euler–Maclaurin: zeta(x) = sum_{1..N} + N^{1-x}/(x-1) - N^{-x}/2
+    //                            + x N^{-x-1}/12 - ...
+    let tail = nf.powf(1.0 - x) / (x - 1.0) - 0.5 * nf.powf(-x) + x / 12.0 * nf.powf(-x - 1.0);
+    sum + tail
+}
+
+/// Base-2 logarithm, the `lg` of the paper.
+pub fn lg(x: f64) -> f64 {
+    x.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_simple_root() {
+        // h(t) = 1 - t, root at t = 1.
+        let r = bisect_decreasing(|t| 1.0 - t, 0.5);
+        assert!(approx_eq(r, 1.0, 1e-10), "got {r}");
+    }
+
+    #[test]
+    fn bisect_finds_exponential_root() {
+        // h(t) = 0.5^t + 0.25^t - 1 has root at t = 1 (0.5 + 0.25 != 1)...
+        // actually solve 0.5^t + 0.5^t = 1 -> 2 * 0.5^t = 1 -> t = 1.
+        let r = bisect_decreasing(|t| 2.0 * 0.5_f64.powf(t) - 1.0, 0.1);
+        assert!(approx_eq(r, 1.0, 1e-10), "got {r}");
+    }
+
+    #[test]
+    fn zeta_two_matches_pi_squared_over_six() {
+        let expected = std::f64::consts::PI * std::f64::consts::PI / 6.0;
+        assert!(
+            (riemann_zeta(2.0) - expected).abs() < 1e-10,
+            "zeta(2) = {}",
+            riemann_zeta(2.0)
+        );
+    }
+
+    #[test]
+    fn zeta_four_matches_pi_fourth_over_ninety() {
+        let pi = std::f64::consts::PI;
+        let expected = pi.powi(4) / 90.0;
+        assert!((riemann_zeta(4.0) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zeta_near_one_is_large() {
+        assert!(riemann_zeta(1.05) > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges")]
+    fn zeta_at_one_panics() {
+        riemann_zeta(1.0);
+    }
+
+    #[test]
+    fn approx_eq_handles_scales() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 2.0, 1e-9));
+        assert!(approx_eq(0.0, 1e-15, 1e-9));
+    }
+
+    #[test]
+    fn lg_is_base_two() {
+        assert_eq!(lg(8.0), 3.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for decay-core invariants.
+
+use decay_core::{
+    assouad_dimension_fit, fading_value, greedy_separated_subset, guard_set, is_guard_set,
+    is_packing, is_separated, metricity, metricity_sampled, packing_number, phi_metricity,
+    triangle_violation_at, zeta_upper_bound, DecaySpace, NodeId, QuasiMetric, Symmetrization,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random decay space on `n` nodes with decays in [lo, hi].
+fn arb_space(n: usize) -> impl Strategy<Value = DecaySpace> {
+    prop::collection::vec(0.1f64..100.0, n * n).prop_map(move |mut m| {
+        for i in 0..n {
+            m[i * n + i] = 0.0;
+        }
+        DecaySpace::from_matrix(n, m).expect("entries are positive off-diagonal")
+    })
+}
+
+/// Strategy: a random symmetric decay space.
+fn arb_symmetric_space(n: usize) -> impl Strategy<Value = DecaySpace> {
+    arb_space(n).prop_map(|s| s.symmetrized(Symmetrization::Mean))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zeta_induces_triangle_inequality(s in arb_space(6)) {
+        let m = metricity(&s);
+        if m.zeta > 0.0 {
+            // At the computed metricity the exponentiated decays satisfy
+            // the triangle inequality (Definition 2.2)...
+            prop_assert!(triangle_violation_at(&s, m.zeta) <= 1e-9);
+            // ...and slightly below it they do not (minimality), unless no
+            // triple binds at all.
+            prop_assert!(triangle_violation_at(&s, m.zeta * 0.98) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zeta_below_apriori_bound(s in arb_space(6)) {
+        let m = metricity(&s);
+        prop_assert!(m.zeta <= zeta_upper_bound(&s) + 1e-9);
+    }
+
+    #[test]
+    fn phi_at_most_zeta(s in arb_space(6)) {
+        // Section 4.2: varphi <= 2^zeta (so phi <= zeta).
+        let m = metricity(&s);
+        let p = phi_metricity(&s);
+        prop_assert!(p.varphi <= 2f64.powf(m.zeta) * (1.0 + 1e-9),
+            "varphi={} zeta={}", p.varphi, m.zeta);
+    }
+
+    #[test]
+    fn sampled_never_exceeds_exact(s in arb_space(7), seed in 0u64..1000) {
+        let exact = metricity(&s).zeta;
+        let sampled = metricity_sampled(&s, 300, seed).zeta;
+        prop_assert!(sampled <= exact + 1e-9);
+    }
+
+    #[test]
+    fn quasi_metric_triangle_holds(s in arb_space(6)) {
+        let q = QuasiMetric::from_space(&s);
+        prop_assert!(q.triangle_violation() <= 1e-9);
+    }
+
+    #[test]
+    fn symmetrization_yields_metric_quasi(s in arb_space(5)) {
+        let sym = s.symmetrized(Symmetrization::GeometricMean);
+        prop_assert!(sym.is_symmetric(1e-12));
+        let q = QuasiMetric::from_space(&sym);
+        prop_assert!(q.is_metric(1e-9));
+    }
+
+    #[test]
+    fn restriction_cannot_increase_zeta(s in arb_space(7)) {
+        let sub: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let r = s.restrict(&sub).expect("valid restriction");
+        prop_assert!(metricity(&r).zeta <= metricity(&s).zeta + 1e-9);
+    }
+
+    #[test]
+    fn packing_number_returns_valid_packing(s in arb_space(8), t in 0.5f64..30.0) {
+        let body: Vec<NodeId> = s.nodes().collect();
+        let p = packing_number(&s, &body, t);
+        prop_assert!(is_packing(&s, &p.nodes, t));
+    }
+
+    #[test]
+    fn greedy_separated_subset_is_valid(s in arb_space(8), r in 0.5f64..50.0) {
+        let all: Vec<NodeId> = s.nodes().collect();
+        let sub = greedy_separated_subset(&s, &all, r);
+        prop_assert!(is_separated(&s, &sub, r));
+        // Maximality.
+        for v in s.nodes() {
+            if !sub.contains(&v) {
+                prop_assert!(sub.iter().any(|&u| s.pair_min(u, v) < r));
+            }
+        }
+    }
+
+    #[test]
+    fn fading_senders_are_separated(s in arb_space(8), r in 0.5f64..20.0) {
+        let fv = fading_value(&s, NodeId::new(0), r);
+        prop_assert!(is_separated(&s, &fv.senders, r));
+        for &x in &fv.senders {
+            prop_assert!(s.pair_min(x, NodeId::new(0)) >= r);
+        }
+        prop_assert!(fv.value >= 0.0);
+    }
+
+    #[test]
+    fn guard_sets_always_guard(s in arb_space(7)) {
+        for x in s.nodes() {
+            let g = guard_set(&s, x);
+            prop_assert!(is_guard_set(&s, x, &g));
+        }
+    }
+
+    #[test]
+    fn assouad_fit_nonnegative(s in arb_symmetric_space(7)) {
+        let a = assouad_dimension_fit(&s, &[2.0, 4.0]);
+        prop_assert!(a.dimension >= 0.0);
+        prop_assert!(a.constant > 0.0);
+    }
+
+    #[test]
+    fn scaling_preserves_zeta(s in arb_space(6), scale in 0.1f64..10.0) {
+        // Metricity is scale-invariant: f and c*f have identical binding
+        // ratios.
+        let m1 = metricity(&s).zeta;
+        let m2 = metricity(&s.scaled(scale)).zeta;
+        prop_assert!((m1 - m2).abs() <= 1e-6 * m1.max(1.0));
+    }
+
+    #[test]
+    fn powering_multiplies_zeta(s in arb_space(6), k in 1.0f64..3.0) {
+        // f^k has metricity k * zeta(f): the binding triples are identical.
+        let m1 = metricity(&s).zeta;
+        let m2 = metricity(&s.powered(k)).zeta;
+        prop_assert!((m2 - k * m1).abs() <= 1e-6 * (k * m1).max(1.0),
+            "zeta(f^{k}) = {m2}, k*zeta = {}", k * m1);
+    }
+}

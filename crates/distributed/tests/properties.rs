@@ -1,0 +1,109 @@
+//! Property tests: the distributed protocols keep their invariants on
+//! arbitrary premetric decay spaces, not just geometric ones.
+
+use decay_core::{DecaySpace, NodeId};
+use decay_distributed::{
+    adversarial_regret_game, run_contention, AdversarialConfig, AvailabilityModel,
+    ContentionConfig, ContentionStrategy, JammingModel,
+};
+use decay_sinr::{AffectanceMatrix, Link, LinkId, LinkSet, PowerAssignment, SinrParams};
+use proptest::prelude::*;
+
+/// Random premetric with m links over 2m nodes.
+fn arb_aff(m: usize) -> impl Strategy<Value = AffectanceMatrix> {
+    prop::collection::vec(0.2f64..50.0, (2 * m) * (2 * m)).prop_map(move |mut vals| {
+        let n = 2 * m;
+        for i in 0..n {
+            vals[i * n + i] = 0.0;
+        }
+        let space = DecaySpace::from_matrix(n, vals).expect("positive off-diagonal");
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let links = LinkSet::new(&space, links).expect("valid links");
+        let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+        AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn contention_delivers_only_viable_links(aff in arb_aff(5), seed in 0u64..100) {
+        let report = run_contention(&aff, &ContentionConfig {
+            strategy: ContentionStrategy::Fixed { p: 0.2 },
+            max_slots: 5_000,
+            seed,
+        });
+        for (i, slot) in report.delivered_slot.iter().enumerate() {
+            if slot.is_some() {
+                prop_assert!(aff.noise_factor(LinkId::new(i)).is_finite());
+                prop_assert!(slot.unwrap() < report.slots_used.max(1));
+            }
+        }
+        if let Some(makespan) = report.makespan() {
+            prop_assert!(makespan < report.slots_used.max(1));
+        }
+    }
+
+    #[test]
+    fn contention_backoff_probability_strategies_agree_on_viability(
+        aff in arb_aff(4),
+        seed in 0u64..50,
+    ) {
+        let fixed = run_contention(&aff, &ContentionConfig {
+            strategy: ContentionStrategy::Fixed { p: 0.3 },
+            max_slots: 10_000,
+            seed,
+        });
+        let backoff = run_contention(&aff, &ContentionConfig {
+            strategy: ContentionStrategy::Backoff {
+                start: 0.5, down: 0.5, up: 1.02, floor: 0.01,
+            },
+            max_slots: 10_000,
+            seed,
+        });
+        // Viability is a property of the instance, not the strategy.
+        prop_assert_eq!(fixed.all_delivered, backoff.all_delivered);
+    }
+
+    #[test]
+    fn adversarial_best_feasible_is_feasible(
+        aff in arb_aff(5),
+        round_prob in 0.0f64..0.5,
+        avail in 0.3f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let out = adversarial_regret_game(&aff, &AdversarialConfig {
+            rounds: 300,
+            jamming: JammingModel::Random { round_prob, link_prob: 0.5 },
+            availability: AvailabilityModel::Random { prob: avail },
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(aff.is_feasible(&out.best_feasible));
+        prop_assert_eq!(out.success_history.len(), 300);
+        for (i, &rate) in out.availability_rate.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&rate), "link {i} rate {rate}");
+            let cs = out.conditional_success[i];
+            prop_assert!((0.0..=1.0).contains(&cs), "link {i} cs {cs}");
+        }
+    }
+
+    #[test]
+    fn round_robin_availability_is_exact(aff in arb_aff(4), groups in 1usize..4) {
+        let rounds = 600;
+        let out = adversarial_regret_game(&aff, &AdversarialConfig {
+            rounds,
+            availability: AvailabilityModel::RoundRobin { groups },
+            ..Default::default()
+        });
+        for (i, &rate) in out.availability_rate.iter().enumerate() {
+            let expected = (rounds / groups
+                + usize::from(rounds % groups > i % groups)) as f64
+                / rounds as f64;
+            prop_assert!((rate - expected).abs() < 1e-9, "link {i}: {rate} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the indoor simulator: geometric invariants,
+//! propagation monotonicity, and measurement fidelity.
+
+use decay_envsim::{
+    segments_intersect, Device, FloorPlan, MeasurementModel, Point2, PropagationModel, Segment,
+    Wall,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point2> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point(),
+    ) {
+        prop_assert_eq!(
+            segments_intersect(a, b, c, d),
+            segments_intersect(c, d, a, b)
+        );
+        // Orientation of either segment is irrelevant.
+        prop_assert_eq!(
+            segments_intersect(a, b, c, d),
+            segments_intersect(b, a, d, c)
+        );
+    }
+
+    #[test]
+    fn segment_intersects_itself_and_shares_endpoints(a in arb_point(), b in arb_point()) {
+        prop_assert!(segments_intersect(a, b, a, b));
+        prop_assert!(segments_intersect(a, b, b, a));
+    }
+
+    #[test]
+    fn adding_walls_never_decreases_path_loss(
+        a in arb_point(), b in arb_point(),
+        wx in 1.0f64..99.0,
+        loss in 0.0f64..20.0,
+    ) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let model = PropagationModel::free_space();
+        let devices = vec![Device::isotropic(a), Device::isotropic(b)];
+        let open = FloorPlan::new();
+        let mut blocked = FloorPlan::new();
+        blocked.add_wall(Wall::new(
+            Segment::new(Point2::new(wx, -10.0), Point2::new(wx, 110.0)),
+            loss,
+        ));
+        let pl_open = model.path_loss_db(&devices, 0, 1, &open);
+        let pl_blocked = model.path_loss_db(&devices, 0, 1, &blocked);
+        prop_assert!(pl_blocked >= pl_open - 1e-9);
+        prop_assert!(pl_blocked <= pl_open + loss + 1e-9);
+    }
+
+    #[test]
+    fn free_space_decay_is_monotone_in_distance(
+        d1 in 1.0f64..50.0,
+        extra in 1.0f64..50.0,
+    ) {
+        let model = PropagationModel::free_space();
+        let devices = vec![
+            Device::isotropic(Point2::new(0.0, 0.0)),
+            Device::isotropic(Point2::new(d1, 0.0)),
+            Device::isotropic(Point2::new(d1 + extra, 0.0)),
+        ];
+        let plan = FloorPlan::new();
+        let near = model.path_loss_db(&devices, 0, 1, &plan);
+        let far = model.path_loss_db(&devices, 0, 2, &plan);
+        prop_assert!(far >= near);
+    }
+
+    #[test]
+    fn measurement_error_is_bounded_by_noise_and_quantization(
+        seed in 0u64..200,
+        sigma in 0.0f64..3.0,
+    ) {
+        let model = PropagationModel::free_space();
+        let devices: Vec<Device> = (0..5)
+            .map(|i| Device::isotropic(Point2::new(4.0 * i as f64, 0.0)))
+            .collect();
+        let truth = model.decay_space(&devices, &FloorPlan::new()).unwrap();
+        let mm = MeasurementModel {
+            noise_sigma_db: sigma,
+            samples: 4,
+            ..Default::default()
+        };
+        let got = mm.measure(&truth, seed).unwrap();
+        for (i, j, f_true) in truth.ordered_pairs() {
+            if got.censored.contains(&(i, j)) {
+                continue;
+            }
+            let err_db = (10.0 * (got.space.decay(i, j) / f_true).log10()).abs();
+            // 6-sigma averaged noise + half a quantization step.
+            let cap = 6.0 * sigma / 2.0 + 0.5 + 1e-9;
+            prop_assert!(err_db <= cap, "error {err_db} dB > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn office_loss_is_deterministic_and_finite(
+        rooms in 1usize..4,
+        wall in 0.0f64..15.0,
+        a in arb_point(),
+        b in arb_point(),
+    ) {
+        let plan = FloorPlan::office(rooms, 1, 10.0, 1.0, wall, 15.0);
+        let l1 = plan.crossing_loss_db(a, b);
+        let l2 = plan.crossing_loss_db(a, b);
+        prop_assert_eq!(l1, l2);
+        prop_assert!(l1.is_finite() && l1 >= 0.0);
+    }
+}

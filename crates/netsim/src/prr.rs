@@ -1,0 +1,452 @@
+//! Decay inference from packet reception rates.
+//!
+//! Section 2.2 of the paper notes that decay spaces "can also be inferred
+//! by packet reception rates". This module implements that measurement
+//! path end to end: a round-robin *probe campaign* in which every node
+//! broadcasts alone in its own slots ([`run_probe_campaign`]) yields a
+//! [`PrrMatrix`] of per-ordered-pair reception rates; under Rayleigh
+//! fading the interference-free success probability has the closed form
+//! `p = exp(-β·N·f/P)`, which [`infer_decay_from_prr`] inverts to recover
+//! the decay matrix. [`compare_decays`] quantifies how faithful the
+//! reconstruction is — experiment E31 runs the full pipeline and checks
+//! that metricity and capacity decisions computed from the inferred space
+//! agree with the ground truth.
+
+use decay_core::{DecaySpace, NodeId};
+use decay_sinr::SinrParams;
+use serde::{Deserialize, Serialize};
+
+use crate::{Action, NodeBehavior, ReceptionModel, Simulator, SlotContext};
+
+/// Packet reception rates for every ordered (transmitter, receiver) pair,
+/// produced by a probe campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrrMatrix {
+    n: usize,
+    rounds: usize,
+    /// Row-major: `successes[tx * n + rx]`.
+    successes: Vec<u32>,
+}
+
+impl PrrMatrix {
+    /// Number of nodes probed.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Probe transmissions per ordered pair.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Raw success count for the ordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn successes(&self, from: NodeId, to: NodeId) -> u32 {
+        assert!(from.index() < self.n && to.index() < self.n);
+        self.successes[from.index() * self.n + to.index()]
+    }
+
+    /// The packet reception rate `successes / rounds` for the ordered
+    /// pair; 0 for `from == to`.
+    pub fn rate(&self, from: NodeId, to: NodeId) -> f64 {
+        self.successes(from, to) as f64 / self.rounds as f64
+    }
+}
+
+/// Probe behavior: transmit in your own round-robin slot, listen
+/// otherwise, count which senders you heard.
+struct Probe {
+    power: f64,
+    heard: Vec<u32>,
+}
+
+impl NodeBehavior for Probe {
+    fn on_slot(&mut self, ctx: &mut SlotContext<'_>) -> Action {
+        if ctx.slot % ctx.nodes == ctx.node.index() {
+            Action::Transmit {
+                power: self.power,
+                message: ctx.node.index() as u64,
+            }
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn on_receive(&mut self, from: NodeId, _message: u64, _power: f64) {
+        self.heard[from.index()] += 1;
+    }
+}
+
+/// Runs a round-robin probe campaign: `rounds` cycles in which each node
+/// transmits alone at `power` while everyone else listens, under the given
+/// reception model.
+///
+/// Probes are interference-free by construction, so with
+/// [`ReceptionModel::Rayleigh`] the expected reception rate for pair
+/// `(s, r)` is exactly `exp(-β·N·f(s,r)/P)`.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or `power` is not positive and finite.
+pub fn run_probe_campaign(
+    space: &DecaySpace,
+    params: &SinrParams,
+    model: ReceptionModel,
+    rounds: usize,
+    power: f64,
+    seed: u64,
+) -> PrrMatrix {
+    assert!(rounds > 0, "probe campaign needs at least one round");
+    assert!(
+        power.is_finite() && power > 0.0,
+        "probe power must be positive"
+    );
+    let n = space.len();
+    let behaviors = (0..n)
+        .map(|_| Probe {
+            power,
+            heard: vec![0; n],
+        })
+        .collect();
+    let mut sim = Simulator::new(space.clone(), behaviors, *params, seed)
+        .expect("behavior count matches node count");
+    sim.set_reception_model(model);
+    for _ in 0..rounds * n {
+        sim.step();
+    }
+    let mut successes = vec![0u32; n * n];
+    for rx in 0..n {
+        let heard = &sim.behavior(NodeId::new(rx)).heard;
+        for tx in 0..n {
+            successes[tx * n + rx] = heard[tx];
+        }
+    }
+    PrrMatrix {
+        n,
+        rounds,
+        successes,
+    }
+}
+
+/// Why PRR-based inference can fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InferenceError {
+    /// The channel has no ambient noise: under Rayleigh fading every
+    /// interference-free probe then succeeds with probability 1 regardless
+    /// of decay, so reception rates carry no decay information.
+    NoiselessChannel,
+    /// The probe power was not positive and finite.
+    InvalidPower {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferenceError::NoiselessChannel => {
+                write!(f, "cannot infer decays from PRR on a noiseless channel")
+            }
+            InferenceError::InvalidPower { value } => {
+                write!(f, "probe power must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+/// An inferred decay space plus the pairs whose rates pinned to 0 or 1 and
+/// therefore only yield decay bounds, not estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// The inferred decay space.
+    pub space: DecaySpace,
+    /// Pairs with zero successes: the true decay is at least the inferred
+    /// value (right-censored).
+    pub censored: Vec<(NodeId, NodeId)>,
+    /// Pairs with all successes: the true decay is at most the inferred
+    /// value (left-censored).
+    pub saturated: Vec<(NodeId, NodeId)>,
+}
+
+impl InferenceOutcome {
+    /// All pairs whose inferred value is only a bound; callers comparing
+    /// against ground truth should exclude these.
+    pub fn unreliable_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v = self.censored.clone();
+        v.extend_from_slice(&self.saturated);
+        v
+    }
+}
+
+/// Inverts the Rayleigh probe model `p = exp(-β·N·f/P)` to recover decays:
+/// `f = -P·ln(p) / (β·N)`.
+///
+/// Rates of exactly 0 or 1 are continuity-corrected to
+/// `1/(2·rounds)` and `1 - 1/(2·rounds)` respectively and reported as
+/// censored/saturated in the outcome.
+///
+/// # Errors
+///
+/// Returns [`InferenceError::NoiselessChannel`] when `params.noise() == 0`
+/// and [`InferenceError::InvalidPower`] for bad `power`.
+pub fn infer_decay_from_prr(
+    prr: &PrrMatrix,
+    power: f64,
+    params: &SinrParams,
+) -> Result<InferenceOutcome, InferenceError> {
+    if params.noise() == 0.0 {
+        return Err(InferenceError::NoiselessChannel);
+    }
+    if !(power.is_finite() && power > 0.0) {
+        return Err(InferenceError::InvalidPower { value: power });
+    }
+    let n = prr.nodes();
+    let rounds = prr.rounds() as f64;
+    let scale = power / (params.beta() * params.noise());
+    let mut censored = Vec::new();
+    let mut saturated = Vec::new();
+    let space = DecaySpace::from_fn(n, |i, j| {
+        let s = prr.successes(NodeId::new(i), NodeId::new(j));
+        let p = if s == 0 {
+            censored.push((NodeId::new(i), NodeId::new(j)));
+            1.0 / (2.0 * rounds)
+        } else if s as f64 >= rounds {
+            saturated.push((NodeId::new(i), NodeId::new(j)));
+            1.0 - 1.0 / (2.0 * rounds)
+        } else {
+            s as f64 / rounds
+        };
+        -p.ln() * scale
+    })
+    .expect("corrected rates are in (0, 1), so inferred decays are positive and finite");
+    Ok(InferenceOutcome {
+        space,
+        censored,
+        saturated,
+    })
+}
+
+/// Agreement statistics between a ground-truth and an inferred decay
+/// space, on the log scale (decays are ratio quantities).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Mean of `|log10(f̂/f)|` over compared pairs.
+    pub mean_abs_log10_error: f64,
+    /// Maximum of `|log10(f̂/f)|` over compared pairs.
+    pub max_abs_log10_error: f64,
+    /// Pearson correlation between `ln f` and `ln f̂`.
+    pub log_correlation: f64,
+    /// Number of ordered pairs compared.
+    pub pairs: usize,
+}
+
+/// Compares two decay spaces over the same node set, skipping the given
+/// pairs (typically the censored/saturated ones).
+///
+/// # Panics
+///
+/// Panics if the spaces have different sizes.
+pub fn compare_decays(
+    truth: &DecaySpace,
+    inferred: &DecaySpace,
+    skip: &[(NodeId, NodeId)],
+) -> InferenceReport {
+    assert_eq!(
+        truth.len(),
+        inferred.len(),
+        "spaces must have the same node count"
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (a, b, f_true) in truth.ordered_pairs() {
+        if skip.contains(&(a, b)) {
+            continue;
+        }
+        xs.push(f_true.ln());
+        ys.push(inferred.decay(a, b).ln());
+    }
+    let pairs = xs.len();
+    if pairs == 0 {
+        return InferenceReport {
+            mean_abs_log10_error: 0.0,
+            max_abs_log10_error: 0.0,
+            log_correlation: 1.0,
+            pairs,
+        };
+    }
+    let ln10 = std::f64::consts::LN_10;
+    let mut sum = 0.0;
+    let mut max = 0.0_f64;
+    for (x, y) in xs.iter().zip(&ys) {
+        let e = ((y - x) / ln10).abs();
+        sum += e;
+        max = max.max(e);
+    }
+    let mean_x = xs.iter().sum::<f64>() / pairs as f64;
+    let mean_y = ys.iter().sum::<f64>() / pairs as f64;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    let log_correlation = if var_x > 0.0 && var_y > 0.0 {
+        cov / (var_x * var_y).sqrt()
+    } else {
+        // A constant series carries no correlation signal; report 0.
+        0.0
+    };
+    InferenceReport {
+        mean_abs_log10_error: sum / pairs as f64,
+        max_abs_log10_error: max,
+        log_correlation,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, alpha: f64) -> DecaySpace {
+        DecaySpace::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powf(alpha)).unwrap()
+    }
+
+    #[test]
+    fn threshold_noiseless_probes_always_succeed() {
+        let s = line(4, 2.0);
+        let prr = run_probe_campaign(
+            &s,
+            &SinrParams::default(),
+            ReceptionModel::Threshold,
+            5,
+            1.0,
+            1,
+        );
+        for (a, b, _) in s.ordered_pairs() {
+            assert_eq!(prr.successes(a, b), 5, "{a} -> {b}");
+            assert_eq!(prr.rate(a, b), 1.0);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_in_seed() {
+        let s = line(4, 2.0);
+        let params = SinrParams::new(1.0, 0.2).unwrap();
+        let a = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 50, 1.0, 9);
+        let b = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 50, 1.0, 9);
+        let c = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 50, 1.0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rayleigh_rates_track_the_closed_form() {
+        // p = exp(-beta N f / P): check the empirical rate is close for a
+        // pair with moderate decay.
+        let s = line(2, 1.0); // f = 1 both ways
+        let params = SinrParams::new(1.0, 0.5).unwrap();
+        let prr = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 4000, 1.0, 3);
+        let expect = (-0.5_f64).exp(); // ~0.6065
+        let got = prr.rate(NodeId::new(0), NodeId::new(1));
+        assert!(
+            (got - expect).abs() < 0.03,
+            "rate {got} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn inference_recovers_decays() {
+        let s = line(5, 1.2);
+        let params = SinrParams::new(1.0, 0.3).unwrap();
+        let prr = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 3000, 1.0, 7);
+        let outcome = infer_decay_from_prr(&prr, 1.0, &params).unwrap();
+        let report = compare_decays(&s, &outcome.space, &outcome.unreliable_pairs());
+        assert!(report.pairs > 0);
+        assert!(
+            report.mean_abs_log10_error < 0.1,
+            "mean log error {}",
+            report.mean_abs_log10_error
+        );
+        assert!(
+            report.log_correlation > 0.9,
+            "correlation {}",
+            report.log_correlation
+        );
+    }
+
+    #[test]
+    fn extreme_decays_are_censored() {
+        // f(0,1) = 1 but f(0,2) = 200: with N = 0.5 the far pair succeeds
+        // w.p. e^{-100}, i.e. never in any realistic campaign.
+        let s = DecaySpace::from_matrix(
+            3,
+            vec![0.0, 1.0, 200.0, 1.0, 0.0, 200.0, 200.0, 200.0, 0.0],
+        )
+        .unwrap();
+        let params = SinrParams::new(1.0, 0.5).unwrap();
+        let prr = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 200, 1.0, 11);
+        let outcome = infer_decay_from_prr(&prr, 1.0, &params).unwrap();
+        assert!(outcome
+            .censored
+            .contains(&(NodeId::new(0), NodeId::new(2))));
+        // Censored estimate is a lower bound that still dominates the
+        // resolvable pairs.
+        assert!(
+            outcome.space.decay(NodeId::new(0), NodeId::new(2))
+                > outcome.space.decay(NodeId::new(0), NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn noiseless_inference_is_rejected() {
+        let s = line(3, 2.0);
+        let prr = run_probe_campaign(
+            &s,
+            &SinrParams::default(),
+            ReceptionModel::Threshold,
+            5,
+            1.0,
+            1,
+        );
+        let err = infer_decay_from_prr(&prr, 1.0, &SinrParams::default()).unwrap_err();
+        assert_eq!(err, InferenceError::NoiselessChannel);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_power_is_rejected() {
+        let s = line(3, 2.0);
+        let params = SinrParams::new(1.0, 0.1).unwrap();
+        let prr = run_probe_campaign(&s, &params, ReceptionModel::Threshold, 5, 1.0, 1);
+        assert!(matches!(
+            infer_decay_from_prr(&prr, 0.0, &params),
+            Err(InferenceError::InvalidPower { .. })
+        ));
+    }
+
+    #[test]
+    fn compare_decays_identity_is_exact() {
+        let s = line(4, 2.0);
+        let r = compare_decays(&s, &s, &[]);
+        assert_eq!(r.mean_abs_log10_error, 0.0);
+        assert_eq!(r.max_abs_log10_error, 0.0);
+        assert!(r.log_correlation > 0.999);
+    }
+
+    #[test]
+    fn compare_decays_skip_list_is_honored() {
+        let s = line(3, 2.0);
+        let all: Vec<_> = s.ordered_pairs().map(|(a, b, _)| (a, b)).collect();
+        let r = compare_decays(&s, &s, &all);
+        assert_eq!(r.pairs, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for link-set construction and SINR computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors for link sets and SINR machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinrError {
+    /// A link endpoint was outside the decay space.
+    EndpointOutOfRange {
+        /// Index of the offending link.
+        link: usize,
+        /// Number of nodes in the space.
+        nodes: usize,
+    },
+    /// A link's sender equals its receiver.
+    SelfLoop {
+        /// Index of the offending link.
+        link: usize,
+    },
+    /// A power value was not finite and positive.
+    InvalidPower {
+        /// Index of the offending link.
+        link: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A power vector had the wrong length for the link set.
+    PowerLengthMismatch {
+        /// Number of links.
+        links: usize,
+        /// Number of powers supplied.
+        powers: usize,
+    },
+    /// SINR threshold `beta` must be at least 1 (paper assumption).
+    InvalidBeta {
+        /// The offending value.
+        value: f64,
+    },
+    /// Ambient noise must be finite and non-negative.
+    InvalidNoise {
+        /// The offending value.
+        value: f64,
+    },
+    /// The input set was expected to be feasible (or `K`-feasible) but was
+    /// not.
+    NotFeasible {
+        /// Worst in-affectance observed.
+        worst_affectance: f64,
+    },
+}
+
+impl fmt::Display for SinrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SinrError::EndpointOutOfRange { link, nodes } => {
+                write!(f, "link {link} has an endpoint outside the {nodes}-node space")
+            }
+            SinrError::SelfLoop { link } => {
+                write!(f, "link {link} is a self-loop (sender equals receiver)")
+            }
+            SinrError::InvalidPower { link, value } => {
+                write!(f, "power of link {link} must be positive and finite, got {value}")
+            }
+            SinrError::PowerLengthMismatch { links, powers } => {
+                write!(f, "expected {links} power values, got {powers}")
+            }
+            SinrError::InvalidBeta { value } => {
+                write!(f, "sinr threshold beta must be >= 1, got {value}")
+            }
+            SinrError::InvalidNoise { value } => {
+                write!(f, "ambient noise must be finite and non-negative, got {value}")
+            }
+            SinrError::NotFeasible { worst_affectance } => {
+                write!(f, "input set is not feasible (worst in-affectance {worst_affectance})")
+            }
+        }
+    }
+}
+
+impl Error for SinrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let errs = [
+            SinrError::EndpointOutOfRange { link: 1, nodes: 4 }.to_string(),
+            SinrError::SelfLoop { link: 0 }.to_string(),
+            SinrError::InvalidPower {
+                link: 2,
+                value: -1.0,
+            }
+            .to_string(),
+            SinrError::PowerLengthMismatch {
+                links: 3,
+                powers: 2,
+            }
+            .to_string(),
+            SinrError::InvalidBeta { value: 0.5 }.to_string(),
+            SinrError::InvalidNoise { value: -2.0 }.to_string(),
+            SinrError::NotFeasible {
+                worst_affectance: 3.0,
+            }
+            .to_string(),
+        ];
+        for e in errs {
+            assert!(!e.is_empty());
+            assert!(e.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Inductive independence and C-independence — the systematic decay-space
+//! parameters the paper's introduction highlights.
+//!
+//! Section 1 notes that *inductive independence* [45, 38] "has heralded a
+//! more systematic approach to SINR analysis, and can by itself be seen as
+//! parameter of the decay space", and that the same holds for
+//! *C-independence* [1, 12] under uniform power. Observation 4.2 then uses
+//! bounds on inductive independence to transfer a long list of results
+//! (spectrum auctions, dynamic packet scheduling, distributed scheduling).
+//! This module makes both parameters measurable on any decay space:
+//!
+//! * [`inductive_independence`] — for the decay order `≺`, the largest
+//!   symmetric affectance `Σ_{w ∈ S, v ≺ w} (a_v(w) + a_w(v))` any link
+//!   `v` receives from the later part of a feasible set `S`. In GEO-SINR
+//!   metrics this is `2^{O(α)}`; in decay spaces the same argument gives
+//!   `2^{O(ζ)}` (experiment E22 measures it).
+//! * [`ConflictGraph`] / [`ConflictGraph::c_independence`] — the pairwise
+//!   conflict graph under uniform power, and the largest *independent* set
+//!   of links that all conflict with one link. Bounded C-independence is
+//!   the property that drives the regret-minimization capacity results
+//!   ([1], extended in [12]).
+//!
+//! Maximizing over all feasible sets is itself NP-hard, so the inductive
+//! independence estimator takes an explicit collection of feasible sets
+//! (exact on that collection) and [`sample_feasible_sets`] provides a
+//! deterministic randomized generator of maximal feasible sets to feed it.
+//! The result is a certified *lower* bound on the true parameter.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::affectance::AffectanceMatrix;
+use crate::link::LinkId;
+
+/// A symmetric pairwise conflict graph over links.
+///
+/// Two links conflict when their mutual (capped) affectance
+/// `a_v(w) + a_w(v)` reaches `threshold` — at the default threshold 1 a
+/// conflicting pair is (essentially) never simultaneously feasible, which
+/// is the conflict notion the C-independence literature [1, 12] uses for
+/// uniform power.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    m: usize,
+    /// Row-major adjacency; symmetric, irreflexive.
+    adj: Vec<bool>,
+}
+
+/// The C-independence of a conflict graph with its witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CIndependence {
+    /// The parameter: the largest independent subset of some closed
+    /// neighborhood's *open* neighborhood (max over vertices).
+    pub c: usize,
+    /// The vertex whose neighborhood attains it.
+    pub witness_vertex: LinkId,
+    /// The independent set inside that neighborhood.
+    pub witness_set: Vec<LinkId>,
+    /// Whether every neighborhood was solved exactly (small enough for
+    /// branch and bound) or some fell back to a greedy lower bound.
+    pub exact: bool,
+}
+
+/// Neighborhood size up to which the C-independence search is exact.
+pub const EXACT_NEIGHBORHOOD_LIMIT: usize = 28;
+
+impl ConflictGraph {
+    /// Builds the conflict graph from an affectance matrix: edge iff
+    /// `a_v(w) + a_w(v) >= threshold` (capped affectances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn from_affectance(aff: &AffectanceMatrix, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "conflict threshold must be positive");
+        let m = aff.len();
+        let mut adj = vec![false; m * m];
+        for v in 0..m {
+            for w in (v + 1)..m {
+                let lv = LinkId::new(v);
+                let lw = LinkId::new(w);
+                let mutual = aff.affectance(lv, lw) + aff.affectance(lw, lv);
+                if mutual >= threshold {
+                    adj[v * m + w] = true;
+                    adj[w * m + v] = true;
+                }
+            }
+        }
+        ConflictGraph { m, adj }
+    }
+
+    /// Number of links (vertices).
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Whether `v` and `w` conflict.
+    #[inline]
+    pub fn conflicts(&self, v: LinkId, w: LinkId) -> bool {
+        self.adj[v.index() * self.m + w.index()]
+    }
+
+    /// Number of links conflicting with `v`.
+    pub fn degree(&self, v: LinkId) -> usize {
+        (0..self.m)
+            .filter(|&w| self.adj[v.index() * self.m + w])
+            .count()
+    }
+
+    /// Total number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().filter(|&&b| b).count() / 2
+    }
+
+    /// Whether the given links are pairwise conflict-free.
+    pub fn is_independent(&self, set: &[LinkId]) -> bool {
+        for (i, &v) in set.iter().enumerate() {
+            for &w in &set[i + 1..] {
+                if self.conflicts(v, w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The links conflicting with `v`, in id order.
+    pub fn neighborhood(&self, v: LinkId) -> Vec<LinkId> {
+        (0..self.m)
+            .filter(|&w| self.adj[v.index() * self.m + w])
+            .map(LinkId::new)
+            .collect()
+    }
+
+    /// First-fit coloring in the given order; returns per-link colors.
+    /// Links of equal color are pairwise conflict-free — the classical
+    /// conflict-graph scheduler the SINR-vs-conflict-graph comparisons
+    /// [60, 61] study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of all links.
+    pub fn first_fit_coloring(&self, order: &[LinkId]) -> Vec<usize> {
+        assert_eq!(order.len(), self.m, "order must cover every link");
+        let mut color = vec![usize::MAX; self.m];
+        for &v in order {
+            let mut used: Vec<usize> = (0..self.m)
+                .filter(|&w| self.adj[v.index() * self.m + w] && color[w] != usize::MAX)
+                .map(|w| color[w])
+                .collect();
+            used.sort_unstable();
+            used.dedup();
+            let mut c = 0;
+            for u in used {
+                if u == c {
+                    c += 1;
+                } else if u > c {
+                    break;
+                }
+            }
+            assert!(
+                color[v.index()] == usize::MAX,
+                "order must not repeat links"
+            );
+            color[v.index()] = c;
+        }
+        assert!(
+            color.iter().all(|&c| c != usize::MAX),
+            "order must cover every link"
+        );
+        color
+    }
+
+    /// The C-independence: the maximum, over links `v`, of the largest
+    /// independent set contained in `v`'s neighborhood. Exact for
+    /// neighborhoods of at most [`EXACT_NEIGHBORHOOD_LIMIT`] vertices,
+    /// greedy (lower bound) beyond; the `exact` flag reports which.
+    pub fn c_independence(&self) -> CIndependence {
+        let mut best = CIndependence {
+            c: 0,
+            witness_vertex: LinkId::new(0),
+            witness_set: Vec::new(),
+            exact: true,
+        };
+        for v in 0..self.m {
+            let nbhd = self.neighborhood(LinkId::new(v));
+            let (set, exact) = if nbhd.len() <= EXACT_NEIGHBORHOOD_LIMIT {
+                (self.max_independent_in(&nbhd), true)
+            } else {
+                (self.greedy_independent_in(&nbhd), false)
+            };
+            best.exact &= exact;
+            if set.len() > best.c {
+                best.c = set.len();
+                best.witness_vertex = LinkId::new(v);
+                best.witness_set = set;
+            }
+        }
+        best
+    }
+
+    /// Exact maximum independent set within `cands` by branch and bound.
+    fn max_independent_in(&self, cands: &[LinkId]) -> Vec<LinkId> {
+        let mut best: Vec<LinkId> = Vec::new();
+        let mut current: Vec<LinkId> = Vec::new();
+        self.mis_recurse(cands, 0, &mut current, &mut best);
+        best
+    }
+
+    fn mis_recurse(
+        &self,
+        cands: &[LinkId],
+        from: usize,
+        current: &mut Vec<LinkId>,
+        best: &mut Vec<LinkId>,
+    ) {
+        if current.len() + (cands.len() - from) <= best.len() {
+            return; // cannot beat the incumbent
+        }
+        if from == cands.len() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        let v = cands[from];
+        // Branch 1: take v if compatible.
+        if current.iter().all(|&w| !self.conflicts(v, w)) {
+            current.push(v);
+            self.mis_recurse(cands, from + 1, current, best);
+            current.pop();
+        }
+        // Branch 2: skip v.
+        self.mis_recurse(cands, from + 1, current, best);
+    }
+
+    /// Greedy independent set within `cands` (minimum-degree-first).
+    fn greedy_independent_in(&self, cands: &[LinkId]) -> Vec<LinkId> {
+        let mut order: Vec<LinkId> = cands.to_vec();
+        order.sort_by_key(|&v| self.degree(v));
+        let mut out: Vec<LinkId> = Vec::new();
+        for v in order {
+            if out.iter().all(|&w| !self.conflicts(v, w)) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// The empirical inductive independence of a link collection: the maximum
+/// over the provided feasible sets `S` and links `v` of
+/// `Σ_{w ∈ S : v ≺ w} (a_v(w) + a_w(v))`, where `≺` is the given order
+/// (canonically [`crate::LinkSet::ids_by_decay`]).
+///
+/// The returned value is exact for the supplied collection and therefore a
+/// lower bound on the parameter over all feasible sets; grow the
+/// collection (e.g. with [`sample_feasible_sets`]) to tighten it.
+///
+/// # Panics
+///
+/// Panics if `order` does not cover every link of the matrix.
+pub fn inductive_independence(
+    aff: &AffectanceMatrix,
+    order: &[LinkId],
+    feasible_sets: &[Vec<LinkId>],
+) -> f64 {
+    let m = aff.len();
+    assert_eq!(order.len(), m, "order must cover every link");
+    // rank[v] = position of v in the order.
+    let mut rank = vec![0usize; m];
+    for (pos, &v) in order.iter().enumerate() {
+        rank[v.index()] = pos;
+    }
+    let mut worst = 0.0_f64;
+    for set in feasible_sets {
+        for v in order {
+            let v = *v;
+            let sum: f64 = set
+                .iter()
+                .filter(|&&w| w != v && rank[w.index()] > rank[v.index()])
+                .map(|&w| aff.affectance(v, w) + aff.affectance(w, v))
+                .sum();
+            worst = worst.max(sum);
+        }
+    }
+    worst
+}
+
+/// Samples maximal feasible sets by first-fit over uniformly random link
+/// permutations: deterministic in `seed`, always returns `samples` sets,
+/// each feasible and maximal (no remaining link can be added).
+pub fn sample_feasible_sets(
+    aff: &AffectanceMatrix,
+    samples: usize,
+    seed: u64,
+) -> Vec<Vec<LinkId>> {
+    let m = aff.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(samples);
+    let mut ids: Vec<LinkId> = (0..m).map(LinkId::new).collect();
+    for _ in 0..samples {
+        ids.shuffle(&mut rng);
+        let mut set: Vec<LinkId> = Vec::new();
+        for &v in &ids {
+            set.push(v);
+            if !aff.is_feasible(&set) {
+                set.pop();
+            }
+        }
+        out.push(set);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affectance::SinrParams;
+    use crate::link::{Link, LinkSet};
+    use crate::power::PowerAssignment;
+    use decay_core::{DecaySpace, NodeId};
+
+    /// `k` parallel unit links with sender spacing `gap` on a line,
+    /// geometric decay `alpha = 2`.
+    fn parallel_links(k: usize, gap: f64) -> (DecaySpace, LinkSet) {
+        let mut pos = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            pos.push(i as f64 * gap); // sender
+            pos.push(i as f64 * gap + 1.0); // receiver
+        }
+        let space =
+            DecaySpace::from_fn(2 * k, |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let links = LinkSet::new(
+            &space,
+            (0..k)
+                .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+                .collect(),
+        )
+        .unwrap();
+        (space, links)
+    }
+
+    fn matrix(space: &DecaySpace, links: &LinkSet) -> AffectanceMatrix {
+        let powers = PowerAssignment::unit().powers(space, links).unwrap();
+        AffectanceMatrix::build(space, links, &powers, &SinrParams::default()).unwrap()
+    }
+
+    #[test]
+    fn dense_cluster_is_fully_conflicting() {
+        let (s, ls) = parallel_links(4, 1.2);
+        let aff = matrix(&s, &ls);
+        let g = ConflictGraph::from_affectance(&aff, 1.0);
+        // Adjacent links at gap 1.2 interfere strongly.
+        assert!(g.conflicts(LinkId::new(0), LinkId::new(1)));
+        assert!(g.edge_count() >= 3);
+        assert!(!g.is_independent(&[LinkId::new(0), LinkId::new(1)]));
+    }
+
+    #[test]
+    fn far_links_do_not_conflict() {
+        let (s, ls) = parallel_links(3, 50.0);
+        let aff = matrix(&s, &ls);
+        let g = ConflictGraph::from_affectance(&aff, 1.0);
+        assert_eq!(g.edge_count(), 0);
+        let all: Vec<LinkId> = ls.ids().collect();
+        assert!(g.is_independent(&all));
+        let ci = g.c_independence();
+        assert_eq!(ci.c, 0);
+        assert!(ci.exact);
+    }
+
+    #[test]
+    fn c_independence_of_a_star_conflict_pattern() {
+        // One long link whose receiver sits amid several mutually-distant
+        // short links: the short links conflict with the long one but not
+        // with each other.
+        //
+        // Geometry: short links at x = 0, 100, 200 (length 1); long link
+        // sends from x = 1000 to a receiver at x = 100.4 (decay ~ huge),
+        // so every short sender wrecks it.
+        let mut pos: Vec<f64> = Vec::new();
+        for c in [0.0, 100.0, 200.0] {
+            pos.push(c);
+            pos.push(c + 1.0);
+        }
+        pos.push(1000.0); // long sender (node 6)
+        pos.push(100.4); // long receiver (node 7)
+        let s = DecaySpace::from_fn(8, |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let ls = LinkSet::new(
+            &s,
+            vec![
+                Link::new(NodeId::new(0), NodeId::new(1)),
+                Link::new(NodeId::new(2), NodeId::new(3)),
+                Link::new(NodeId::new(4), NodeId::new(5)),
+                Link::new(NodeId::new(6), NodeId::new(7)),
+            ],
+        )
+        .unwrap();
+        let aff = matrix(&s, &ls);
+        let g = ConflictGraph::from_affectance(&aff, 1.0);
+        let ci = g.c_independence();
+        assert_eq!(ci.witness_vertex, LinkId::new(3));
+        assert_eq!(ci.c, 3, "three mutually-free short links all conflict");
+        assert!(ci.exact);
+        assert!(g.is_independent(&ci.witness_set));
+    }
+
+    #[test]
+    fn first_fit_coloring_is_proper_and_compact() {
+        let (s, ls) = parallel_links(6, 1.5);
+        let aff = matrix(&s, &ls);
+        let g = ConflictGraph::from_affectance(&aff, 1.0);
+        let order: Vec<LinkId> = ls.ids().collect();
+        let colors = g.first_fit_coloring(&order);
+        for v in 0..6 {
+            for w in (v + 1)..6 {
+                if g.conflicts(LinkId::new(v), LinkId::new(w)) {
+                    assert_ne!(colors[v], colors[w], "{v} vs {w}");
+                }
+            }
+        }
+        let max_color = colors.iter().copied().max().unwrap();
+        assert!(max_color <= g.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover every link")]
+    fn coloring_rejects_partial_orders() {
+        let (s, ls) = parallel_links(3, 2.0);
+        let aff = matrix(&s, &ls);
+        let g = ConflictGraph::from_affectance(&aff, 1.0);
+        g.first_fit_coloring(&[LinkId::new(0)]);
+    }
+
+    #[test]
+    fn sampled_sets_are_feasible_and_maximal() {
+        let (s, ls) = parallel_links(8, 2.5);
+        let aff = matrix(&s, &ls);
+        let sets = sample_feasible_sets(&aff, 20, 3);
+        assert_eq!(sets.len(), 20);
+        for set in &sets {
+            assert!(aff.is_feasible(set));
+            // Maximality: no link outside can join.
+            for v in ls.ids() {
+                if set.contains(&v) {
+                    continue;
+                }
+                let mut bigger = set.clone();
+                bigger.push(v);
+                assert!(!aff.is_feasible(&bigger), "set was not maximal");
+            }
+        }
+        // Determinism.
+        assert_eq!(sets, sample_feasible_sets(&aff, 20, 3));
+    }
+
+    #[test]
+    fn inductive_independence_is_monotone_in_the_collection() {
+        let (s, ls) = parallel_links(8, 3.0);
+        let aff = matrix(&s, &ls);
+        let order = ls.ids_by_decay(&s);
+        let sets = sample_feasible_sets(&aff, 30, 5);
+        let small = inductive_independence(&aff, &order, &sets[..5]);
+        let large = inductive_independence(&aff, &order, &sets);
+        assert!(large >= small);
+        // Feasibility caps the in-part at 1 and the out-part at |S|;
+        // sanity: finite and non-negative.
+        assert!(large.is_finite());
+        assert!(small >= 0.0);
+    }
+
+    #[test]
+    fn inductive_independence_empty_collection_is_zero() {
+        let (s, ls) = parallel_links(3, 3.0);
+        let aff = matrix(&s, &ls);
+        let order = ls.ids_by_decay(&s);
+        assert_eq!(inductive_independence(&aff, &order, &[]), 0.0);
+    }
+
+    #[test]
+    fn conflict_threshold_tightens_the_graph() {
+        let (s, ls) = parallel_links(5, 2.0);
+        let aff = matrix(&s, &ls);
+        let loose = ConflictGraph::from_affectance(&aff, 0.05);
+        let tight = ConflictGraph::from_affectance(&aff, 1.0);
+        assert!(loose.edge_count() >= tight.edge_count());
+    }
+}

@@ -1,0 +1,167 @@
+//! Link separation in the induced quasi-metric (Section 2.4) and the
+//! feasibility-implies-separation lemma (Lemma B.2).
+//!
+//! The quasi-distance between links `l_v`, `l_w` is the minimum over the
+//! four endpoint pairs:
+//!
+//! ```text
+//! d(l_v, l_w) = min(d(s_v, r_w), d(s_w, r_v), d(s_v, s_w), d(r_v, r_w)).
+//! ```
+//!
+//! A link `l_v` is `η`-separated from a set `L` when
+//! `d(l_v, l_w) ≥ η · d_vv` for every `l_w ∈ L`; a set is `η`-separated
+//! when each member is `η`-separated from the rest. Lemma B.2: an
+//! `e²/β`-feasible set under uniform power is `1/ζ`-separated.
+
+use decay_core::QuasiMetric;
+
+use crate::link::{LinkId, LinkSet};
+
+/// The link quasi-distance `d(l_v, l_w)`: minimum over the four endpoint
+/// pairs. For asymmetric spaces each endpoint pair contributes its smaller
+/// direction.
+pub fn link_distance(quasi: &QuasiMetric, links: &LinkSet, v: LinkId, w: LinkId) -> f64 {
+    let lv = links.link(v);
+    let lw = links.link(w);
+    let a = quasi.pair_min(lv.sender, lw.receiver);
+    let b = quasi.pair_min(lw.sender, lv.receiver);
+    let c = quasi.pair_min(lv.sender, lw.sender);
+    let d = quasi.pair_min(lv.receiver, lw.receiver);
+    a.min(b).min(c).min(d)
+}
+
+/// The quasi-length `d_vv = d(s_v, r_v)` of a link.
+pub fn link_length(quasi: &QuasiMetric, links: &LinkSet, v: LinkId) -> f64 {
+    let lv = links.link(v);
+    quasi.distance(lv.sender, lv.receiver)
+}
+
+/// Whether link `v` is `η`-separated from every link of `others`
+/// (excluding itself if present): `d(l_v, l_w) ≥ η · d_vv`.
+pub fn is_link_separated_from(
+    quasi: &QuasiMetric,
+    links: &LinkSet,
+    v: LinkId,
+    others: &[LinkId],
+    eta: f64,
+) -> bool {
+    let dvv = link_length(quasi, links, v);
+    others
+        .iter()
+        .filter(|&&w| w != v)
+        .all(|&w| link_distance(quasi, links, v, w) >= eta * dvv)
+}
+
+/// Whether `set` is `η`-separated: each member is `η`-separated from the
+/// rest.
+pub fn is_link_set_separated(
+    quasi: &QuasiMetric,
+    links: &LinkSet,
+    set: &[LinkId],
+    eta: f64,
+) -> bool {
+    set.iter()
+        .all(|&v| is_link_separated_from(quasi, links, v, set, eta))
+}
+
+/// The largest `η` for which `set` is `η`-separated (`+∞` for fewer than
+/// two links).
+pub fn separation_of(quasi: &QuasiMetric, links: &LinkSet, set: &[LinkId]) -> f64 {
+    let mut eta = f64::INFINITY;
+    for (k, &v) in set.iter().enumerate() {
+        let dvv = link_length(quasi, links, v);
+        for &w in &set[k + 1..] {
+            let dww = link_length(quasi, links, w);
+            let d = link_distance(quasi, links, v, w);
+            eta = eta.min(d / dvv).min(d / dww);
+        }
+    }
+    eta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affectance::{AffectanceMatrix, SinrParams};
+    use crate::link::Link;
+    use crate::power::PowerAssignment;
+    use decay_core::{metricity, DecaySpace, NodeId};
+
+    /// m parallel unit-length links spaced `gap` apart on a line, geometric
+    /// decay with the given alpha.
+    fn parallel_links(m: usize, gap: f64, alpha: f64) -> (DecaySpace, LinkSet) {
+        let mut pos = Vec::new();
+        for i in 0..m {
+            let base = i as f64 * gap;
+            pos.push(base); // sender
+            pos.push(base + 1.0); // receiver
+        }
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powf(alpha))
+            .unwrap();
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let ls = LinkSet::new(&s, links).unwrap();
+        (s, ls)
+    }
+
+    #[test]
+    fn link_distance_is_min_of_endpoint_pairs() {
+        let (s, ls) = parallel_links(2, 5.0, 2.0);
+        let q = QuasiMetric::from_space_with_exponent(&s, 2.0);
+        // Closest endpoints: receiver 0 (at 1) and sender 1 (at 5): dist 4.
+        let d = link_distance(&q, &ls, LinkId::new(0), LinkId::new(1));
+        assert!((d - 4.0).abs() < 1e-9);
+        assert!((link_length(&q, &ls, LinkId::new(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_predicate_and_value_agree() {
+        let (s, ls) = parallel_links(3, 6.0, 2.0);
+        let q = QuasiMetric::from_space_with_exponent(&s, 2.0);
+        let set: Vec<LinkId> = ls.ids().collect();
+        let eta = separation_of(&q, &ls, &set);
+        assert!((eta - 5.0).abs() < 1e-9, "eta = {eta}");
+        assert!(is_link_set_separated(&q, &ls, &set, eta - 1e-9));
+        assert!(!is_link_set_separated(&q, &ls, &set, eta + 0.1));
+    }
+
+    #[test]
+    fn lemma_b2_feasible_implies_separated() {
+        // Lemma B.2: an e^2/beta-feasible set under uniform power is
+        // 1/zeta-separated. Sweep gaps; whenever the set reaches the
+        // required feasibility strength, check the separation.
+        let beta = 1.0;
+        let strength = (std::f64::consts::E.powi(2)) / beta;
+        for alpha in [2.0, 3.0] {
+            for gap in [2.0, 4.0, 8.0, 16.0, 32.0] {
+                let (s, ls) = parallel_links(4, gap, alpha);
+                let zeta = metricity(&s).zeta_at_least_one();
+                let q = QuasiMetric::from_space_with_exponent(&s, zeta);
+                let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+                let a = AffectanceMatrix::build(
+                    &s,
+                    &ls,
+                    &powers,
+                    &SinrParams::noiseless(beta).unwrap(),
+                )
+                .unwrap();
+                let set: Vec<LinkId> = ls.ids().collect();
+                if a.is_k_feasible(&set, strength) {
+                    assert!(
+                        is_link_set_separated(&q, &ls, &set, 1.0 / zeta),
+                        "alpha={alpha} gap={gap}: feasible but not 1/zeta-separated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_sets_are_infinitely_separated() {
+        let (s, ls) = parallel_links(1, 4.0, 2.0);
+        let q = QuasiMetric::from_space_with_exponent(&s, 2.0);
+        assert_eq!(separation_of(&q, &ls, &[LinkId::new(0)]), f64::INFINITY);
+        assert!(is_link_set_separated(&q, &ls, &[LinkId::new(0)], 100.0));
+    }
+}

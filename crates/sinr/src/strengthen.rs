@@ -1,0 +1,206 @@
+//! Signal strengthening (Lemma B.1, from Halldórsson–Wattenhofer [35]).
+//!
+//! Any `p`-feasible set can be partitioned into at most `⌈2q/p⌉²` sets,
+//! each `q`-feasible. The construction is the classic two-pass argmin
+//! assignment:
+//!
+//! 1. Scan the links in a fixed order, keeping `k = ⌈2q/p⌉` groups;
+//!    place each link in the group where its in-affectance from the links
+//!    already placed is smallest. Since the groups partition the earlier
+//!    links, the minimum is at most `(1/p)/k ≤ 1/(2q)`.
+//! 2. Repartition each group the same way scanning in *reverse* order,
+//!    bounding the in-affectance from later links by another `1/(2q)`.
+//!
+//! In-affectance from a subset only shrinks, so the pass-1 guarantee
+//! survives pass 2 and every final class has total in-affectance at most
+//! `1/q` at every member.
+
+use crate::affectance::AffectanceMatrix;
+use crate::error::SinrError;
+use crate::link::LinkId;
+
+/// Partitions a `p`-feasible set into at most `⌈2q/p⌉²` classes, each
+/// `q`-feasible (Lemma B.1).
+///
+/// `p` is measured from the set itself (`p = 1 / worst in-affectance`);
+/// pass `q > p/2` for the partition to be non-trivial (otherwise a single
+/// class is returned).
+///
+/// # Errors
+///
+/// Returns [`SinrError::NotFeasible`] if some member of `set` cannot clear
+/// the noise floor (`c_v` infinite), in which case no amount of
+/// partitioning helps.
+///
+/// # Panics
+///
+/// Panics if `q` is not positive and finite.
+pub fn signal_strengthen(
+    aff: &AffectanceMatrix,
+    set: &[LinkId],
+    q: f64,
+) -> Result<Vec<Vec<LinkId>>, SinrError> {
+    assert!(q.is_finite() && q > 0.0, "target strength q must be positive");
+    if set.is_empty() {
+        return Ok(Vec::new());
+    }
+    let p = aff.feasibility_strength(set);
+    if p == 0.0 {
+        let worst = set
+            .iter()
+            .map(|&v| aff.in_affectance_raw(set, v))
+            .fold(0.0, f64::max);
+        return Err(SinrError::NotFeasible {
+            worst_affectance: worst,
+        });
+    }
+    if p >= 2.0 * q {
+        // Already far stronger than requested.
+        return Ok(vec![set.to_vec()]);
+    }
+    // More groups than links degenerates to singletons, which are as
+    // strong as partitioning can make the set — cap there to keep the
+    // group count (and running time) proportional to the input.
+    let k = ((2.0 * q / p).ceil() as usize).clamp(1, set.len());
+    let pass1 = argmin_partition(aff, set, k, false);
+    let mut classes = Vec::new();
+    for class in pass1 {
+        for sub in argmin_partition(aff, &class, k, true) {
+            if !sub.is_empty() {
+                classes.push(sub);
+            }
+        }
+    }
+    Ok(classes)
+}
+
+/// One argmin pass: scan `set` (reversed when `rev`), keep `k` groups, and
+/// place each link in the group minimizing its in-affectance from that
+/// group's current members.
+fn argmin_partition(
+    aff: &AffectanceMatrix,
+    set: &[LinkId],
+    k: usize,
+    rev: bool,
+) -> Vec<Vec<LinkId>> {
+    let mut groups: Vec<Vec<LinkId>> = vec![Vec::new(); k.max(1)];
+    let order: Vec<LinkId> = if rev {
+        set.iter().rev().copied().collect()
+    } else {
+        set.to_vec()
+    };
+    for v in order {
+        let gi = (0..groups.len())
+            .min_by(|&a, &b| {
+                aff.in_affectance(&groups[a], v)
+                    .partial_cmp(&aff.in_affectance(&groups[b], v))
+                    .unwrap()
+            })
+            .expect("at least one group");
+        groups[gi].push(v);
+    }
+    groups
+}
+
+/// The number of classes Lemma B.1 guarantees: `⌈2q/p⌉²`.
+pub fn strengthening_bound(p: f64, q: f64) -> usize {
+    let k = (2.0 * q / p).ceil().max(1.0) as usize;
+    k * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affectance::SinrParams;
+    use crate::link::{Link, LinkSet};
+    use crate::power::PowerAssignment;
+    use decay_core::{DecaySpace, NodeId};
+
+    /// m parallel unit links spaced `gap` apart, alpha = 2, uniform power.
+    fn setup(m: usize, gap: f64) -> (DecaySpace, LinkSet, AffectanceMatrix) {
+        let mut pos = Vec::new();
+        for i in 0..m {
+            pos.push(i as f64 * gap);
+            pos.push(i as f64 * gap + 1.0);
+        }
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let ls = LinkSet::new(&s, links).unwrap();
+        let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+        let aff =
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
+        (s, ls, aff)
+    }
+
+    #[test]
+    fn partition_classes_meet_target_strength() {
+        let (_s, ls, aff) = setup(12, 4.0);
+        let set: Vec<LinkId> = ls.ids().collect();
+        let p = aff.feasibility_strength(&set);
+        assert!(p >= 1.0, "base set should be feasible, p = {p}");
+        for q in [2.0, 4.0, 8.0] {
+            let classes = signal_strengthen(&aff, &set, q).unwrap();
+            // Cover and disjointness.
+            let mut seen: Vec<LinkId> = classes.iter().flatten().copied().collect();
+            seen.sort();
+            let mut expect = set.clone();
+            expect.sort();
+            assert_eq!(seen, expect, "classes must partition the set");
+            // Each class q-feasible.
+            for class in &classes {
+                assert!(
+                    aff.is_k_feasible(class, q),
+                    "class not {q}-feasible: {class:?}"
+                );
+            }
+            // Class count within the lemma bound.
+            assert!(
+                classes.len() <= strengthening_bound(p, q),
+                "q={q}: {} classes > bound {}",
+                classes.len(),
+                strengthening_bound(p, q)
+            );
+        }
+    }
+
+    #[test]
+    fn strong_sets_pass_through() {
+        let (_s, ls, aff) = setup(3, 100.0);
+        let set: Vec<LinkId> = ls.ids().collect();
+        let classes = signal_strengthen(&aff, &set, 2.0).unwrap();
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn empty_set_yields_no_classes() {
+        let (_s, _ls, aff) = setup(2, 10.0);
+        assert!(signal_strengthen(&aff, &[], 4.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn infeasible_noise_floor_is_rejected() {
+        // One link drowned in noise.
+        let pos = [0.0_f64, 5.0];
+        let s = DecaySpace::from_fn(2, |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let ls = LinkSet::new(&s, vec![Link::new(NodeId::new(0), NodeId::new(1))]).unwrap();
+        let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
+        let aff = AffectanceMatrix::build(
+            &s,
+            &ls,
+            &powers,
+            &SinrParams::new(1.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        let err = signal_strengthen(&aff, &[LinkId::new(0)], 2.0).unwrap_err();
+        assert!(matches!(err, SinrError::NotFeasible { .. }));
+    }
+
+    #[test]
+    fn bound_formula() {
+        assert_eq!(strengthening_bound(1.0, 2.0), 16);
+        assert_eq!(strengthening_bound(2.0, 2.0), 4);
+        assert_eq!(strengthening_bound(8.0, 2.0), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for SINR invariants over random link deployments.
+
+use decay_core::{metricity, DecaySpace, NodeId, QuasiMetric};
+use decay_sinr::{
+    is_link_set_separated, is_monotone, separation_of, separation_partition, signal_strengthen,
+    sinr_feasible, AffectanceMatrix, Link, LinkId, LinkSet, PowerAssignment, SinrParams,
+};
+use proptest::prelude::*;
+
+/// Random planar deployment: `m` links with senders/receivers in a box.
+fn arb_deployment(m: usize) -> impl Strategy<Value = (DecaySpace, LinkSet)> {
+    let coords = prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2 * m);
+    (coords, 1.5f64..4.0).prop_map(move |(pts, alpha)| {
+        // Perturb duplicates deterministically so all nodes are distinct.
+        let mut pts = pts;
+        for i in 0..pts.len() {
+            for j in 0..i {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                if (dx * dx + dy * dy).sqrt() < 1e-6 {
+                    pts[i].0 += 0.01 * (i as f64 + 1.0);
+                    pts[i].1 += 0.013 * (i as f64 + 1.0);
+                }
+            }
+        }
+        let space = DecaySpace::from_fn(pts.len(), |i, j| {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            (dx * dx + dy * dy).sqrt().powf(alpha).max(1e-12)
+        })
+        .expect("distinct points give positive decays");
+        let links: Vec<Link> = (0..m)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let ls = LinkSet::new(&space, links).expect("valid links");
+        (space, ls)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn affectance_feasibility_equals_sinr_feasibility(
+        (space, links) in arb_deployment(5),
+        noise in 0.0f64..0.0001,
+    ) {
+        let params = SinrParams::new(1.0, noise).unwrap();
+        let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+        let aff = AffectanceMatrix::build(&space, &links, &powers, &params).unwrap();
+        let all: Vec<LinkId> = links.ids().collect();
+        prop_assert_eq!(
+            aff.is_feasible(&all),
+            sinr_feasible(&space, &links, &powers, &params, &all)
+        );
+    }
+
+    #[test]
+    fn strengthened_classes_hit_target(
+        (space, links) in arb_deployment(6),
+        q in 1.5f64..6.0,
+    ) {
+        let params = SinrParams::default();
+        let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+        let aff = AffectanceMatrix::build(&space, &links, &powers, &params).unwrap();
+        let all: Vec<LinkId> = links.ids().collect();
+        if aff.feasibility_strength(&all) > 0.0 {
+            // Strengthen whatever strength the set has to q.
+            let feasible: Vec<LinkId> = all
+                .iter()
+                .copied()
+                .filter(|&v| aff.noise_factor(v).is_finite())
+                .collect();
+            if let Ok(classes) = signal_strengthen(&aff, &feasible, q) {
+                let mut seen: Vec<LinkId> = classes.iter().flatten().copied().collect();
+                seen.sort();
+                let mut expect = feasible.clone();
+                expect.sort();
+                prop_assert_eq!(seen, expect);
+                for class in &classes {
+                    prop_assert!(aff.is_k_feasible(class, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separation_partition_output_is_separated(
+        (space, links) in arb_deployment(6),
+        eta in 0.5f64..4.0,
+    ) {
+        let zeta = metricity(&space).zeta_at_least_one();
+        let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
+        let all: Vec<LinkId> = links.ids().collect();
+        let classes = separation_partition(&quasi, &links, &all, eta);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, all.len());
+        for class in &classes {
+            prop_assert!(is_link_set_separated(&quasi, &links, class, eta));
+            prop_assert!(separation_of(&quasi, &links, class) >= eta || class.len() < 2);
+        }
+    }
+
+    #[test]
+    fn oblivious_powers_are_monotone(
+        (space, links) in arb_deployment(5),
+        tau in 0.0f64..1.0,
+    ) {
+        let p = PowerAssignment::Oblivious { tau, scale: 1.0 }
+            .powers(&space, &links)
+            .unwrap();
+        prop_assert!(is_monotone(&space, &links, &p, 1e-9));
+    }
+
+    #[test]
+    fn subsets_of_feasible_sets_are_feasible(
+        (space, links) in arb_deployment(6),
+    ) {
+        let params = SinrParams::default();
+        let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+        let aff = AffectanceMatrix::build(&space, &links, &powers, &params).unwrap();
+        let all: Vec<LinkId> = links.ids().collect();
+        if aff.is_feasible(&all) {
+            // Dropping any one link preserves feasibility (interference
+            // only decreases).
+            for drop in &all {
+                let sub: Vec<LinkId> =
+                    all.iter().copied().filter(|v| v != drop).collect();
+                prop_assert!(aff.is_feasible(&sub));
+            }
+        }
+    }
+}

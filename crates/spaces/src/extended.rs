@@ -1,0 +1,220 @@
+//! Beyond-planar generators: 3D deployments, dual-slope path loss, and
+//! obstructed grids.
+//!
+//! The paper's argument is that *any* static environment is just a decay
+//! matrix; these generators produce matrices whose deviation from planar
+//! geometric decay is controlled, so experiments can dial the metricity
+//! `ζ` and the dimensions smoothly between "free space" and "messy
+//! building":
+//!
+//! * [`geometric_space_3d`] — free-space decay in `R³` (`ζ = α`, Assouad
+//!   dimension of the point set up to 3).
+//! * [`dual_slope_space`] — the two-exponent path-loss model radio
+//!   engineers fit to real environments ([20] in the paper): exponent
+//!   `alpha_near` up to a breakpoint distance, `alpha_far` beyond it, with
+//!   a continuous seam.
+//! * [`obstructed_grid_space`] — a grid with horizontal "walls": decays
+//!   across a wall are multiplied by a penalty, the cheapest way to break
+//!   the distance–decay correlation without the full `decay-envsim`
+//!   machinery.
+
+use decay_core::{DecayError, DecaySpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in 3-space.
+pub type Point3 = (f64, f64, f64);
+
+/// Euclidean distance in `R³`.
+pub fn distance_3d(a: Point3, b: Point3) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    let dz = a.2 - b.2;
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+/// Geometric path loss over 3D points: `f(x, y) = dist(x, y)^alpha`.
+///
+/// # Errors
+///
+/// Returns an error if two points coincide.
+pub fn geometric_space_3d(points: &[Point3], alpha: f64) -> Result<DecaySpace, DecayError> {
+    DecaySpace::from_fn(points.len(), |i, j| {
+        distance_3d(points[i], points[j]).powf(alpha)
+    })
+}
+
+/// `n` uniformly random points in an axis-aligned cube of side `size`,
+/// deterministic in the seed.
+pub fn random_points_3d(n: usize, size: f64, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..size),
+                rng.gen_range(0.0..size),
+                rng.gen_range(0.0..size),
+            )
+        })
+        .collect()
+}
+
+/// Dual-slope path loss over planar points: exponent `alpha_near` for
+/// distances up to `breakpoint`, `alpha_far` beyond, continuous at the
+/// seam:
+///
+/// ```text
+/// f(d) = d^alpha_near                                   d <= breakpoint
+/// f(d) = breakpoint^(alpha_near - alpha_far) * d^alpha_far   otherwise
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if two points coincide.
+///
+/// # Panics
+///
+/// Panics if `breakpoint` is not positive.
+pub fn dual_slope_space(
+    points: &[super::Point],
+    alpha_near: f64,
+    alpha_far: f64,
+    breakpoint: f64,
+) -> Result<DecaySpace, DecayError> {
+    assert!(breakpoint > 0.0, "breakpoint must be positive");
+    let seam = breakpoint.powf(alpha_near - alpha_far);
+    DecaySpace::from_fn(points.len(), |i, j| {
+        let d = super::distance(points[i], points[j]);
+        if d <= breakpoint {
+            d.powf(alpha_near)
+        } else {
+            seam * d.powf(alpha_far)
+        }
+    })
+}
+
+/// A `k × k` grid (spacing 1) with horizontal walls after the given rows:
+/// decays between nodes on opposite sides of a wall are multiplied by
+/// `penalty` once per crossed wall.
+///
+/// With `penalty > 1` the space stops being geometric: two nodes one grid
+/// step apart across a wall decay like far-away nodes, which is exactly
+/// the "link quality is not correlated with distance" phenomenology the
+/// paper quotes.
+///
+/// # Errors
+///
+/// Returns an error only if `k == 0` (empty space).
+///
+/// # Panics
+///
+/// Panics if `penalty < 1` or a wall row is out of range.
+pub fn obstructed_grid_space(
+    k: usize,
+    alpha: f64,
+    wall_rows: &[usize],
+    penalty: f64,
+) -> Result<DecaySpace, DecayError> {
+    assert!(penalty >= 1.0, "wall penalty must be at least 1");
+    for &w in wall_rows {
+        assert!(w + 1 < k, "wall after row {w} out of range for k = {k}");
+    }
+    let row = |idx: usize| idx / k;
+    let col = |idx: usize| idx % k;
+    DecaySpace::from_fn(k * k, |i, j| {
+        let (ri, ci) = (row(i) as f64, col(i) as f64);
+        let (rj, cj) = (row(j) as f64, col(j) as f64);
+        let d = ((ri - rj).powi(2) + (ci - cj).powi(2)).sqrt();
+        let crossings = wall_rows
+            .iter()
+            .filter(|&&w| {
+                let lo = row(i).min(row(j));
+                let hi = row(i).max(row(j));
+                lo <= w && w < hi
+            })
+            .count();
+        d.powf(alpha) * penalty.powi(crossings as i32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::{metricity, NodeId};
+
+    #[test]
+    fn three_d_space_has_zeta_alpha() {
+        let pts = random_points_3d(12, 10.0, 3);
+        let space = geometric_space_3d(&pts, 3.0).unwrap();
+        let z = metricity(&space).zeta;
+        assert!((z - 3.0).abs() < 0.05, "zeta {z}");
+    }
+
+    #[test]
+    fn random_points_3d_is_deterministic() {
+        assert_eq!(random_points_3d(5, 1.0, 9), random_points_3d(5, 1.0, 9));
+        assert_ne!(random_points_3d(5, 1.0, 9), random_points_3d(5, 1.0, 10));
+    }
+
+    #[test]
+    fn dual_slope_is_continuous_at_the_breakpoint() {
+        let eps = 1e-6;
+        let pts = vec![(0.0, 0.0), (5.0 - eps, 0.0), (5.0 + eps, 0.0)];
+        let space = dual_slope_space(&pts, 2.0, 4.0, 5.0).unwrap();
+        let below = space.decay(NodeId::new(0), NodeId::new(1));
+        let above = space.decay(NodeId::new(0), NodeId::new(2));
+        assert!(
+            (below - above).abs() / below < 1e-4,
+            "seam jump: {below} vs {above}"
+        );
+    }
+
+    #[test]
+    fn dual_slope_zeta_between_the_exponents() {
+        let pts = crate::line_points(10, 1.3);
+        let space = dual_slope_space(&pts, 2.0, 4.0, 3.0).unwrap();
+        let z = metricity(&space).zeta;
+        assert!(z >= 2.0 - 0.05, "zeta {z}");
+        assert!(z <= 4.0 + 0.05, "zeta {z}");
+    }
+
+    #[test]
+    fn dual_slope_with_equal_exponents_is_plain_geometric() {
+        let pts = crate::line_points(6, 1.0);
+        let dual = dual_slope_space(&pts, 2.0, 2.0, 3.0).unwrap();
+        let plain = crate::geometric_space(&pts, 2.0).unwrap();
+        for (a, b, f) in plain.ordered_pairs() {
+            assert!((dual.decay(a, b) - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn walls_raise_decay_and_zeta() {
+        let plain = obstructed_grid_space(4, 2.0, &[], 1.0).unwrap();
+        let walled = obstructed_grid_space(4, 2.0, &[1], 50.0).unwrap();
+        // Crossing pair: node 4 (row 1) to node 8 (row 2).
+        let a = NodeId::new(4);
+        let b = NodeId::new(8);
+        assert!(walled.decay(a, b) > plain.decay(a, b) * 10.0);
+        // Same-side pair unchanged.
+        let c = NodeId::new(0);
+        let d = NodeId::new(5);
+        assert_eq!(walled.decay(c, d), plain.decay(c, d));
+        // The wall makes the space strictly less metric.
+        assert!(metricity(&walled).zeta > metricity(&plain).zeta);
+    }
+
+    #[test]
+    fn wall_crossings_compound() {
+        let walled = obstructed_grid_space(4, 2.0, &[0, 2], 10.0).unwrap();
+        // Node 0 (row 0) to node 12 (row 3): crosses both walls.
+        let f = walled.decay(NodeId::new(0), NodeId::new(12));
+        assert!((f - 9.0 * 100.0).abs() < 1e-9, "decay {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_wall_is_rejected() {
+        let _ = obstructed_grid_space(3, 2.0, &[2], 10.0);
+    }
+}

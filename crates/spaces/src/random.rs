@@ -1,0 +1,151 @@
+//! Random (pre-metric) decay spaces and link deployments.
+//!
+//! Fully random decays model the "abstract SINR" end of the spectrum
+//! (arbitrary gain matrices); geometric deployments with random endpoints
+//! model realistic traffic over a physical space.
+
+use decay_core::{DecayError, DecaySpace, NodeId};
+use decay_sinr::{Link, LinkSet, SinrError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::euclid::{geometric_space, random_points, Point};
+
+/// A fully random premetric: each ordered pair's decay drawn
+/// log-uniformly from `[lo, hi]`, deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns an error only on degenerate ranges.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi`.
+pub fn random_premetric(n: usize, lo: f64, hi: f64, seed: u64) -> Result<DecaySpace, DecayError> {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (ll, lh) = (lo.ln(), hi.ln());
+    let n2 = n * n;
+    let vals: Vec<f64> = (0..n2).map(|_| rng.gen_range(ll..=lh).exp()).collect();
+    DecaySpace::from_fn(n, |i, j| vals[i * n + j])
+}
+
+/// A random planar deployment of `m` links: all `2m` endpoints uniform in
+/// a `size × size` box, sender `i` talking to receiver `i`, geometric
+/// decay with exponent `alpha`.
+///
+/// Returns the space, the links, and the endpoint positions (senders
+/// first: node `2i` is sender `i`, node `2i+1` its receiver).
+///
+/// # Errors
+///
+/// Propagates construction failures (cannot occur for the sampled
+/// point sets).
+pub fn random_link_deployment(
+    m: usize,
+    size: f64,
+    alpha: f64,
+    seed: u64,
+) -> Result<(DecaySpace, LinkSet, Vec<Point>), SinrError> {
+    let pts = random_points(2 * m, size, seed);
+    let space = geometric_space(&pts, alpha).expect("sampled points are distinct");
+    let links: Vec<Link> = (0..m)
+        .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+        .collect();
+    let links = LinkSet::new(&space, links)?;
+    Ok((space, links, pts))
+}
+
+/// A random planar deployment with bounded link length: receiver `i` is
+/// placed uniformly in a disk of radius `max_len` (at least `min_len`)
+/// around its sender. Produces the "reasonable length" workloads the
+/// capacity literature evaluates on.
+///
+/// # Errors
+///
+/// Propagates construction failures (cannot occur for the sampled
+/// point sets).
+///
+/// # Panics
+///
+/// Panics unless `0 < min_len < max_len`.
+pub fn bounded_length_deployment(
+    m: usize,
+    size: f64,
+    min_len: f64,
+    max_len: f64,
+    alpha: f64,
+    seed: u64,
+) -> Result<(DecaySpace, LinkSet, Vec<Point>), SinrError> {
+    assert!(
+        min_len > 0.0 && max_len > min_len,
+        "need 0 < min_len < max_len"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts: Vec<Point> = Vec::with_capacity(2 * m);
+    while pts.len() < 2 * m {
+        let s = (rng.gen_range(0.0..size), rng.gen_range(0.0..size));
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let len = rng.gen_range(min_len..max_len);
+        let r = (s.0 + len * theta.cos(), s.1 + len * theta.sin());
+        // Keep all nodes pairwise distinct.
+        let ok = pts
+            .iter()
+            .chain(std::iter::once(&s))
+            .all(|&p| crate::euclid::distance(p, r) > 1e-9)
+            && pts.iter().all(|&p| crate::euclid::distance(p, s) > 1e-9);
+        if ok {
+            pts.push(s);
+            pts.push(r);
+        }
+    }
+    let space = geometric_space(&pts, alpha).expect("sampled points are distinct");
+    let links: Vec<Link> = (0..m)
+        .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+        .collect();
+    let links = LinkSet::new(&space, links)?;
+    Ok((space, links, pts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::metricity;
+
+    #[test]
+    fn random_premetric_is_deterministic() {
+        let a = random_premetric(6, 0.5, 50.0, 1).unwrap();
+        let b = random_premetric(6, 0.5, 50.0, 1).unwrap();
+        assert_eq!(a, b);
+        assert!(metricity(&a).zeta <= decay_core::zeta_upper_bound(&a) + 1e-9);
+    }
+
+    #[test]
+    fn random_premetric_range_respected() {
+        let s = random_premetric(8, 2.0, 4.0, 9).unwrap();
+        assert!(s.min_decay() >= 2.0);
+        assert!(s.max_decay() <= 4.0);
+    }
+
+    #[test]
+    fn deployment_links_use_paired_nodes() {
+        let (space, links, pts) = random_link_deployment(5, 100.0, 2.0, 3).unwrap();
+        assert_eq!(space.len(), 10);
+        assert_eq!(links.len(), 5);
+        assert_eq!(pts.len(), 10);
+        for (i, (_, l)) in links.iter().enumerate() {
+            assert_eq!(l.sender.index(), 2 * i);
+            assert_eq!(l.receiver.index(), 2 * i + 1);
+        }
+    }
+
+    #[test]
+    fn bounded_length_respects_bounds() {
+        let (space, links, _) = bounded_length_deployment(8, 100.0, 2.0, 5.0, 2.0, 7).unwrap();
+        for id in links.ids() {
+            let f = links.decay_of(&space, id);
+            let len = f.sqrt(); // alpha = 2
+            assert!(len >= 2.0 - 1e-9 && len <= 5.0 + 1e-9, "len = {len}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's special decay spaces: the uniform space, the star of
+//! Section 3.4, Welzl's doubling-1/unbounded-independence construction,
+//! and the three-point `φ`-vs-`ζ` gap instance of Section 4.2.
+
+use decay_core::{DecayError, DecaySpace, NodeId};
+
+/// The uniform space: all decays equal `decay`.
+///
+/// Independence dimension 1 but unbounded doubling dimension — one half of
+/// the paper's demonstration that the two growth measures are
+/// incomparable.
+///
+/// # Panics
+///
+/// Panics if `decay` is not positive and finite or `n == 0`.
+pub fn uniform_space(n: usize, decay: f64) -> DecaySpace {
+    assert!(decay.is_finite() && decay > 0.0, "decay must be positive");
+    assert!(n > 0, "space must be non-empty");
+    DecaySpace::from_fn(n, |_, _| decay).expect("constant positive decays are valid")
+}
+
+/// The star metric of Section 3.4: center `x0` (node 0), one near leaf
+/// `x_{-1}` at decay `r` (node 1), and `k` far leaves at decay `k²`
+/// (nodes `2..k+2`). Decay equals distance along the star (`ζ = 1`).
+///
+/// Doubling dimension grows with `k`, yet the total interference of the
+/// far leaves at `x_{-1}` is only `k / (k² + r) ≈ 1/k`: a space that is
+/// not fading but has a small fading *value* at the scale of interest.
+///
+/// # Errors
+///
+/// Returns an error only on degenerate parameters (propagated from space
+/// construction).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `r` is not positive and finite.
+pub fn star_space(k: usize, r: f64) -> Result<DecaySpace, DecayError> {
+    assert!(k > 0, "star needs at least one far leaf");
+    assert!(r.is_finite() && r > 0.0, "near-leaf distance must be positive");
+    let far = (k * k) as f64;
+    let n = k + 2;
+    DecaySpace::from_fn(n, |i, j| {
+        let leg = |v: usize| -> f64 {
+            match v {
+                0 => 0.0,    // center
+                1 => r,      // near leaf
+                _ => far,    // far leaves
+            }
+        };
+        if i == 0 || j == 0 {
+            leg(i.max(j))
+        } else {
+            leg(i) + leg(j)
+        }
+    })
+}
+
+/// Node ids of the [`star_space`] pieces: `(center, near_leaf, far_leaves)`.
+pub fn star_nodes(k: usize) -> (NodeId, NodeId, Vec<NodeId>) {
+    (
+        NodeId::new(0),
+        NodeId::new(1),
+        (2..k + 2).map(NodeId::new).collect(),
+    )
+}
+
+/// Welzl's construction: a metric of doubling dimension 1 whose
+/// independence dimension is unbounded. Node 0 plays `v_{-1}`; node `i+1`
+/// plays `v_i` with `d(v_{-1}, v_i) = 2^i − ε` and `d(v_j, v_i) = 2^i` for
+/// `j < i`.
+///
+/// # Panics
+///
+/// Panics unless `0 < eps <= 0.25` (the paper requires `ε ≤ 1/4`) and
+/// `n >= 1`.
+pub fn welzl_space(n: usize, eps: f64) -> DecaySpace {
+    assert!(n >= 1, "construction needs at least one v_i");
+    assert!(eps > 0.0 && eps <= 0.25, "epsilon must be in (0, 1/4]");
+    DecaySpace::from_fn(n + 2, |a, b| {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let i = hi - 1;
+        if lo == 0 {
+            2.0_f64.powi(i as i32) - eps
+        } else {
+            2.0_f64.powi(i as i32)
+        }
+    })
+    .expect("all decays positive")
+}
+
+/// The three-point gap instance of Section 4.2: `f_ab = 1`, `f_bc = q`,
+/// `f_ac = 2q`. Its `ϕ` stays at most 2 while `ζ = Θ(log q / log log q)`
+/// grows without bound — the demonstration that no function of `φ` bounds
+/// `ζ`.
+///
+/// # Panics
+///
+/// Panics unless `q > 1`.
+pub fn phi_gap_space(q: f64) -> DecaySpace {
+    assert!(q.is_finite() && q > 1.0, "gap parameter q must exceed 1");
+    DecaySpace::from_matrix(
+        3,
+        vec![
+            0.0, 1.0, 2.0 * q, //
+            1.0, 0.0, q, //
+            2.0 * q, q, 0.0,
+        ],
+    )
+    .expect("fixed positive entries")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::{
+        fading_value, independence_at, independence_dimension, metricity, phi_metricity,
+    };
+
+    #[test]
+    fn uniform_space_parameters() {
+        let s = uniform_space(6, 2.0);
+        assert_eq!(s.min_decay(), 2.0);
+        assert_eq!(s.max_decay(), 2.0);
+        assert_eq!(metricity(&s).zeta, 0.0); // no triple binds
+        assert_eq!(independence_dimension(&s).dimension(), 1);
+    }
+
+    #[test]
+    fn star_interference_shrinks_like_one_over_k() {
+        for k in [4usize, 16, 64] {
+            let r = 2.0;
+            let s = star_space(k, r).unwrap();
+            let (_, near, far) = star_nodes(k);
+            // Interference at the near leaf from the far leaves only.
+            let mut nodes = vec![near];
+            nodes.extend(far);
+            let sub = s.restrict(&nodes).unwrap();
+            let fv = fading_value(&sub, NodeId::new(0), r);
+            let interference = fv.value / r;
+            let expected = k as f64 / (r + (k * k) as f64);
+            assert!(
+                (interference - expected).abs() < 1e-9,
+                "k={k}: {interference} vs {expected}"
+            );
+            // Signal from the center dominates: 1/r >> 1/k.
+            assert!(interference < 1.0 / r);
+        }
+    }
+
+    #[test]
+    fn star_metricity_is_one() {
+        // Decay = metric distance along the star, so zeta = 1 (within
+        // rounding; the triangle is tight through the center).
+        let s = star_space(8, 3.0).unwrap();
+        let z = metricity(&s).zeta;
+        assert!(z <= 1.0 + 1e-9, "zeta = {z}");
+    }
+
+    #[test]
+    fn welzl_space_independence_unbounded() {
+        for n in [4usize, 8, 12] {
+            let s = welzl_space(n, 0.25);
+            let ind = independence_at(&s, NodeId::new(0));
+            assert_eq!(ind.dimension(), n + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn welzl_space_is_a_metric() {
+        let s = welzl_space(6, 0.25);
+        assert!(s.is_symmetric(0.0));
+        // zeta <= 1: the decays already satisfy the triangle inequality.
+        assert!(metricity(&s).zeta <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn phi_gap_grows_with_q() {
+        let mut last_zeta = 0.0;
+        for q in [1e2, 1e4, 1e8] {
+            let s = phi_gap_space(q);
+            let p = phi_metricity(&s);
+            let m = metricity(&s);
+            assert!(p.varphi <= 2.0 + 1e-9, "varphi = {}", p.varphi);
+            assert!(m.zeta > last_zeta, "zeta should grow with q");
+            last_zeta = m.zeta;
+        }
+        assert!(last_zeta > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1/4]")]
+    fn welzl_rejects_large_eps() {
+        welzl_space(4, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap parameter q must exceed 1")]
+    fn phi_gap_rejects_small_q() {
+        phi_gap_space(1.0);
+    }
+}

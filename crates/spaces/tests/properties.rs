@@ -1,0 +1,152 @@
+//! Property tests: every generator yields valid decay spaces whose
+//! parameters behave as documented.
+
+use decay_core::{metricity, phi_metricity, DecaySpace, NodeId};
+use decay_spaces::{
+    dual_slope_space, geometric_space, geometric_space_3d, obstructed_grid_space,
+    random_points, random_points_3d, random_premetric, uniform_space, welzl_space,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn geometric_zeta_equals_alpha_and_scales_invariantly(
+        alpha in 1.5f64..5.0,
+        seed in 0u64..500,
+        scale in 0.1f64..100.0,
+    ) {
+        let pts = random_points(10, 50.0, seed);
+        let space = geometric_space(&pts, alpha).unwrap();
+        let z = metricity(&space).zeta;
+        prop_assert!((z - alpha).abs() < 0.05, "zeta {z} vs alpha {alpha}");
+        // Rescaling decays never changes the metricity.
+        let z2 = metricity(&space.scaled(scale)).zeta;
+        prop_assert!((z - z2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_3d_zeta_tracks_alpha(alpha in 1.5f64..4.0, seed in 0u64..200) {
+        // In 3D, zeta <= alpha always; equality needs a near-collinear
+        // triple, which a small random cloud may lack, so the lower side
+        // gets slack.
+        let pts = random_points_3d(10, 20.0, seed);
+        let space = geometric_space_3d(&pts, alpha).unwrap();
+        let z = metricity(&space).zeta;
+        prop_assert!(z <= alpha + 0.05, "zeta {z} above alpha {alpha}");
+        prop_assert!(z >= 0.8 * alpha, "zeta {z} far below alpha {alpha}");
+    }
+
+    #[test]
+    fn dual_slope_zeta_lies_between_the_exponents(
+        near in 1.5f64..3.0,
+        extra in 0.1f64..2.5,
+        breakpoint in 1.0f64..6.0,
+        seed in 0u64..200,
+    ) {
+        let far = near + extra;
+        let pts = random_points(9, 12.0, seed);
+        let space = dual_slope_space(&pts, near, far, breakpoint).unwrap();
+        let z = metricity(&space).zeta;
+        prop_assert!(z >= near - 0.05, "zeta {z} below near exponent {near}");
+        prop_assert!(z <= far + 0.05, "zeta {z} above far exponent {far}");
+    }
+
+    #[test]
+    fn obstructed_grid_decay_is_monotone_in_penalty(
+        penalty in 1.0f64..100.0,
+    ) {
+        let plain = obstructed_grid_space(4, 2.0, &[1], 1.0).unwrap();
+        let walled = obstructed_grid_space(4, 2.0, &[1], penalty).unwrap();
+        for (a, b, f) in plain.ordered_pairs() {
+            prop_assert!(walled.decay(a, b) >= f - 1e-12);
+        }
+        // phi <= zeta must survive the perturbation (the paper's
+        // corrected inequality, DESIGN.md note 2).
+        let z = metricity(&walled).zeta;
+        let phi = phi_metricity(&walled).phi;
+        prop_assert!(phi <= z + 1e-6, "phi {phi} vs zeta {z}");
+    }
+
+    #[test]
+    fn random_premetric_is_valid_and_bounded(
+        seed in 0u64..500,
+        lo in 0.1f64..1.0,
+        span in 1.0f64..50.0,
+    ) {
+        let hi = lo + span;
+        let space = random_premetric(8, lo, hi, seed).unwrap();
+        for (a, b, f) in space.ordered_pairs() {
+            prop_assert!(f >= lo && f <= hi, "{a}->{b}: {f}");
+        }
+        // zeta is capped by lg(max/min) (Definition 2.2 remark).
+        let z = metricity(&space).zeta;
+        let cap = (space.max_decay() / space.min_decay()).log2();
+        prop_assert!(z <= cap.max(1.0) + 1e-6, "zeta {z} vs cap {cap}");
+    }
+
+    #[test]
+    fn uniform_space_is_an_ultrametric(decay in 0.5f64..20.0, n in 3usize..12) {
+        let space = uniform_space(n, decay);
+        // Every triple satisfies the triangle inequality at any exponent:
+        // metricity is at most 1 (ultrametric-like).
+        let z = metricity(&space).zeta;
+        prop_assert!(z <= 1.0 + 1e-9, "zeta {z}");
+    }
+
+    #[test]
+    fn welzl_space_is_a_metric(n in 3usize..10, eps in 0.01f64..0.25) {
+        // Welzl's construction is a genuine metric: f^{1/1} satisfies the
+        // triangle inequality, i.e. zeta <= 1.
+        let space = welzl_space(n, eps);
+        let z = metricity(&space).zeta;
+        prop_assert!(z <= 1.0 + 1e-9, "zeta {z}");
+    }
+
+    #[test]
+    fn powered_spaces_scale_metricity_linearly(
+        k in 1.1f64..3.0,
+        seed in 0u64..200,
+    ) {
+        let pts = random_points(8, 30.0, seed);
+        let space = geometric_space(&pts, 2.0).unwrap();
+        let z1 = metricity(&space).zeta;
+        let z2 = metricity(&space.powered(k)).zeta;
+        prop_assert!((z2 - k * z1).abs() < 0.1, "{z2} vs {}", k * z1);
+    }
+}
+
+/// Non-proptest sanity: generators reject degenerate inputs loudly.
+#[test]
+fn coincident_points_are_rejected() {
+    let pts = vec![(0.0, 0.0), (0.0, 0.0)];
+    assert!(geometric_space(&pts, 2.0).is_err());
+    assert!(dual_slope_space(&pts, 2.0, 3.0, 1.0).is_err());
+}
+
+/// The two-sided composition: an obstructed grid powered and scaled keeps
+/// the documented monotonicity chain.
+#[test]
+fn obstructed_grid_composes_with_space_transforms() {
+    let base = obstructed_grid_space(3, 2.0, &[0], 10.0).unwrap();
+    let transformed = base.powered(1.5).scaled(3.0);
+    assert_eq!(transformed.len(), 9);
+    let a = NodeId::new(0);
+    let b = NodeId::new(8);
+    assert!((transformed.decay(a, b) - 3.0 * base.decay(a, b).powf(1.5)).abs() < 1e-9);
+}
+
+/// Cross-check that DecaySpace::from_fn and the generator agree.
+#[test]
+fn generator_matches_manual_construction() {
+    let pts = vec![(0.0, 0.0), (3.0, 4.0), (6.0, 8.0)];
+    let gen = geometric_space(&pts, 2.0).unwrap();
+    let manual = DecaySpace::from_fn(3, |i, j| {
+        let (xi, yi) = pts[i];
+        let (xj, yj) = pts[j];
+        (xi - xj).powi(2) + (yi - yj).powi(2)
+    })
+    .unwrap();
+    assert_eq!(gen, manual);
+}

@@ -1,0 +1,83 @@
+//! A tour of the paper's adversarial constructions: what breaks, and what
+//! the metricity parameters say about it.
+//!
+//! ```text
+//! cargo run --release --example hardness_gallery
+//! ```
+
+use beyond_geometry::core::{
+    assouad_dimension_fit, independence_at, zeta_upper_bound,
+};
+use beyond_geometry::prelude::*;
+use beyond_geometry::spaces::{phi_gap_space, star_nodes, star_space, welzl_space};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- Theorem 3: unit-decay instances (capacity == MAX INDEPENDENT SET) ---");
+    let g = Graph::gnp(14, 0.5, 3);
+    let inst = unit_decay_instance(&g)?;
+    let zeta = metricity(&inst.space).zeta;
+    println!(
+        "n = {}, zeta = {zeta:.3} (<= lg 2n = {:.3}), optimum capacity = MIS = {}",
+        g.len(),
+        (2.0 * g.len() as f64).log2(),
+        inst.optimum()
+    );
+    let params = SinrParams::default();
+    let powers = PowerAssignment::unit().powers(&inst.space, &inst.links)?;
+    let aff = AffectanceMatrix::build(&inst.space, &inst.links, &powers, &params)?;
+    let quasi = QuasiMetric::from_space_with_exponent(&inst.space, zeta.max(1.0));
+    let alg = algorithm1(&inst.space, &inst.links, &quasi, &aff, None);
+    println!(
+        "algorithm 1 finds {} — a 2^zeta-ish gap is unavoidable here (Theorem 3)",
+        alg.size()
+    );
+
+    println!("\n--- Theorem 6: two-line instances (bounded growth, linear phi, still MIS-hard) ---");
+    let inst2 = two_line_instance(&g, 2.0, 0.25)?;
+    let p = phi_metricity(&inst2.space);
+    let a = assouad_dimension_fit(&inst2.space, &[2.0, 4.0, 8.0]);
+    println!(
+        "varphi = {:.1} (= O(n)), assouad fit = {:.2} (doubling), independence dim = {}",
+        p.varphi,
+        a.dimension,
+        independence_dimension(&inst2.space).dimension()
+    );
+    println!("optimum capacity still equals MIS = {}", inst2.optimum());
+
+    println!("\n--- Section 4.2: the phi-vs-zeta gap family ---");
+    for q in [1e3, 1e6, 1e12] {
+        let s = phi_gap_space(q);
+        println!(
+            "q = 1e{:>2}: varphi = {:.3} (bounded), zeta = {:.2} (grows like log q / log log q)",
+            q.log10() as i32,
+            phi_metricity(&s).varphi,
+            metricity(&s).zeta
+        );
+    }
+
+    println!("\n--- Section 3.4: the star (unbounded doubling dim, benign interference) ---");
+    for k in [8usize, 64] {
+        let r = 2.0;
+        let s = star_space(k, r)?;
+        let (_, near, far) = star_nodes(k);
+        let mut nodes = vec![near];
+        nodes.extend(far);
+        let sub = s.restrict(&nodes)?;
+        let fv = beyond_geometry::core::fading_value(&sub, NodeId::new(0), r);
+        println!(
+            "k = {k:>3}: interference at x_-1 = {:.4} vs signal {:.4} (ratio ~1/k)",
+            fv.value / r,
+            1.0 / r
+        );
+    }
+
+    println!("\n--- Welzl's construction: doubling dim 1, unbounded independence ---");
+    let w = welzl_space(10, 0.25);
+    println!(
+        "n = 12 nodes: independence w.r.t. v_-1 = {} (= n+1), zeta = {:.3}, zeta cap = {:.2}",
+        independence_at(&w, NodeId::new(0)).dimension(),
+        metricity(&w).zeta,
+        zeta_upper_bound(&w)
+    );
+    Ok(())
+}

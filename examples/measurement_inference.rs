@@ -1,0 +1,55 @@
+//! Decay-space inference from packet reception rates (paper Section 2.2:
+//! decays "can also be inferred by packet reception rates").
+//!
+//! Pipeline: ground-truth space → Rayleigh-faded probe campaign → PRR
+//! matrix → inverted decay estimates → compare parameters and capacity
+//! decisions against the truth.
+//!
+//! ```text
+//! cargo run --release --example measurement_inference
+//! ```
+
+use beyond_geometry::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth: a random deployment, rescaled so that probe PRRs are
+    // informative for the chosen noise floor (median decay ~ 1/noise).
+    let (raw, links, _) = random_link_deployment(10, 40.0, 2.6, 21)?;
+    let mut decays: Vec<f64> = raw.ordered_pairs().map(|(_, _, f)| f).collect();
+    decays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = decays[decays.len() / 2];
+    let noise = 0.3;
+    let truth = raw.scaled(1.0 / (median * noise));
+    let params = SinrParams::new(1.0, noise)?;
+
+    println!("truth: {truth}");
+    println!("zeta(truth) = {:.3}\n", metricity(&truth).zeta);
+
+    for rounds in [100usize, 1000, 5000] {
+        let prr = run_probe_campaign(&truth, &params, ReceptionModel::Rayleigh, rounds, 1.0, 3);
+        let outcome = infer_decay_from_prr(&prr, 1.0, &params)?;
+        let report = compare_decays(&truth, &outcome.space, &outcome.unreliable_pairs());
+        println!(
+            "{rounds:>5} probes: mean |log10 err| {:.4}  corr {:.4}  zeta {:.3}  censored {}",
+            report.mean_abs_log10_error,
+            report.log_correlation,
+            metricity(&outcome.space).zeta,
+            outcome.censored.len(),
+        );
+        // Do capacity decisions transfer? Run the same greedy on both.
+        let p = SinrParams::default();
+        let powers = PowerAssignment::unit().powers(&truth, &links)?;
+        let aff_truth = AffectanceMatrix::build(&truth, &links, &powers, &p)?;
+        let aff_inf = AffectanceMatrix::build(&outcome.space, &links, &powers, &p)?;
+        let sel_truth = greedy_affectance(&truth, &links, &aff_truth, None).selected;
+        let sel_inf = greedy_affectance(&outcome.space, &links, &aff_inf, None).selected;
+        let overlap = sel_truth.iter().filter(|v| sel_inf.contains(v)).count();
+        println!(
+            "       greedy capacity: truth {} links, inferred {} links, overlap {}",
+            sel_truth.len(),
+            sel_inf.len(),
+            overlap,
+        );
+    }
+    Ok(())
+}

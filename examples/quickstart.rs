@@ -1,0 +1,54 @@
+//! Quickstart: build a decay space, inspect its parameters, and run the
+//! paper's Algorithm 1 on a random link deployment.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use beyond_geometry::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A decay space: here geometric path loss over random points, the
+    //    setting where the metricity zeta equals the path-loss alpha.
+    let (space, links, _positions) = random_link_deployment(14, 80.0, 2.8, 42)?;
+    println!("space: {space}");
+
+    // 2. The paper's parameters.
+    let m = metricity(&space);
+    let p = phi_metricity(&space);
+    let a = assouad_dimension_fit(&space, &[2.0, 4.0, 8.0]);
+    println!("zeta      = {:.3}   (paper: equals alpha = 2.8 in GEO-SINR)", m.zeta);
+    println!("phi       = {:.3}   (paper: phi <= zeta)", p.phi);
+    println!("assouad A = {:.3}   (fading space iff A < 1)", a.dimension);
+
+    // 3. SINR machinery: uniform power, affectance, feasibility.
+    let params = SinrParams::default();
+    let powers = PowerAssignment::unit().powers(&space, &links)?;
+    let aff = AffectanceMatrix::build(&space, &links, &powers, &params)?;
+    let quasi = QuasiMetric::from_space_with_exponent(&space, m.zeta_at_least_one());
+
+    // 4. Capacity: Algorithm 1 versus the general-metric greedy and the
+    //    exact optimum.
+    let alg1 = algorithm1(&space, &links, &quasi, &aff, None);
+    let greedy = greedy_affectance(&space, &links, &aff, None);
+    let all: Vec<LinkId> = links.ids().collect();
+    let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+    println!(
+        "capacity: optimum = {}, algorithm 1 = {}, greedy[30] = {}",
+        opt.len(),
+        alg1.size(),
+        greedy.size()
+    );
+    assert!(aff.is_feasible(&alg1.selected));
+
+    // 5. Schedule every link into feasible slots.
+    let schedule = schedule_by_capacity(&aff, &all, |rem| {
+        algorithm1(&space, &links, &quasi, &aff, Some(rem)).selected
+    });
+    println!(
+        "scheduling: all {} links in {} feasible slots",
+        schedule.scheduled(),
+        schedule.len()
+    );
+    Ok(())
+}

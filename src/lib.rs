@@ -1,0 +1,76 @@
+//! # beyond-geometry
+//!
+//! A from-scratch Rust reproduction of *Beyond Geometry: Towards Fully
+//! Realistic Wireless Models* (Bodlaender & Halldórsson, PODC 2014,
+//! arXiv:1402.5003): decay spaces and their parameters, SINR machinery,
+//! capacity algorithms, hardness constructions, an indoor propagation
+//! simulator, a slot-synchronous network simulator, and distributed
+//! protocols.
+//!
+//! This facade re-exports the workspace crates under stable module names;
+//! depend on the individual crates for finer-grained builds.
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`core`] | decay spaces, metricity `ζ`, `φ`, quasi-metrics, dimensions, fading `γ`, independence/guards |
+//! | [`sinr`] | links, powers, affectance, feasibility, partition lemmas |
+//! | [`spaces`] | geometric/random/special/adversarial space generators |
+//! | [`envsim`] | indoor propagation + RSSI measurement simulator |
+//! | [`capacity`] | Algorithm 1, greedy baselines, exact optimum, amicability, scheduling |
+//! | [`netsim`] | slot-synchronous SINR network simulator |
+//! | [`distributed`] | regret capacity game, randomized local broadcast |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use beyond_geometry::prelude::*;
+//!
+//! // Simulate an office, measure its decay space, run capacity on it.
+//! let scenario = OfficeConfig::default().build();
+//! let zeta = metricity(&scenario.truth).zeta_at_least_one();
+//! assert!(zeta > 1.0);
+//! ```
+
+pub use decay_capacity as capacity;
+pub use decay_core as core;
+pub use decay_distributed as distributed;
+pub use decay_envsim as envsim;
+pub use decay_netsim as netsim;
+pub use decay_sinr as sinr;
+pub use decay_spaces as spaces;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use decay_capacity::{
+        aggregation_tree, algorithm1, arrival_order, conflict_schedule_report,
+        greedy_affectance, max_feasible_subset, max_weight_feasible_subset, online_capacity,
+        run_auction, schedule_aggregation, schedule_by_capacity, weighted_greedy,
+        ArrivalOrder, AuctionConfig, CapacityResult, OnlineRule, EXACT_CAPACITY_LIMIT,
+        EXACT_WEIGHTED_LIMIT,
+    };
+    pub use decay_core::{
+        assouad_dimension_fit, fading_parameter, independence_dimension, metricity,
+        phi_metricity, DecayError, DecaySpace, NodeId, QuasiMetric,
+    };
+    pub use decay_distributed::{
+        adversarial_regret_game, regret_capacity_game, run_coloring, run_contention,
+        run_dominating_set, run_local_broadcast, run_multi_broadcast, run_queueing,
+        AdversarialConfig, BroadcastConfig, ColoringConfig, ContentionConfig,
+        DominatingConfig, MultiBroadcastConfig, QueueingConfig, RegretConfig,
+    };
+    pub use decay_envsim::{
+        Device, FloorPlan, MeasurementModel, OfficeConfig, PropagationModel,
+    };
+    pub use decay_netsim::{
+        compare_decays, infer_decay_from_prr, run_probe_campaign, Action, FaultPlan,
+        NodeBehavior, ReceptionModel, Simulator, SlotContext,
+    };
+    pub use decay_sinr::{
+        inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,
+        LinkId, LinkSet, PowerAssignment, SinrParams,
+    };
+    pub use decay_spaces::{
+        geometric_space, random_link_deployment, random_points, two_line_instance,
+        unit_decay_instance, Graph,
+    };
+}

@@ -1,0 +1,31 @@
+//! Smoke test: every registered experiment runs and none reports a
+//! violated claim. This is the executable version of EXPERIMENTS.md.
+
+use decay_bench::experiments;
+
+#[test]
+fn all_experiments_run_without_violations() {
+    for exp in experiments::all() {
+        let table = (exp.run)();
+        assert_eq!(table.id, exp.id);
+        assert!(!table.rows.is_empty(), "{} produced no rows", exp.id);
+        assert!(
+            !table.verdict.contains("VIOLATED"),
+            "{} reports a violation: {}",
+            exp.id,
+            table.verdict
+        );
+        // Tables render and serialize.
+        assert!(!table.to_string().is_empty());
+        assert!(table.to_csv().lines().count() == table.rows.len() + 1);
+    }
+}
+
+#[test]
+fn experiment_ids_are_unique() {
+    let mut ids: Vec<&str> = experiments::all().iter().map(|e| e.id).collect();
+    let before = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), before);
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: floor plan → decay space → parameters →
+//! capacity → scheduling → distributed protocols, across crates.
+
+use beyond_geometry::core::{
+    assouad_dimension_fit, fading_parameter, phi_metricity, zeta_upper_bound,
+};
+use beyond_geometry::envsim::distance_decay_correlation;
+use beyond_geometry::prelude::*;
+
+fn office_scenario() -> beyond_geometry::envsim::OfficeScenario {
+    OfficeConfig {
+        rooms_x: 3,
+        rooms_y: 2,
+        motes_per_room: 3,
+        wall_loss_db: 8.0,
+        seed: 99,
+        ..Default::default()
+    }
+    .build()
+}
+
+#[test]
+fn office_to_parameters_pipeline() {
+    let sc = office_scenario();
+    let m = metricity(&sc.truth);
+    assert!(m.zeta > 1.0, "indoor zeta should exceed 1, got {}", m.zeta);
+    assert!(m.zeta <= zeta_upper_bound(&sc.truth) + 1e-9);
+    // phi <= zeta (Section 4.2).
+    let p = phi_metricity(&sc.truth);
+    assert!(p.varphi <= 2f64.powf(m.zeta) * (1.0 + 1e-9));
+    // Quasi-metric at zeta satisfies the triangle inequality.
+    let quasi = QuasiMetric::from_space_with_exponent(&sc.truth, m.zeta_at_least_one());
+    assert!(quasi.triangle_violation() <= 1e-9);
+    // Indoor decorrelation below free-space levels.
+    let corr = distance_decay_correlation(&sc.positions, &sc.truth);
+    assert!(corr < 0.97, "corr = {corr}");
+}
+
+#[test]
+fn office_capacity_and_scheduling_pipeline() {
+    let sc = office_scenario();
+    let n = sc.len();
+    // Links between motes across the office.
+    let mut link_vec = Vec::new();
+    for k in 0..10usize {
+        let s = (3 * k + 1) % n;
+        let r = (3 * k + 8) % n;
+        if s != r {
+            link_vec.push(Link::new(NodeId::new(s), NodeId::new(r)));
+        }
+    }
+    let links = LinkSet::new(&sc.truth, link_vec).expect("valid links");
+    let params = SinrParams::default();
+    let powers = PowerAssignment::unit().powers(&sc.truth, &links).unwrap();
+    let aff = AffectanceMatrix::build(&sc.truth, &links, &powers, &params).unwrap();
+    let zeta = metricity(&sc.truth).zeta_at_least_one();
+    let quasi = QuasiMetric::from_space_with_exponent(&sc.truth, zeta);
+
+    // Every algorithm must return feasible sets.
+    let a1 = algorithm1(&sc.truth, &links, &quasi, &aff, None);
+    assert!(aff.is_feasible(&a1.selected));
+    let gr = greedy_affectance(&sc.truth, &links, &aff, None);
+    assert!(aff.is_feasible(&gr.selected));
+    // Exact optimum dominates both.
+    let all: Vec<LinkId> = links.ids().collect();
+    let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+    assert!(opt.len() >= a1.size());
+    assert!(opt.len() >= gr.size());
+    // Scheduling covers everything in feasible slots.
+    let sched = schedule_by_capacity(&aff, &all, |rem| {
+        algorithm1(&sc.truth, &links, &quasi, &aff, Some(rem)).selected
+    });
+    assert_eq!(sched.scheduled() + sched.dropped.len(), all.len());
+    for slot in &sched.slots {
+        assert!(aff.is_feasible(slot));
+    }
+}
+
+#[test]
+fn office_broadcast_pipeline() {
+    let sc = office_scenario();
+    let report = run_local_broadcast(
+        &sc.truth,
+        &SinrParams::default(),
+        &BroadcastConfig {
+            neighborhood_decay: 1e7, // 70 dB budget
+            seed: 3,
+            max_slots: 300_000,
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.completed_in.is_some(),
+        "broadcast incomplete at coverage {}",
+        report.coverage
+    );
+    // Fading parameter of the office at a moderate scale is finite and
+    // sane (it feeds the round-complexity analyses).
+    let g = fading_parameter(&sc.truth, 1e4);
+    assert!(g.value.is_finite());
+}
+
+#[test]
+fn measured_space_supports_same_pipeline_as_truth() {
+    let sc = office_scenario();
+    for space in [&sc.truth, &sc.measured.space] {
+        let m = metricity(space);
+        assert!(m.zeta > 0.0);
+        let a = assouad_dimension_fit(space, &[2.0, 4.0]);
+        assert!(a.dimension >= 0.0);
+        let quasi = QuasiMetric::from_space_with_exponent(space, m.zeta_at_least_one());
+        assert!(quasi.triangle_violation() <= 1e-9);
+    }
+}
+
+#[test]
+fn regret_game_on_measured_office_links() {
+    let sc = office_scenario();
+    let n = sc.len();
+    let link_vec: Vec<Link> = (0..6)
+        .map(|k| Link::new(NodeId::new((2 * k) % n), NodeId::new((2 * k + 5) % n)))
+        .collect();
+    let links = LinkSet::new(&sc.measured.space, link_vec).unwrap();
+    let params = SinrParams::default();
+    let powers = PowerAssignment::unit()
+        .powers(&sc.measured.space, &links)
+        .unwrap();
+    let aff = AffectanceMatrix::build(&sc.measured.space, &links, &powers, &params).unwrap();
+    let out = regret_capacity_game(
+        &aff,
+        &RegretConfig {
+            rounds: 800,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    assert!(aff.is_feasible(&out.best_feasible));
+    assert_eq!(out.success_history.len(), 800);
+}

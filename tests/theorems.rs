@@ -1,0 +1,169 @@
+//! Integration tests pinning the paper's theorem-level guarantees across
+//! crate boundaries.
+
+use beyond_geometry::capacity::amicable_core;
+use beyond_geometry::core::{fading_parameter, theorem2_bound, assouad_dimension_fit};
+use beyond_geometry::prelude::*;
+use beyond_geometry::sinr::{
+    is_link_set_separated, signal_strengthen, sparsify_feasible,
+};
+use beyond_geometry::spaces::{grid_points, line_points};
+
+fn geo_instance(
+    alpha: f64,
+    seed: u64,
+) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
+    let (space, links, _) =
+        beyond_geometry::spaces::bounded_length_deployment(12, 30.0, 1.0, 3.0, alpha, seed)
+            .unwrap();
+    let zeta = metricity(&space).zeta_at_least_one();
+    let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
+    let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+    let aff =
+        AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+    (space, links, quasi, aff)
+}
+
+#[test]
+fn proposition1_transfer_is_exact() {
+    // Capacity decisions on D equal decisions on the quasi-metric
+    // reconstruction of D at exponent zeta.
+    for seed in 0..4u64 {
+        let (space, links, quasi, aff) = geo_instance(2.5, seed);
+        let rebuilt = quasi.to_decay_space(quasi.zeta());
+        let powers = PowerAssignment::unit().powers(&rebuilt, &links).unwrap();
+        let aff2 =
+            AffectanceMatrix::build(&rebuilt, &links, &powers, &SinrParams::default()).unwrap();
+        let quasi2 = QuasiMetric::from_space_with_exponent(&rebuilt, quasi.zeta());
+        let r1 = algorithm1(&space, &links, &quasi, &aff, None);
+        let r2 = algorithm1(&rebuilt, &links, &quasi2, &aff2, None);
+        assert_eq!(r1.selected, r2.selected, "seed {seed}");
+    }
+}
+
+#[test]
+fn theorem2_bound_on_fading_grid() {
+    let space = geometric_space(&grid_points(4, 1.0), 3.0).unwrap();
+    let fit = assouad_dimension_fit(&space, &[2.0, 4.0, 8.0, 16.0]);
+    assert!(fit.dimension < 1.0, "grid at alpha 3 should be fading");
+    let bound = theorem2_bound(fit.constant.max(1.0), fit.dimension).unwrap();
+    for r in [1.0, 2.0, 4.0, 8.0] {
+        let g = fading_parameter(&space, r);
+        assert!(
+            g.value <= bound,
+            "gamma({r}) = {} > bound {bound}",
+            g.value
+        );
+    }
+}
+
+#[test]
+fn lemma_pipeline_b1_b2_b3() {
+    // Strengthen -> separated -> partitioned: the full Lemma 4.1 chain.
+    for alpha in [2.0, 3.0] {
+        let (_space, links, quasi, aff) = geo_instance(alpha, 7);
+        let all: Vec<LinkId> = links.ids().collect();
+        let viable: Vec<LinkId> = all
+            .iter()
+            .copied()
+            .filter(|&v| aff.noise_factor(v).is_finite())
+            .collect();
+        // B.1: classes meet the strength target.
+        let strength = std::f64::consts::E.powi(2);
+        let classes = signal_strengthen(&aff, &viable, strength).unwrap();
+        for class in &classes {
+            assert!(aff.is_k_feasible(class, strength));
+            // B.2: such classes are 1/zeta-separated.
+            assert!(is_link_set_separated(
+                &quasi,
+                &links,
+                class,
+                1.0 / quasi.zeta()
+            ));
+        }
+        // 4.1: full sparsification gives zeta-separated classes.
+        let feasible: Vec<LinkId> = {
+            let g = greedy_affectance(&_space, &links, &aff, None);
+            g.selected
+        };
+        let sparse = sparsify_feasible(&aff, &quasi, &links, &feasible, 1.0).unwrap();
+        let total: usize = sparse.iter().map(Vec::len).sum();
+        assert_eq!(total, feasible.len());
+        for class in &sparse {
+            assert!(is_link_set_separated(&quasi, &links, class, quasi.zeta()));
+        }
+    }
+}
+
+#[test]
+fn theorem4_core_is_lightly_affected_by_everyone() {
+    let (space, links, quasi, aff) = geo_instance(3.0, 11);
+    let feasible = greedy_affectance(&space, &links, &aff, None).selected;
+    let all: Vec<LinkId> = links.ids().collect();
+    let rep = amicable_core(&space, &links, &quasi, &aff, &feasible, &all, 1.0).unwrap();
+    // Constant c = (1 + 2e^2) D with D <= 6 in the plane (kissing number).
+    let cap = (1.0 + 2.0 * std::f64::consts::E.powi(2)) * 6.0;
+    assert!(rep.worst_out_affectance <= cap);
+    assert!(rep.shrinkage.is_finite());
+}
+
+#[test]
+fn theorem3_and_6_instances_are_mis_equivalent() {
+    let g = Graph::gnp(10, 0.4, 13);
+    let mis = g.max_independent_set().len();
+    for inst in [
+        unit_decay_instance(&g).unwrap(),
+        two_line_instance(&g, 2.0, 0.25).unwrap(),
+    ] {
+        let powers = PowerAssignment::unit()
+            .powers(&inst.space, &inst.links)
+            .unwrap();
+        let aff = AffectanceMatrix::build(
+            &inst.space,
+            &inst.links,
+            &powers,
+            &SinrParams::default(),
+        )
+        .unwrap();
+        let all: Vec<LinkId> = inst.links.ids().collect();
+        let cap = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
+        assert_eq!(cap.len(), mis, "capacity must equal MIS");
+    }
+}
+
+#[test]
+fn algorithm1_beats_trivial_lower_bound_on_lines() {
+    // On well-separated parallel links Algorithm 1 takes everything; as
+    // density doubles its output degrades gracefully, never to zero.
+    for links_count in [4usize, 8, 16] {
+        let mut pos = Vec::new();
+        for i in 0..links_count {
+            pos.push((i as f64 * 4.0, 0.0));
+            pos.push((i as f64 * 4.0 + 1.0, 0.0));
+        }
+        let space = geometric_space(&pos, 3.0).unwrap();
+        let link_vec: Vec<Link> = (0..links_count)
+            .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+            .collect();
+        let links = LinkSet::new(&space, link_vec).unwrap();
+        let zeta = metricity(&space).zeta_at_least_one();
+        let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
+        let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
+        let aff =
+            AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+        let res = algorithm1(&space, &links, &quasi, &aff, None);
+        assert!(
+            res.size() * 4 >= links_count,
+            "selected {} of {links_count}",
+            res.size()
+        );
+    }
+}
+
+#[test]
+fn line_alpha_one_is_not_fading_but_line_alpha_three_is() {
+    let thin = geometric_space(&line_points(24, 1.0), 0.8).unwrap();
+    let thick = geometric_space(&line_points(24, 1.0), 3.0).unwrap();
+    assert!(!beyond_geometry::core::is_fading_space(&thin));
+    assert!(beyond_geometry::core::is_fading_space(&thick));
+}
