@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decay_bench::experiments::deployment;
 use decay_capacity::{
-    algorithm1, first_fit_feasible, greedy_affectance, max_feasible_subset,
-    EXACT_CAPACITY_LIMIT,
+    algorithm1, first_fit_feasible, greedy_affectance, max_feasible_subset, EXACT_CAPACITY_LIMIT,
 };
 use decay_sinr::{signal_strengthen, sparsify_feasible, LinkId, SinrParams};
 
@@ -36,9 +35,13 @@ fn bench_exact(c: &mut Criterion) {
     for &m in &[10usize, 14, 18] {
         let inst = deployment(m, 2.5, 3, &params);
         let all: Vec<LinkId> = inst.links.ids().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(m), &(&inst, all), |b, (inst, all)| {
-            b.iter(|| max_feasible_subset(&inst.aff, all, EXACT_CAPACITY_LIMIT).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m),
+            &(&inst, all),
+            |b, (inst, all)| {
+                b.iter(|| max_feasible_subset(&inst.aff, all, EXACT_CAPACITY_LIMIT).len())
+            },
+        );
     }
     group.finish();
 }
@@ -50,7 +53,11 @@ fn bench_partitions(c: &mut Criterion) {
     let inst = deployment(24, 3.0, 5, &params);
     let all: Vec<LinkId> = inst.links.ids().collect();
     group.bench_function("signal-strengthen-q4", |b| {
-        b.iter(|| signal_strengthen(&inst.aff, &all, 4.0).map(|c| c.len()).unwrap_or(0))
+        b.iter(|| {
+            signal_strengthen(&inst.aff, &all, 4.0)
+                .map(|c| c.len())
+                .unwrap_or(0)
+        })
     });
     let feasible = greedy_affectance(&inst.space, &inst.links, &inst.aff, None).selected;
     group.bench_function("sparsify-feasible", |b| {
@@ -63,5 +70,10 @@ fn bench_partitions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_capacity_algorithms, bench_exact, bench_partitions);
+criterion_group!(
+    benches,
+    bench_capacity_algorithms,
+    bench_exact,
+    bench_partitions
+);
 criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the discrete-event engine: events per second
+//! and a peak-memory proxy at 10k and 100k nodes on a lazy backend, so
+//! future PRs have a perf trajectory to measure against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decay_core::NodeId;
+use decay_engine::{
+    DecayBackend, Engine, EngineConfig, EventBehavior, LazyBackend, NodeCtx, TiledBackend,
+};
+use decay_sinr::SinrParams;
+use rand::Rng;
+
+/// A gossip-style behavior: listen, transmit at geometric intervals.
+#[derive(Clone)]
+struct Gossiper {
+    mean_gap: u64,
+}
+
+impl EventBehavior for Gossiper {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.listen();
+        let gap = 1 + ctx.rng.gen_range(0..self.mean_gap.max(1) * 2);
+        ctx.wake_in(gap);
+    }
+
+    fn on_wake(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.transmit(1.0, ctx.node.index() as u64);
+        ctx.listen();
+        let gap = 1 + ctx.rng.gen_range(0..self.mean_gap.max(1) * 2);
+        ctx.wake_in(gap);
+    }
+}
+
+fn line_backend(n: usize) -> LazyBackend {
+    let last = n - 1;
+    LazyBackend::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powi(2)).with_neighbor_hint(
+        move |i, reach| {
+            let w = reach.sqrt().ceil() as usize;
+            (i.saturating_sub(w)..=(i + w).min(last)).collect()
+        },
+    )
+}
+
+fn engine_at(n: usize) -> Engine<Gossiper> {
+    let behaviors = (0..n).map(|_| Gossiper { mean_gap: 50 }).collect();
+    let config = EngineConfig {
+        reach_decay: Some(100.0),
+        top_k: Some(8),
+        ..EngineConfig::default()
+    };
+    Engine::new(line_backend(n), behaviors, SinrParams::default(), config, 7)
+        .expect("engine builds")
+}
+
+/// Events per second on a lazy backend, 10k and 100k nodes.
+fn bench_events_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_events");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        // Measure a fixed simulated horizon; report throughput in events.
+        let mut probe = engine_at(n);
+        let events = probe.run_until(200).events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("run_200_ticks", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine = engine_at(n);
+                engine.run_until(200)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Peak-memory proxy: resident tile bytes of a tiled backend after a run,
+/// versus the dense matrix it replaces.
+fn bench_memory_proxy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_memory_proxy");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("tiled_resident", n), &n, |b, &n| {
+            b.iter(|| {
+                let tiled = TiledBackend::from_fn(n, 256, 64, |i, j| {
+                    ((i as f64) - (j as f64)).abs().powi(2)
+                });
+                // Touch a localized working set, as reception resolution
+                // does.
+                let mut acc = 0.0;
+                for i in (0..n).step_by(n / 64) {
+                    for d in 1..16usize {
+                        let j = (i + d) % n;
+                        acc += tiled.decay(NodeId::new(i), NodeId::new(j));
+                    }
+                }
+                let resident = tiled.resident_bytes();
+                let dense = n * n * std::mem::size_of::<f64>();
+                assert!(resident < dense);
+                (acc, resident)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_events_per_sec, bench_memory_proxy);
+criterion_main!(benches);

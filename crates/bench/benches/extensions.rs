@@ -24,9 +24,7 @@ fn bench_probe_campaign(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("line10-100rounds", name),
             &model,
-            |b, &model| {
-                b.iter(|| run_probe_campaign(&space, &params, model, 100, 1.0, 7).rounds())
-            },
+            |b, &model| b.iter(|| run_probe_campaign(&space, &params, model, 100, 1.0, 7).rounds()),
         );
     }
     group.finish();
@@ -38,7 +36,9 @@ fn bench_auction(c: &mut Criterion) {
     let params = SinrParams::default();
     for &m in &[10usize, 16] {
         let inst = deployment(m, 2.5, 7, &params);
-        let bids: Vec<f64> = (0..m).map(|i| 1.0 + (i as f64 * 0.61).sin().abs()).collect();
+        let bids: Vec<f64> = (0..m)
+            .map(|i| 1.0 + (i as f64 * 0.61).sin().abs())
+            .collect();
         group.bench_with_input(BenchmarkId::new("1-channel", m), &m, |b, _| {
             b.iter(|| run_auction(&inst.aff, &bids, &AuctionConfig { channels: 1 }).welfare)
         });

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decay_core::{
-    assouad_dimension_fit, fading_parameter, independence_dimension, metricity,
-    metricity_sampled, phi_metricity,
+    assouad_dimension_fit, fading_parameter, independence_dimension, metricity, metricity_sampled,
+    phi_metricity,
 };
 use decay_spaces::{geometric_space, random_points, random_premetric};
 

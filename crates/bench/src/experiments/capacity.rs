@@ -81,8 +81,7 @@ pub fn e03_theory_transfer() -> Table {
             let g1 = greedy_affectance(&inst.space, &inst.links, &inst.aff, None).size();
             let g2 = greedy_affectance(&inst2.space, &inst2.links, &inst2.aff, None).size();
             let a1 = algorithm1(&inst.space, &inst.links, &inst.quasi, &inst.aff, None).size();
-            let a2 =
-                algorithm1(&inst2.space, &inst2.links, &inst2.quasi, &inst2.aff, None).size();
+            let a2 = algorithm1(&inst2.space, &inst2.links, &inst2.quasi, &inst2.aff, None).size();
             let ok = g1 == g2 && a1 == a2;
             all_ok &= ok;
             t.push_row(vec![
@@ -110,7 +109,13 @@ pub fn e06_feasible_implies_separated() -> Table {
         "E6",
         "feasibility implies separation",
         "Lemma B.2: every e^2/beta-feasible set under uniform power is 1/zeta-separated",
-        &["alpha", "gap", "classes (max size)", "min separation x zeta", "holds"],
+        &[
+            "alpha",
+            "gap",
+            "classes (max size)",
+            "min separation x zeta",
+            "holds",
+        ],
     );
     let params = SinrParams::default();
     let strength = std::f64::consts::E.powi(2);
@@ -200,16 +205,10 @@ pub fn e07_partition_lemmas() -> Table {
             }
             // Lemma 4.1 on the feasible core of the instance.
             let feasible = greedy_affectance(&inst.space, &inst.links, &inst.aff, None).selected;
-            let sparse =
-                sparsify_feasible(&inst.aff, &inst.quasi, &inst.links, &feasible, 1.0)
-                    .expect("feasible input");
+            let sparse = sparsify_feasible(&inst.aff, &inst.quasi, &inst.links, &feasible, 1.0)
+                .expect("feasible input");
             for class in &sparse {
-                valid &= is_link_set_separated(
-                    &inst.quasi,
-                    &inst.links,
-                    class,
-                    inst.quasi.zeta(),
-                );
+                valid &= is_link_set_separated(&inst.quasi, &inst.links, class, inst.quasi.zeta());
             }
             all_ok &= valid;
             t.push_row(vec![
@@ -254,11 +253,8 @@ pub fn e08_amicability() -> Table {
             1.0,
         )
         .expect("feasible input");
-        let aprime = assouad_dimension_fit(
-            &inst.quasi.to_decay_space(1.0),
-            &[2.0, 4.0, 8.0],
-        )
-        .dimension;
+        let aprime =
+            assouad_dimension_fit(&inst.quasi.to_decay_space(1.0), &[2.0, 4.0, 8.0]).dimension;
         let d = independence_dimension(&inst.space).dimension();
         let zeta = inst.quasi.zeta();
         let poly_cap = 4.0 * zeta * zeta * 2f64.powf(aprime.max(1.0));
@@ -304,16 +300,10 @@ pub fn e09_capacity_approximation() -> Table {
             let a1 = algorithm1(&inst.space, &inst.links, &inst.quasi, &inst.aff, None).size();
             let gr = greedy_affectance(&inst.space, &inst.links, &inst.aff, None).size();
             let ff = first_fit_feasible(&inst.space, &inst.links, &inst.aff, None).size();
-            let pc = power_control_capacity(
-                &inst.space,
-                &inst.links,
-                &inst.quasi,
-                &params,
-                None,
-                0.5,
-            )
-            .map(|r| r.size())
-            .unwrap_or(0);
+            let pc =
+                power_control_capacity(&inst.space, &inst.links, &inst.quasi, &params, None, 0.5)
+                    .map(|r| r.size())
+                    .unwrap_or(0);
             sums[0] += opt;
             sums[1] += a1;
             sums[2] += gr;
@@ -346,7 +336,9 @@ pub fn e10_unit_decay_hardness() -> Table {
         "E10",
         "unit-decay hardness instances",
         "Theorem 3: capacity == MIS; zeta <= lg 2n; approximation must degrade as 2^{zeta(1-o(1))}",
-        &["n", "zeta", "lg 2n", "OPT=MIS", "greedy", "alg1", "OPT/best"],
+        &[
+            "n", "zeta", "lg 2n", "OPT=MIS", "greedy", "alg1", "OPT/best",
+        ],
     );
     let params = SinrParams::default();
     for &n in &[8usize, 12, 16, 20] {
@@ -367,9 +359,9 @@ pub fn e10_unit_decay_hardness() -> Table {
             fmt_f(opt as f64 / best as f64),
         ]);
     }
-    t.set_verdict(
-        String::from("shape holds: zeta tracks lg 2n and the algorithms trail the MIS optimum"),
-    );
+    t.set_verdict(String::from(
+        "shape holds: zeta tracks lg 2n and the algorithms trail the MIS optimum",
+    ));
     t
 }
 
@@ -380,7 +372,16 @@ pub fn e12_two_line_hardness() -> Table {
         "E12",
         "two-line hardness instances",
         "Theorem 6: doubling (A<=2), independence dim 3, varphi = O(n), capacity == MIS",
-        &["n", "varphi", "varphi/n", "A (fit)", "indep dim", "OPT=MIS", "exact capacity", "equal"],
+        &[
+            "n",
+            "varphi",
+            "varphi/n",
+            "A (fit)",
+            "indep dim",
+            "OPT=MIS",
+            "exact capacity",
+            "equal",
+        ],
     );
     let params = SinrParams::default();
     let mut all_ok = true;
@@ -422,7 +423,14 @@ pub fn e14_regret_capacity() -> Table {
         "E14",
         "regret-minimization capacity game",
         "no-regret dynamics converge to a constant fraction of OPT (amicability, Definition 4.2)",
-        &["alpha", "gap", "OPT", "best round", "converged avg", "avg/OPT"],
+        &[
+            "alpha",
+            "gap",
+            "OPT",
+            "best round",
+            "converged avg",
+            "avg/OPT",
+        ],
     );
     let params = SinrParams::default();
     let mut worst_frac = f64::INFINITY;

@@ -126,9 +126,8 @@ pub fn e19_power_regimes() -> Table {
                 PowerAssignment::linear(1.0),
             ] {
                 let powers = pa.powers(&inst.space, &inst.links).expect("valid powers");
-                let aff =
-                    AffectanceMatrix::build(&inst.space, &inst.links, &powers, &base_params)
-                        .expect("affectance");
+                let aff = AffectanceMatrix::build(&inst.space, &inst.links, &powers, &base_params)
+                    .expect("affectance");
                 let res = greedy_affectance(&inst.space, &inst.links, &aff, None);
                 debug_assert!(aff.is_feasible(&res.selected));
                 row.push(res.size().to_string());
@@ -166,12 +165,12 @@ pub fn e20_queue_stability() -> Table {
         }
         let space = geometric_space(&pos, 2.0).expect("distinct points");
         let links: Vec<decay_sinr::Link> = (0..m)
-            .map(|i| {
-                decay_sinr::Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1))
-            })
+            .map(|i| decay_sinr::Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
             .collect();
         let links = decay_sinr::LinkSet::new(&space, links).expect("valid links");
-        let powers = PowerAssignment::unit().powers(&space, &links).expect("powers");
+        let powers = PowerAssignment::unit()
+            .powers(&space, &links)
+            .expect("powers");
         let aff = AffectanceMatrix::build(&space, &links, &powers, &params).expect("aff");
         let all: Vec<LinkId> = links.ids().collect();
         let cap = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT).len();
@@ -223,9 +222,21 @@ pub fn e21_dominating_set() -> Table {
     );
     let params = SinrParams::default();
     let spaces = vec![
-        ("line-16 a=3", geometric_space(&decay_spaces::line_points(16, 1.0), 3.0).unwrap(), 8.0),
-        ("grid-4 a=3", geometric_space(&grid_points(4, 1.0), 3.0).unwrap(), 8.0),
-        ("grid-5 a=4", geometric_space(&grid_points(5, 1.0), 4.0).unwrap(), 16.0),
+        (
+            "line-16 a=3",
+            geometric_space(&decay_spaces::line_points(16, 1.0), 3.0).unwrap(),
+            8.0,
+        ),
+        (
+            "grid-4 a=3",
+            geometric_space(&grid_points(4, 1.0), 3.0).unwrap(),
+            8.0,
+        ),
+        (
+            "grid-5 a=4",
+            geometric_space(&grid_points(5, 1.0), 4.0).unwrap(),
+            16.0,
+        ),
     ];
     let mut all_ok = true;
     for (name, space, f_max) in spaces {

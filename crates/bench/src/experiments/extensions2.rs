@@ -8,23 +8,21 @@
 use decay_capacity::{
     algorithm1_variant, arrival_order, conflict_schedule_report, greedy_affectance,
     max_feasible_subset, max_weight_feasible_subset, online_capacity, run_auction,
-    schedule_by_capacity, total_weight, Algorithm1Variant, ArrivalOrder, AuctionConfig,
-    OnlineRule, EXACT_CAPACITY_LIMIT, EXACT_WEIGHTED_LIMIT,
+    schedule_by_capacity, total_weight, Algorithm1Variant, ArrivalOrder, AuctionConfig, OnlineRule,
+    EXACT_CAPACITY_LIMIT, EXACT_WEIGHTED_LIMIT,
 };
 use decay_core::{metricity, DecaySpace, NodeId};
 use decay_distributed::{
     adversarial_regret_game, run_coloring, run_contention, run_local_broadcast,
-    run_multi_broadcast, run_multi_broadcast_with_faults, AdversarialConfig,
-    AvailabilityModel, BroadcastConfig, ColoringConfig, ContentionConfig, ContentionStrategy,
-    JammingModel, MultiBroadcastConfig,
+    run_multi_broadcast, run_multi_broadcast_with_faults, AdversarialConfig, AvailabilityModel,
+    BroadcastConfig, ColoringConfig, ContentionConfig, ContentionStrategy, JammingModel,
+    MultiBroadcastConfig,
 };
 use decay_netsim::{
     compare_decays, infer_decay_from_prr, run_probe_campaign, Action, FaultPlan, NodeBehavior,
     ReceptionModel, Simulator, SlotContext,
 };
-use decay_sinr::{
-    inductive_independence, sample_feasible_sets, ConflictGraph, LinkId, SinrParams,
-};
+use decay_sinr::{inductive_independence, sample_feasible_sets, ConflictGraph, LinkId, SinrParams};
 use decay_spaces::geometric_space;
 
 use crate::experiments::{deployment, instance};
@@ -93,8 +91,13 @@ pub fn e23_online_capacity() -> Table {
             ("random", ArrivalOrder::Random { seed: 5 }),
         ] {
             let arr = arrival_order(&inst.space, &inst.links, order);
-            let greedy =
-                online_capacity(&inst.links, &inst.quasi, &inst.aff, &arr, OnlineRule::GreedyFeasible);
+            let greedy = online_capacity(
+                &inst.links,
+                &inst.quasi,
+                &inst.aff,
+                &arr,
+                OnlineRule::GreedyFeasible,
+            );
             let budgeted = online_capacity(
                 &inst.links,
                 &inst.quasi,
@@ -102,8 +105,8 @@ pub fn e23_online_capacity() -> Table {
                 &arr,
                 OnlineRule::BudgetedAdmission,
             );
-            all_feasible &= inst.aff.is_feasible(&greedy.accepted)
-                && inst.aff.is_feasible(&budgeted.accepted);
+            all_feasible &=
+                inst.aff.is_feasible(&greedy.accepted) && inst.aff.is_feasible(&budgeted.accepted);
             let best = greedy.size().max(budgeted.size()).max(1);
             let ratio = opt as f64 / best as f64;
             worst_overall = worst_overall.max(ratio);
@@ -165,10 +168,7 @@ pub fn e24_conflict_graphs() -> Table {
             .collect(),
     )
     .expect("valid links");
-    instances.push((
-        "ring".into(),
-        instance(ring_space, ring_links, &params),
-    ));
+    instances.push(("ring".into(), instance(ring_space, ring_links, &params)));
     for (name, inst) in &instances {
         let report = conflict_schedule_report(&inst.space, &inst.links, &inst.aff, 1.0);
         saw_violation |= report.additivity_violations() > 0;
@@ -252,14 +252,20 @@ pub fn e25_spectrum_auction() -> Table {
                 channels.to_string(),
                 fmt_f(out.welfare),
                 fmt_f(opt_w),
-                if channels == 1 { fmt_f(ratio) } else { "-".into() },
+                if channels == 1 {
+                    fmt_f(ratio)
+                } else {
+                    "-".into()
+                },
                 fmt_f(out.revenue()),
                 fmt_ok(truthful),
             ]);
         }
     }
     t.set_verdict(if ok {
-        String::from("holds: feasible allocations, payments below bids, losers below critical value")
+        String::from(
+            "holds: feasible allocations, payments below bids, losers below critical value",
+        )
     } else {
         String::from("VIOLATED — inspect rows")
     });
@@ -535,9 +541,8 @@ pub fn e30_reception_thresholding() -> Table {
         let closed = 1.0 / (1.0 + 1.0 / (d * d));
         let run = |model: ReceptionModel| -> f64 {
             let behaviors = (0..3).map(|_| ProbePair).collect();
-            let mut sim =
-                Simulator::new(space.clone(), behaviors, SinrParams::default(), 9)
-                    .expect("3 behaviors for 3 nodes");
+            let mut sim = Simulator::new(space.clone(), behaviors, SinrParams::default(), 9)
+                .expect("3 behaviors for 3 nodes");
             sim.set_reception_model(model);
             let mut captures = 0usize;
             for _ in 0..slots {
@@ -588,11 +593,7 @@ pub fn e31_prr_inference() -> Table {
     let inst = deployment(10, 2.8, 180, &base);
     // Scale decays so the median lands where PRRs are informative
     // (p ~ e^{-1}) for the chosen probe noise.
-    let mut decays: Vec<f64> = inst
-        .space
-        .ordered_pairs()
-        .map(|(_, _, f)| f)
-        .collect();
+    let mut decays: Vec<f64> = inst.space.ordered_pairs().map(|(_, _, f)| f).collect();
     decays.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = decays[decays.len() / 2];
     let probe_noise = 0.3;
@@ -616,14 +617,10 @@ pub fn e31_prr_inference() -> Table {
         let truth_inst = instance(truth.clone(), inst.links.clone(), &base);
         let inf_inst = instance(outcome.space.clone(), inst.links.clone(), &base);
         let sel_truth =
-            greedy_affectance(&truth_inst.space, &truth_inst.links, &truth_inst.aff, None)
-                .selected;
+            greedy_affectance(&truth_inst.space, &truth_inst.links, &truth_inst.aff, None).selected;
         let sel_inf =
             greedy_affectance(&inf_inst.space, &inf_inst.links, &inf_inst.aff, None).selected;
-        let overlap = sel_truth
-            .iter()
-            .filter(|v| sel_inf.contains(v))
-            .count() as f64
+        let overlap = sel_truth.iter().filter(|v| sel_inf.contains(v)).count() as f64
             / sel_truth.len().max(1) as f64;
         if rounds >= 3000 {
             ok &= report.mean_abs_log10_error < 0.1
@@ -687,8 +684,7 @@ pub fn e32_fault_injection() -> Table {
     ];
     let mut all_done = true;
     for (name, plan) in cases {
-        let report =
-            run_multi_broadcast_with_faults(&space, &params, &sources, &config, &plan);
+        let report = run_multi_broadcast_with_faults(&space, &params, &sources, &config, &plan);
         all_done &= report.completed;
         t.push_row(vec![
             name,
@@ -748,8 +744,7 @@ pub fn e33_algorithm1_ablation() -> Table {
             aff,
         }
     };
-    let mut cases: Vec<(String, crate::experiments::Instance)> =
-        vec![("noise-trap".into(), noisy)];
+    let mut cases: Vec<(String, crate::experiments::Instance)> = vec![("noise-trap".into(), noisy)];
     for &alpha in &[2.5, 3.5] {
         cases.push((
             format!("deploy a={alpha}"),
@@ -876,7 +871,9 @@ pub fn e35_multipath() -> Table {
         "reflections only add energy (decays shrink pointwise), shift zeta, and capacity algorithms run unchanged on the multipath space",
         &["refl. loss dB", "mean dB gain", "zeta base", "zeta multi", "|alg1| base/multi", "feasible"],
     );
-    use decay_envsim::{Device, FloorPlan, MultipathModel, Point2, PropagationModel, Segment, Wall};
+    use decay_envsim::{
+        Device, FloorPlan, MultipathModel, Point2, PropagationModel, Segment, Wall,
+    };
     // A corridor: devices along the x axis, a reflecting wall at y = 2.
     let mut plan = FloorPlan::new();
     plan.add_wall(Wall::new(

@@ -1,9 +1,7 @@
 //! Fading experiments: the annulus bound (E4), the star of Section 3.4
 //! (E5), and local broadcast round complexity (E15).
 
-use decay_core::{
-    assouad_dimension_fit, fading_parameter, metricity, theorem2_bound, NodeId,
-};
+use decay_core::{assouad_dimension_fit, fading_parameter, metricity, theorem2_bound, NodeId};
 use decay_distributed::{neighborhood_sizes, run_local_broadcast, BroadcastConfig};
 use decay_sinr::SinrParams;
 use decay_spaces::{geometric_space, grid_points, line_points, star_nodes, star_space};
@@ -16,13 +14,27 @@ pub fn e04_theorem2_bound() -> Table {
         "E4",
         "annulus bound on the fading parameter",
         "Theorem 2: gamma(r) <= C * 2^{A+1} * (zeta_hat(2-A) - 1) whenever A < 1",
-        &["space", "A (fit)", "C (fit)", "r", "gamma(r)", "bound", "holds"],
+        &[
+            "space", "A (fit)", "C (fit)", "r", "gamma(r)", "bound", "holds",
+        ],
     );
     let spaces = vec![
-        ("line a=1.5", geometric_space(&line_points(20, 1.0), 1.5).unwrap()),
-        ("line a=2", geometric_space(&line_points(20, 1.0), 2.0).unwrap()),
-        ("line a=3", geometric_space(&line_points(20, 1.0), 3.0).unwrap()),
-        ("grid a=3", geometric_space(&grid_points(4, 1.0), 3.0).unwrap()),
+        (
+            "line a=1.5",
+            geometric_space(&line_points(20, 1.0), 1.5).unwrap(),
+        ),
+        (
+            "line a=2",
+            geometric_space(&line_points(20, 1.0), 2.0).unwrap(),
+        ),
+        (
+            "line a=3",
+            geometric_space(&line_points(20, 1.0), 3.0).unwrap(),
+        ),
+        (
+            "grid a=3",
+            geometric_space(&grid_points(4, 1.0), 3.0).unwrap(),
+        ),
     ];
     let mut all_ok = true;
     for (name, s) in spaces {
@@ -61,7 +73,14 @@ pub fn e05_star_interference() -> Table {
         "E5",
         "star space: fading without being a fading space",
         "Section 3.4: interference at x_{-1} is ~1/k despite doubling dimension ~k",
-        &["k", "interference", "1/k", "signal", "signal/interf", "g(2) packing"],
+        &[
+            "k",
+            "interference",
+            "1/k",
+            "signal",
+            "signal/interf",
+            "g(2) packing",
+        ],
     );
     let r = 2.0;
     let mut ratios = Vec::new();
@@ -112,8 +131,14 @@ pub fn e15_local_broadcast() -> Table {
     );
     let params = SinrParams::default();
     let spaces = vec![
-        ("line a=3", geometric_space(&line_points(16, 1.0), 3.0).unwrap()),
-        ("grid a=3", geometric_space(&grid_points(4, 1.0), 3.0).unwrap()),
+        (
+            "line a=3",
+            geometric_space(&line_points(16, 1.0), 3.0).unwrap(),
+        ),
+        (
+            "grid a=3",
+            geometric_space(&grid_points(4, 1.0), 3.0).unwrap(),
+        ),
     ];
     let mut slot_counts = Vec::new();
     for (name, s) in spaces {
@@ -130,10 +155,7 @@ pub fn e15_local_broadcast() -> Table {
                     ..Default::default()
                 },
             );
-            let delta = neighborhood_sizes(&s, f_max)
-                .into_iter()
-                .max()
-                .unwrap_or(0);
+            let delta = neighborhood_sizes(&s, f_max).into_iter().max().unwrap_or(0);
             let gamma = fading_parameter(&s, f_max.min(4.0)).value;
             let done = report.completed_in.is_some();
             if let Some(slots) = report.completed_in {

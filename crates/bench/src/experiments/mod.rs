@@ -3,6 +3,7 @@
 //! index and EXPERIMENTS.md for recorded outcomes.
 
 mod capacity;
+mod engine;
 mod extensions;
 mod extensions2;
 mod fading;
@@ -208,14 +209,17 @@ pub fn all() -> Vec<Experiment> {
             title: "one-bounce multipath reflections (Section 1 list)",
             run: extensions2::e35_multipath,
         },
+        Experiment {
+            id: "E36",
+            title: "discrete-event engine at scale (Corten-style substrate)",
+            run: engine::e36_event_engine,
+        },
     ]
 }
 
 /// Looks up an experiment by id (case-insensitive).
 pub fn by_id(id: &str) -> Option<Experiment> {
-    all()
-        .into_iter()
-        .find(|e| e.id.eq_ignore_ascii_case(id))
+    all().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
 }
 
 #[cfg(test)]
@@ -225,7 +229,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all();
-        assert_eq!(exps.len(), 35);
+        assert_eq!(exps.len(), 36);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -8,7 +8,7 @@ use decay_core::{
 use decay_envsim::OfficeConfig;
 use decay_spaces::{
     geometric_space, grid_points, line_points, phi_gap_space, random_points, random_premetric,
-    unit_decay_instance, uniform_space, welzl_space, Graph,
+    uniform_space, unit_decay_instance, welzl_space, Graph,
 };
 
 use crate::table::{fmt_f, fmt_ok, Table};
@@ -54,7 +54,10 @@ fn menagerie() -> Vec<(&'static str, DecaySpace)> {
     let office = OfficeConfig::default().build();
     let hardness = unit_decay_instance(&Graph::gnp(10, 0.4, 3)).expect("valid instance");
     vec![
-        ("random-premetric", random_premetric(12, 0.5, 200.0, 5).unwrap()),
+        (
+            "random-premetric",
+            random_premetric(12, 0.5, 200.0, 5).unwrap(),
+        ),
         ("office-truth", office.truth),
         ("office-measured", office.measured.space),
         ("thm3-unit-decay", hardness.space),
@@ -177,11 +180,7 @@ pub fn e13_independence_and_guards() -> Table {
         let center = NodeId::new(0);
         let strict = independence_at(s, center).dimension();
         let kissing = independence_at_with(s, center, Strictness::NonStrict).dimension();
-        let max_guards = s
-            .nodes()
-            .map(|x| guard_set(s, x).len())
-            .max()
-            .unwrap_or(0);
+        let max_guards = s.nodes().map(|x| guard_set(s, x).len()).max().unwrap_or(0);
         t.push_row(vec![
             name.to_string(),
             strict.to_string(),

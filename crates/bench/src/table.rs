@@ -126,7 +126,11 @@ pub fn fmt_f(x: f64) -> String {
 
 /// Formats a boolean as a check mark cell.
 pub fn fmt_ok(ok: bool) -> String {
-    if ok { "yes".into() } else { "NO".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

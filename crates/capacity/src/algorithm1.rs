@@ -69,7 +69,14 @@ pub fn algorithm1(
     aff: &AffectanceMatrix,
     candidates: Option<&[LinkId]>,
 ) -> CapacityResult {
-    algorithm1_variant(space, links, quasi, aff, candidates, Algorithm1Variant::Full)
+    algorithm1_variant(
+        space,
+        links,
+        quasi,
+        aff,
+        candidates,
+        Algorithm1Variant::Full,
+    )
 }
 
 /// Runs the chosen ablation of Algorithm 1 (see [`Algorithm1Variant`]).
@@ -151,7 +158,11 @@ mod tests {
     }
 
     /// m parallel unit links spaced gap apart on a line.
-    fn parallel(m: usize, gap: f64, alpha: f64) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
+    fn parallel(
+        m: usize,
+        gap: f64,
+        alpha: f64,
+    ) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
         let mut pos = Vec::new();
         let mut pairs = Vec::new();
         for i in 0..m {
@@ -235,8 +246,8 @@ mod tests {
     /// Two separated links whose mutual raw affectance exceeds 1 only
     /// because of the noise factor: the budget test is the sole defense.
     fn noise_trap() -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
-        let pos: Vec<(f64, f64)> = vec![(0.0, 0.0), (1.0, 0.0), (2.2, 0.0), (3.2, 0.0)];
-        let pairs = vec![(0, 1), (2, 3)];
+        let pos: [(f64, f64); 4] = [(0.0, 0.0), (1.0, 0.0), (2.2, 0.0), (3.2, 0.0)];
+        let pairs = [(0, 1), (2, 3)];
         let s = DecaySpace::from_fn(pos.len(), |i, j| {
             let (xi, yi) = pos[i];
             let (xj, yj) = pos[j];
@@ -253,13 +264,8 @@ mod tests {
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
         // Noise 0.5 doubles the noise factor c_v, pushing the pairwise raw
         // affectance above 1 while the links remain zeta/2-separated.
-        let aff = AffectanceMatrix::build(
-            &s,
-            &ls,
-            &powers,
-            &SinrParams::new(1.0, 0.5).unwrap(),
-        )
-        .unwrap();
+        let aff =
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 0.5).unwrap()).unwrap();
         (s, ls, quasi, aff)
     }
 
@@ -269,8 +275,14 @@ mod tests {
         let full = algorithm1_variant(&s, &ls, &quasi, &aff, None, Algorithm1Variant::Full);
         assert!(aff.is_feasible(&full.selected));
         assert_eq!(full.size(), 1, "the budget rejects the second link");
-        let ablated =
-            algorithm1_variant(&s, &ls, &quasi, &aff, None, Algorithm1Variant::WithoutBudget);
+        let ablated = algorithm1_variant(
+            &s,
+            &ls,
+            &quasi,
+            &aff,
+            None,
+            Algorithm1Variant::WithoutBudget,
+        );
         assert_eq!(ablated.size(), 2, "capped filter passes both links");
         assert!(
             !aff.is_feasible(&ablated.selected),
@@ -299,8 +311,14 @@ mod tests {
     #[test]
     fn without_filter_returns_admitted_verbatim() {
         let (s, ls, quasi, aff) = parallel(10, 1.6, 2.0);
-        let res =
-            algorithm1_variant(&s, &ls, &quasi, &aff, None, Algorithm1Variant::WithoutFilter);
+        let res = algorithm1_variant(
+            &s,
+            &ls,
+            &quasi,
+            &aff,
+            None,
+            Algorithm1Variant::WithoutFilter,
+        );
         assert_eq!(res.selected, res.admitted);
     }
 }

@@ -67,10 +67,7 @@ pub fn amicable_core(
     }
     // Lemma 4.1: zeta-separated classes; keep the largest.
     let classes = sparsify_feasible(aff, quasi, links, feasible, beta)?;
-    let s_hat = classes
-        .into_iter()
-        .max_by_key(Vec::len)
-        .unwrap_or_default();
+    let s_hat = classes.into_iter().max_by_key(Vec::len).unwrap_or_default();
     // Keep the low out-affectance half (Theorem 4 averaging step).
     let core: Vec<LinkId> = s_hat
         .iter()
@@ -169,18 +166,15 @@ mod tests {
                 pos.push(i as f64 * 8.0);
                 pos.push(i as f64 * 8.0 + 1.0);
             }
-            let s = DecaySpace::from_fn(pos.len(), |i, j| {
-                (pos[i] - pos[j]).abs().powf(alpha)
-            })
-            .unwrap();
+            let s =
+                DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powf(alpha)).unwrap();
             let links: Vec<Link> = (0..m)
                 .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
                 .collect();
             let ls = LinkSet::new(&s, links).unwrap();
             let quasi = QuasiMetric::from_space_with_exponent(&s, alpha);
             let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
-            let aff =
-                AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
+            let aff = AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
             let all: Vec<LinkId> = ls.ids().collect();
             let rep = amicable_core(&s, &ls, &quasi, &aff, &all, &all, 1.0).unwrap();
             assert!(

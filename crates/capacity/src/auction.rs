@@ -212,7 +212,9 @@ mod tests {
     #[test]
     fn more_channels_never_hurt_welfare() {
         let aff = parallel(12, 1.3);
-        let bids: Vec<f64> = (0..12).map(|i| (i as f64 * 1.37).sin().abs() + 0.5).collect();
+        let bids: Vec<f64> = (0..12)
+            .map(|i| (i as f64 * 1.37).sin().abs() + 0.5)
+            .collect();
         let mut last = 0.0;
         for channels in 1..=4 {
             let out = run_auction(&aff, &bids, &AuctionConfig { channels });
@@ -288,8 +290,7 @@ mod tests {
         // Noise 0.6: signal 1 -> SINR 1/0.6 > 1 fine; bump one link's decay
         // via a custom bid of zero instead.
         let aff =
-            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 0.6).unwrap())
-                .unwrap();
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 0.6).unwrap()).unwrap();
         let bids = vec![0.0, 2.0, 3.0];
         let out = run_auction(&aff, &bids, &AuctionConfig::default());
         assert!(!out.winners.contains(&LinkId::new(0)));

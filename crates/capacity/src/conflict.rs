@@ -253,8 +253,7 @@ mod tests {
         .unwrap();
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
         let aff =
-            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap())
-                .unwrap();
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap()).unwrap();
         let report = conflict_schedule_report(&s, &ls, &aff, 1.0);
         assert_eq!(report.raw.dropped.len(), 4);
         assert_eq!(report.repaired.scheduled(), 0);

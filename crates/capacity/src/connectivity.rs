@@ -51,8 +51,8 @@ pub fn aggregation_tree(quasi: &QuasiMetric, root: NodeId) -> AggregationTree {
             if in_tree[v] {
                 continue;
             }
-            for p in 0..n {
-                if !in_tree[p] {
+            for (p, &p_in_tree) in in_tree.iter().enumerate() {
+                if !p_in_tree {
                     continue;
                 }
                 let d = quasi.distance(NodeId::new(v), NodeId::new(p));

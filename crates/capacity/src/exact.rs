@@ -138,13 +138,8 @@ mod tests {
             .collect();
         let ls = LinkSet::new(&s, links).unwrap();
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
-        let aff = AffectanceMatrix::build(
-            &s,
-            &ls,
-            &powers,
-            &SinrParams::new(1.0, 0.2).unwrap(),
-        )
-        .unwrap();
+        let aff =
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 0.2).unwrap()).unwrap();
         let all: Vec<LinkId> = ls.ids().collect();
         let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
         assert!(aff.is_feasible(&opt));
@@ -157,13 +152,8 @@ mod tests {
         let s = DecaySpace::from_fn(6, |i, j| ((i as f64) - (j as f64)).abs().max(0.5) * 100.0)
             .unwrap();
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
-        let aff = AffectanceMatrix::build(
-            &s,
-            &ls,
-            &powers,
-            &SinrParams::new(2.0, 10.0).unwrap(),
-        )
-        .unwrap();
+        let aff = AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(2.0, 10.0).unwrap())
+            .unwrap();
         let all: Vec<LinkId> = ls.ids().collect();
         let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
         assert!(opt.is_empty());

@@ -60,13 +60,13 @@ pub use conflict::{
     conflict_graph_schedule, conflict_schedule_report, repair_schedule, slot_feasibility,
     ConflictScheduleReport,
 };
+pub use connectivity::{
+    aggregation_tree, schedule_aggregation, AggregationSchedule, AggregationTree,
+};
 pub use exact::{max_feasible_subset, EXACT_CAPACITY_LIMIT};
 pub use greedy::{first_fit_feasible, greedy_affectance};
 pub use online::{arrival_order, online_capacity, ArrivalOrder, OnlineResult, OnlineRule};
 pub use power_control::power_control_capacity;
-pub use connectivity::{
-    aggregation_tree, schedule_aggregation, AggregationSchedule, AggregationTree,
-};
 pub use scheduling::{schedule_by_capacity, Schedule};
 pub use weighted::{
     max_weight_feasible_subset, total_weight, weighted_greedy, EXACT_WEIGHTED_LIMIT,

@@ -155,13 +155,10 @@ pub fn arrival_order(space: &DecaySpace, links: &LinkSet, order: ArrivalOrder) -
 mod tests {
     use super::*;
     use decay_core::metricity;
-    use decay_sinr::{Link, LinkSet, PowerAssignment, SinrParams};
     use decay_core::{DecaySpace, NodeId};
+    use decay_sinr::{Link, LinkSet, PowerAssignment, SinrParams};
 
-    fn parallel(
-        m: usize,
-        gap: f64,
-    ) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
+    fn parallel(m: usize, gap: f64) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
         let mut pos = Vec::new();
         for i in 0..m {
             pos.push(i as f64 * gap);
@@ -208,8 +205,7 @@ mod tests {
             ArrivalOrder::Random { seed: 11 },
         ] {
             let arr = arrival_order(&s, &ls, order);
-            let res =
-                online_capacity(&ls, &quasi, &aff, &arr, OnlineRule::BudgetedAdmission);
+            let res = online_capacity(&ls, &quasi, &aff, &arr, OnlineRule::BudgetedAdmission);
             assert!(
                 all_prefixes_feasible(&aff, &res.accepted),
                 "{order:?}: prefix infeasible"
@@ -246,8 +242,7 @@ mod tests {
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
         // Signal 1/9; noise 1 -> SINR 1/9 < 1: hopeless.
         let aff =
-            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap())
-                .unwrap();
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap()).unwrap();
         let zeta = metricity(&s).zeta_at_least_one();
         let quasi = QuasiMetric::from_space_with_exponent(&s, zeta);
         let arr = arrival_order(&s, &ls, ArrivalOrder::ById);

@@ -110,10 +110,8 @@ mod tests {
             pos.push(base + len);
             pairs.push((2 * i, 2 * i + 1));
         }
-        let s = DecaySpace::from_fn(pos.len(), |i, j| {
-            (pos[i] - pos[j]).abs().powi(2).max(1e-12)
-        })
-        .unwrap();
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powi(2).max(1e-12))
+            .unwrap();
         let links: Vec<Link> = pairs
             .iter()
             .map(|&(a, b)| Link::new(NodeId::new(a), NodeId::new(b)))
@@ -157,8 +155,7 @@ mod tests {
         let (s, ls, quasi) = mixed_lengths(8, 50.0);
         let params = SinrParams::default();
         let cand = [LinkId::new(0), LinkId::new(5)];
-        let res =
-            power_control_capacity(&s, &ls, &quasi, &params, Some(&cand), 0.5).unwrap();
+        let res = power_control_capacity(&s, &ls, &quasi, &params, Some(&cand), 0.5).unwrap();
         assert!(res.selected.iter().all(|v| cand.contains(v)));
     }
 }

@@ -38,11 +38,7 @@ impl Schedule {
 /// schedule this slot; if it returns an empty set while feasible links
 /// remain, the scheduler falls back to scheduling one link alone (keeping
 /// progress guaranteed regardless of the subroutine's quality).
-pub fn schedule_by_capacity<F>(
-    aff: &AffectanceMatrix,
-    all: &[LinkId],
-    mut capacity: F,
-) -> Schedule
+pub fn schedule_by_capacity<F>(aff: &AffectanceMatrix, all: &[LinkId], mut capacity: F) -> Schedule
 where
     F: FnMut(&[LinkId]) -> Vec<LinkId>,
 {
@@ -136,16 +132,11 @@ mod tests {
     #[test]
     fn noise_floor_losers_are_dropped() {
         let (_, ls, _) = parallel(3, 5.0);
-        let s = DecaySpace::from_fn(6, |i, j| ((i as f64) - (j as f64)).abs().max(0.4) * 50.0)
-            .unwrap();
+        let s =
+            DecaySpace::from_fn(6, |i, j| ((i as f64) - (j as f64)).abs().max(0.4) * 50.0).unwrap();
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
-        let aff = AffectanceMatrix::build(
-            &s,
-            &ls,
-            &powers,
-            &SinrParams::new(2.0, 1.0).unwrap(),
-        )
-        .unwrap();
+        let aff =
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(2.0, 1.0).unwrap()).unwrap();
         let all: Vec<LinkId> = ls.ids().collect();
         let sched = schedule_by_capacity(&aff, &all, |rem| rem.to_vec());
         assert_eq!(sched.dropped.len() + sched.scheduled(), 3);

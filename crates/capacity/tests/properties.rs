@@ -27,8 +27,7 @@ fn arb_instance(
         let zeta = metricity(&space).zeta_at_least_one();
         let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
         let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
-        let aff =
-            AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+        let aff = AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
         (space, links, quasi, aff)
     })
 }

@@ -152,10 +152,7 @@ fn max_independent_set(adj: &[u64]) -> Vec<usize> {
 /// Greedy maximal independent set, processing low-conflict nodes first
 /// (a hub node scanned early would otherwise block everything, as in the
 /// star space of Section 3.4).
-fn greedy_independent<F: Fn(NodeId, NodeId) -> bool>(
-    body: &[NodeId],
-    conflict: F,
-) -> Vec<NodeId> {
+fn greedy_independent<F: Fn(NodeId, NodeId) -> bool>(body: &[NodeId], conflict: F) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = body.to_vec();
     let degree = |v: NodeId| body.iter().filter(|&&u| u != v && conflict(u, v)).count();
     let degrees: Vec<usize> = order.iter().map(|&v| degree(v)).collect();

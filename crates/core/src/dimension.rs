@@ -102,11 +102,7 @@ pub fn assouad_dimension_fit(space: &DecaySpace, scales: &[f64]) -> AssouadDimen
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
-    let sxy: f64 = xs
-        .iter()
-        .zip(&ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
     let intercept = my - slope * mx;
     AssouadDimension {

@@ -61,16 +61,10 @@ pub fn fading_value(space: &DecaySpace, z: NodeId, r: f64) -> FadingValue {
         let wb = 1.0 / space.decay(b, z);
         wb.partial_cmp(&wa).unwrap()
     });
-    let weights: Vec<f64> = eligible
-        .iter()
-        .map(|&x| 1.0 / space.decay(x, z))
-        .collect();
+    let weights: Vec<f64> = eligible.iter().map(|&x| 1.0 / space.decay(x, z)).collect();
 
     let (picked_idx, exact) = if eligible.len() <= EXACT_GAMMA_LIMIT {
-        (
-            max_weight_separated(space, &eligible, &weights, r),
-            true,
-        )
+        (max_weight_separated(space, &eligible, &weights, r), true)
     } else {
         (greedy_separated(space, &eligible, r), false)
     };
@@ -180,10 +174,7 @@ fn max_weight_separated(
 fn greedy_separated(space: &DecaySpace, eligible: &[NodeId], r: f64) -> Vec<usize> {
     let mut picked: Vec<usize> = Vec::new();
     for (i, &v) in eligible.iter().enumerate() {
-        if picked
-            .iter()
-            .all(|&j| space.pair_min(eligible[j], v) >= r)
-        {
+        if picked.iter().all(|&j| space.pair_min(eligible[j], v) >= r) {
             picked.push(i);
         }
     }

@@ -35,8 +35,7 @@ impl GrowthProfile {
     /// instances satisfy `is_bounded(6, 2.1)` — independence dimension at
     /// most the planar guard count, doubling dimension essentially 2.
     pub fn is_bounded(&self, max_independence: usize, max_doubling: f64) -> bool {
-        self.independence.dimension() <= max_independence
-            && self.doubling.dimension <= max_doubling
+        self.independence.dimension() <= max_independence && self.doubling.dimension <= max_doubling
     }
 
     /// The `O(D · ζ² · 2^{A'})` amicability bound of Theorem 4 evaluated
@@ -87,8 +86,10 @@ mod tests {
         // radius above the common decay holds everyone — packings of n
         // points at every scale, so the estimated doubling dimension grows
         // with n while a line's stays constant.
-        let uniform =
-            growth_profile(&DecaySpace::from_fn(48, |_, _| 1.0).unwrap(), &DEFAULT_SCALES);
+        let uniform = growth_profile(
+            &DecaySpace::from_fn(48, |_, _| 1.0).unwrap(),
+            &DEFAULT_SCALES,
+        );
         let line = growth_profile(&geometric_line(48, 2.0), &DEFAULT_SCALES);
         assert_eq!(uniform.independence.dimension(), 1, "{uniform:?}");
         assert!(

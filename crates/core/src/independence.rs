@@ -103,11 +103,7 @@ impl Independence {
 /// compatibility graph; we search for a maximum clique exactly when the
 /// candidate count is at most [`EXACT_INDEPENDENCE_LIMIT`], greedily
 /// otherwise.
-pub fn independence_at_with(
-    space: &DecaySpace,
-    x: NodeId,
-    strictness: Strictness,
-) -> Independence {
+pub fn independence_at_with(space: &DecaySpace, x: NodeId, strictness: Strictness) -> Independence {
     let candidates: Vec<NodeId> = space.nodes().filter(|&v| v != x).collect();
     let m = candidates.len();
     let compatible = |y: NodeId, z: NodeId| {
@@ -134,12 +130,7 @@ pub fn independence_at_with(
     } else {
         // Greedy clique: closest-to-anchor first (they constrain least).
         let mut order = candidates.clone();
-        order.sort_by(|&a, &b| {
-            space
-                .decay(x, a)
-                .partial_cmp(&space.decay(x, b))
-                .unwrap()
-        });
+        order.sort_by(|&a, &b| space.decay(x, a).partial_cmp(&space.decay(x, b)).unwrap());
         let mut set: Vec<NodeId> = Vec::new();
         for v in order {
             if set.iter().all(|&u| compatible(u, v)) {

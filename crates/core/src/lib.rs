@@ -70,9 +70,7 @@ pub use dimension::{
     quasi_doubling_dimension, AssouadDimension, DEFAULT_SCALES,
 };
 pub use error::DecayError;
-pub use fading::{
-    fading_parameter, fading_value, theorem2_bound, FadingValue, EXACT_GAMMA_LIMIT,
-};
+pub use fading::{fading_parameter, fading_value, theorem2_bound, FadingValue, EXACT_GAMMA_LIMIT};
 pub use growth::{growth_profile, GrowthProfile};
 pub use independence::{
     guard_set, independence_at, independence_at_with, independence_dimension,

@@ -320,8 +320,8 @@ mod tests {
 
     #[test]
     fn induced_quasi_distance_satisfies_triangle_inequality() {
-        let s = DecaySpace::from_fn(6, |i, j| (1.0 + (i as f64) * 1.7 + (j as f64)).powi(2))
-            .unwrap();
+        let s =
+            DecaySpace::from_fn(6, |i, j| (1.0 + (i as f64) * 1.7 + (j as f64)).powi(2)).unwrap();
         let m = metricity(&s);
         if m.zeta > 0.0 {
             let v = triangle_violation_at(&s, m.zeta);
@@ -390,9 +390,15 @@ mod tests {
         let s = DecaySpace::from_matrix(
             3,
             vec![
-                0.0, 1.0, 2.0 * q, //
-                1.0, 0.0, q, //
-                2.0 * q, q, 0.0,
+                0.0,
+                1.0,
+                2.0 * q, //
+                1.0,
+                0.0,
+                q, //
+                2.0 * q,
+                q,
+                0.0,
             ],
         )
         .unwrap();

@@ -153,10 +153,8 @@ impl QuasiMetric {
     /// Proposition 1 (theory transfer).
     pub fn to_decay_space(&self, alpha: f64) -> DecaySpace {
         assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
-        DecaySpace::from_fn(self.n, |i, j| {
-            self.dist[i * self.n + j].powf(alpha)
-        })
-        .expect("quasi-metric distances are positive off-diagonal")
+        DecaySpace::from_fn(self.n, |i, j| self.dist[i * self.n + j].powf(alpha))
+            .expect("quasi-metric distances are positive off-diagonal")
     }
 }
 
@@ -215,10 +213,7 @@ mod tests {
         let back = q.to_decay_space(q.zeta());
         for (i, j, f) in s.ordered_pairs() {
             let g = back.decay(i, j);
-            assert!(
-                crate::util::approx_eq(f, g, 1e-6),
-                "({i}, {j}): {f} vs {g}"
-            );
+            assert!(crate::util::approx_eq(f, g, 1e-6), "({i}, {j}): {f} vs {g}");
         }
     }
 

@@ -36,11 +36,7 @@ pub fn min_pairwise_decay(space: &DecaySpace, set: &[NodeId]) -> f64 {
 ///
 /// The result is maximal (no remaining candidate can be added) but not
 /// necessarily maximum.
-pub fn greedy_separated_subset(
-    space: &DecaySpace,
-    candidates: &[NodeId],
-    r: f64,
-) -> Vec<NodeId> {
+pub fn greedy_separated_subset(space: &DecaySpace, candidates: &[NodeId], r: f64) -> Vec<NodeId> {
     let mut picked: Vec<NodeId> = Vec::new();
     for &v in candidates {
         if picked.iter().all(|&u| space.pair_min(u, v) >= r) {
@@ -87,7 +83,15 @@ mod tests {
                 assert!(picked.iter().any(|&u| s.pair_min(u, v) < 3.0));
             }
         }
-        assert_eq!(picked, vec![NodeId::new(0), NodeId::new(3), NodeId::new(6), NodeId::new(9)]);
+        assert_eq!(
+            picked,
+            vec![
+                NodeId::new(0),
+                NodeId::new(3),
+                NodeId::new(6),
+                NodeId::new(9)
+            ]
+        );
     }
 
     #[test]

@@ -142,10 +142,7 @@ impl DecaySpace {
     /// # Errors
     ///
     /// Returns an error under the same conditions as [`Self::from_matrix`].
-    pub fn from_fn<F: FnMut(usize, usize) -> f64>(
-        n: usize,
-        mut f: F,
-    ) -> Result<Self, DecayError> {
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Result<Self, DecayError> {
         let mut decays = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..n {
@@ -314,10 +311,7 @@ impl DecaySpace {
             "scale must be positive and finite"
         );
         let decays = self.decays.iter().map(|&v| v * scale).collect();
-        DecaySpace {
-            n: self.n,
-            decays,
-        }
+        DecaySpace { n: self.n, decays }
     }
 
     /// Applies `f'(p, q) = f(p, q)^k` for `k > 0` (preserves orderings;
@@ -333,10 +327,7 @@ impl DecaySpace {
             .iter()
             .map(|&v| if v == 0.0 { 0.0 } else { v.powf(k) })
             .collect();
-        DecaySpace {
-            n: self.n,
-            decays,
-        }
+        DecaySpace { n: self.n, decays }
     }
 
     /// Iterator over ordered pairs of distinct nodes with their decays.
@@ -346,11 +337,7 @@ impl DecaySpace {
                 if i == j {
                     None
                 } else {
-                    Some((
-                        NodeId::new(i),
-                        NodeId::new(j),
-                        self.decays[i * self.n + j],
-                    ))
+                    Some((NodeId::new(i), NodeId::new(j), self.decays[i * self.n + j]))
                 }
             })
         })
@@ -459,8 +446,7 @@ mod tests {
     fn symmetry_detection() {
         let s = line_space(2.0);
         assert!(s.is_symmetric(1e-12));
-        let asym =
-            DecaySpace::from_matrix(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
+        let asym = DecaySpace::from_matrix(2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
         assert!(!asym.is_symmetric(1e-12));
     }
 

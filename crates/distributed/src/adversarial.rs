@@ -228,11 +228,7 @@ pub fn adversarial_regret_game(
                 continue; // asleep experts are not charged
             }
             available_rounds[i] += 1;
-            let others: Vec<LinkId> = transmitting
-                .iter()
-                .copied()
-                .filter(|&w| w != v)
-                .collect();
+            let others: Vec<LinkId> = transmitting.iter().copied().filter(|&w| w != v).collect();
             let ok = !jammed[i] && aff.in_affectance_raw(&others, v) <= 1.0 + 1e-12;
             // Jammed rounds are detected and discarded from learning;
             // only genuine congestion updates the score.

@@ -90,9 +90,10 @@ pub fn mutual_neighbor_graph(space: &DecaySpace, f_max: f64) -> Vec<Vec<usize>> 
 /// monochromatic edge).
 pub fn is_proper_coloring(adj: &[Vec<usize>], colors: &[Option<usize>]) -> bool {
     colors.iter().all(Option::is_some)
-        && adj.iter().enumerate().all(|(u, nbrs)| {
-            nbrs.iter().all(|&v| colors[u] != colors[v])
-        })
+        && adj
+            .iter()
+            .enumerate()
+            .all(|(u, nbrs)| nbrs.iter().all(|&v| colors[u] != colors[v]))
 }
 
 struct ColoringNode {
@@ -188,14 +189,11 @@ pub fn run_coloring(
         .expect("behavior count matches node count");
     let adj_check = adj.clone();
     let (slots, completed) = sim.run_until(config.max_slots, |_, sim| {
-        let colors: Vec<Option<usize>> = (0..n)
-            .map(|i| sim.behavior(NodeId::new(i)).color)
-            .collect();
+        let colors: Vec<Option<usize>> =
+            (0..n).map(|i| sim.behavior(NodeId::new(i)).color).collect();
         is_proper_coloring(&adj_check, &colors)
     });
-    let colors: Vec<Option<usize>> = (0..n)
-        .map(|i| sim.behavior(NodeId::new(i)).color)
-        .collect();
+    let colors: Vec<Option<usize>> = (0..n).map(|i| sim.behavior(NodeId::new(i)).color).collect();
     let mut used: Vec<usize> = colors.iter().flatten().copied().collect();
     used.sort_unstable();
     used.dedup();
@@ -230,14 +228,8 @@ mod tests {
     #[test]
     fn proper_coloring_predicate() {
         let adj = vec![vec![1], vec![0, 2], vec![1]];
-        assert!(is_proper_coloring(
-            &adj,
-            &[Some(0), Some(1), Some(0)]
-        ));
-        assert!(!is_proper_coloring(
-            &adj,
-            &[Some(0), Some(0), Some(1)]
-        ));
+        assert!(is_proper_coloring(&adj, &[Some(0), Some(1), Some(0)]));
+        assert!(!is_proper_coloring(&adj, &[Some(0), Some(0), Some(1)]));
         assert!(!is_proper_coloring(&adj, &[Some(0), None, Some(1)]));
     }
 

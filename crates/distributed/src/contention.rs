@@ -156,11 +156,7 @@ pub fn run_contention(aff: &AffectanceMatrix, config: &ContentionConfig) -> Cont
             .collect();
         transmissions += transmitting.len();
         for &v in &transmitting {
-            let others: Vec<LinkId> = transmitting
-                .iter()
-                .copied()
-                .filter(|&w| w != v)
-                .collect();
+            let others: Vec<LinkId> = transmitting.iter().copied().filter(|&w| w != v).collect();
             let ok = aff.in_affectance_raw(&others, v) <= 1.0 + 1e-12;
             let i = v.index();
             if ok {
@@ -263,8 +259,7 @@ mod tests {
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
         // Signal 1/9, noise 1: hopeless.
         let aff =
-            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap())
-                .unwrap();
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap()).unwrap();
         let report = run_contention(
             &aff,
             &ContentionConfig {

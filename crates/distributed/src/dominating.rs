@@ -97,10 +97,7 @@ impl NodeBehavior for DominatingNode {
     fn on_receive(&mut self, _from: NodeId, message: u64, power: f64) {
         // Hearing a dominator loudly enough (RSSI encodes the decay under
         // uniform power) dominates a candidate.
-        if self.role == Role::Candidate
-            && message & DOMINATOR_FLAG != 0
-            && power >= self.min_rssi
-        {
+        if self.role == Role::Candidate && message & DOMINATOR_FLAG != 0 && power >= self.min_rssi {
             self.role = Role::Dominated;
         }
     }
@@ -188,10 +185,7 @@ pub fn greedy_dominating_set(space: &DecaySpace, f_max: f64) -> Vec<NodeId> {
             .max_by_key(|&u| {
                 space
                     .nodes()
-                    .filter(|&z| {
-                        !covered[z.index()]
-                            && (z == u || space.decay(u, z) <= f_max)
-                    })
+                    .filter(|&z| !covered[z.index()] && (z == u || space.decay(u, z) <= f_max))
                     .count()
             })
             .expect("non-empty space");

@@ -19,9 +19,14 @@
 //! * [`run_queueing`] — dynamic packet scheduling / queue stability
 //!   (\[44], \[2, 3] in the paper's transfer list).
 //! * [`run_dominating_set`] — distributed dominating set (\[55]).
+//! * [`run_local_broadcast_event`] / [`run_contention_event`] — the
+//!   broadcast and contention protocols ported natively to the
+//!   event-driven `decay_engine`, scaling to 100k+ nodes on lazy decay
+//!   backends with churn, latency, jamming and checkpointing.
 //!
-//! Both are deterministic in their seeds and run on
-//! [`decay_netsim::Simulator`] or directly on affectance matrices.
+//! All are deterministic in their seeds and run on
+//! [`decay_netsim::Simulator`], [`decay_engine::Engine`], or directly on
+//! affectance matrices.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -31,25 +36,29 @@ mod broadcast;
 mod coloring;
 mod contention;
 mod dominating;
+mod event_broadcast;
+mod event_contention;
 mod multimsg;
 mod queueing;
 mod regret;
 
 pub use adversarial::{
-    adversarial_regret_game, AdversarialConfig, AdversarialOutcome, AvailabilityModel,
-    JammingModel,
+    adversarial_regret_game, AdversarialConfig, AdversarialOutcome, AvailabilityModel, JammingModel,
 };
-pub use broadcast::{
-    neighborhood_sizes, run_local_broadcast, BroadcastConfig, BroadcastReport,
-};
+pub use broadcast::{neighborhood_sizes, run_local_broadcast, BroadcastConfig, BroadcastReport};
 pub use coloring::{
     is_proper_coloring, mutual_neighbor_graph, run_coloring, ColoringConfig, ColoringReport,
 };
-pub use contention::{
-    run_contention, ContentionConfig, ContentionReport, ContentionStrategy,
-};
+pub use contention::{run_contention, ContentionConfig, ContentionReport, ContentionStrategy};
 pub use dominating::{
     greedy_dominating_set, run_dominating_set, DominatingConfig, DominatingReport,
+};
+pub use event_broadcast::{
+    build_broadcast_engine, jam_schedule_from_model, run_local_broadcast_event,
+    EventBroadcastConfig, EventBroadcastReport, EventBroadcaster,
+};
+pub use event_contention::{
+    run_contention_event, ContentionNode, EventContentionConfig, EventContentionReport,
 };
 pub use multimsg::{
     run_multi_broadcast, run_multi_broadcast_with_faults, MultiBroadcastConfig,

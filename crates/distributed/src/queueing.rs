@@ -220,10 +220,7 @@ mod tests {
             seed: 7,
         };
         let greedy = run_queueing(&aff, &cfg(Scheduler::LongestQueueGreedy));
-        let aloha = run_queueing(
-            &aff,
-            &cfg(Scheduler::Probabilistic { per_mille: 400 }),
-        );
+        let aloha = run_queueing(&aff, &cfg(Scheduler::Probabilistic { per_mille: 400 }));
         assert!(greedy.mean_backlog <= aloha.mean_backlog + 1.0);
     }
 

@@ -105,11 +105,7 @@ pub fn regret_capacity_game(aff: &AffectanceMatrix, config: &RegretConfig) -> Re
             if !aff.noise_factor(v).is_finite() {
                 continue;
             }
-            let others: Vec<LinkId> = transmitting
-                .iter()
-                .copied()
-                .filter(|&w| w != v)
-                .collect();
+            let others: Vec<LinkId> = transmitting.iter().copied().filter(|&w| w != v).collect();
             let ok = aff.in_affectance_raw(&others, v) <= 1.0 + 1e-12;
             let payoff = if ok { 1.0 } else { -config.failure_penalty };
             score[v.index()] += payoff;
@@ -123,8 +119,8 @@ pub fn regret_capacity_game(aff: &AffectanceMatrix, config: &RegretConfig) -> Re
         }
     }
     let tail = config.rounds - config.rounds / 4;
-    let converged = history[tail..].iter().sum::<usize>() as f64
-        / (config.rounds - tail).max(1) as f64;
+    let converged =
+        history[tail..].iter().sum::<usize>() as f64 / (config.rounds - tail).max(1) as f64;
     RegretOutcome {
         best_feasible,
         success_history: history,
@@ -209,13 +205,7 @@ mod tests {
         let a = regret_capacity_game(&aff, &cfg);
         let b = regret_capacity_game(&aff, &cfg);
         assert_eq!(a.success_history, b.success_history);
-        let c = regret_capacity_game(
-            &aff,
-            &RegretConfig {
-                seed: 99,
-                ..cfg
-            },
-        );
+        let c = regret_capacity_game(&aff, &RegretConfig { seed: 99, ..cfg });
         assert_ne!(a.success_history, c.success_history);
     }
 

@@ -1,0 +1,449 @@
+//! Decay-space storage backends.
+//!
+//! The slot-synchronous simulator in `decay-netsim` owns a
+//! [`DecaySpace`] — a dense row-major `n × n` matrix, which caps
+//! experiments at a few thousand nodes (a million-node space would need
+//! 8 TB). The engine instead talks to a [`DecayBackend`]: dense for
+//! small spaces, [`LazyBackend`] (evaluate on demand, zero storage) and
+//! [`TiledBackend`] (evaluate on demand, cache a bounded working set of
+//! matrix tiles) for large ones.
+//!
+//! Backends also answer the *reachability* query that makes event-driven
+//! reception resolution cheap: [`DecayBackend::potential_receivers`]
+//! enumerates the nodes a transmission could plausibly reach. Dense and
+//! generic lazy backends answer by scanning a row; a [`LazyBackend`] built
+//! from structured deployments (lines, grids, anything index-local) can
+//! install a *neighbor hint* answering in `O(k)` — the difference between
+//! `O(n)` and `O(k)` work per transmission at 100k+ nodes.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use decay_core::{DecaySpace, NodeId};
+
+/// Read access to a (possibly never materialized) decay space.
+///
+/// Implementations must be deterministic: `decay(p, q)` must always
+/// return the same value for the same pair, and must satisfy the decay
+/// space contract of [`decay_core::DecaySpace`] — finite, strictly
+/// positive off the diagonal, zero on it.
+pub trait DecayBackend: Send + Sync {
+    /// Number of nodes in the space.
+    fn len(&self) -> usize;
+
+    /// Whether the space has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The decay `f(from, to)`.
+    fn decay(&self, from: NodeId, to: NodeId) -> f64;
+
+    /// Nodes a transmission from `from` could plausibly reach: every
+    /// `z ≠ from` with `decay(from, z) ≤ reach`, or every other node when
+    /// `reach` is `None`.
+    ///
+    /// The default implementation scans the whole row (`O(n)` decay
+    /// evaluations). Structured backends should override it — see
+    /// [`LazyBackend::with_neighbor_hint`].
+    fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        let n = self.len();
+        (0..n)
+            .filter(|&j| j != from.index())
+            .map(NodeId::new)
+            .filter(|&to| match reach {
+                None => true,
+                Some(r) => self.decay(from, to) <= r,
+            })
+            .collect()
+    }
+}
+
+/// A dense backend wrapping a fully materialized [`DecaySpace`].
+///
+/// `O(n²)` storage, `O(1)` lookups — the right choice below a few
+/// thousand nodes and the semantics-preserving bridge from every existing
+/// `decay-netsim` experiment.
+#[derive(Debug, Clone)]
+pub struct DenseBackend {
+    space: DecaySpace,
+}
+
+impl DenseBackend {
+    /// Wraps a materialized decay space.
+    pub fn new(space: DecaySpace) -> Self {
+        DenseBackend { space }
+    }
+
+    /// The wrapped space.
+    pub fn space(&self) -> &DecaySpace {
+        &self.space
+    }
+}
+
+impl From<DecaySpace> for DenseBackend {
+    fn from(space: DecaySpace) -> Self {
+        DenseBackend::new(space)
+    }
+}
+
+impl DecayBackend for DenseBackend {
+    fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    fn decay(&self, from: NodeId, to: NodeId) -> f64 {
+        self.space.decay(from, to)
+    }
+}
+
+/// The decay generator used by lazy and tiled backends.
+pub type DecayFn = Arc<dyn Fn(usize, usize) -> f64 + Send + Sync>;
+
+/// A neighbor hint: given a node index and a reach, return the candidate
+/// receiver indices (superset allowed; the engine re-filters by decay).
+pub type NeighborFn = Arc<dyn Fn(usize, f64) -> Vec<usize> + Send + Sync>;
+
+/// A lazy backend: decays are computed on demand from a function and
+/// never stored. Zero bytes per pair — the backend of choice for
+/// million-node spaces whose decay has a formula (geometric deployments,
+/// stochastic urban models, synthetic hardness families).
+#[derive(Clone)]
+pub struct LazyBackend {
+    n: usize,
+    f: DecayFn,
+    neighbors: Option<NeighborFn>,
+}
+
+impl LazyBackend {
+    /// Creates a lazy backend over `n` nodes computing `f(i, j)` on
+    /// demand. The diagonal is forced to zero regardless of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`. Off-diagonal values returned by `f` must be
+    /// finite and strictly positive; this is checked with
+    /// `debug_assert!` on every evaluation (checking eagerly would defeat
+    /// the point of never materializing the matrix).
+    pub fn from_fn<F>(n: usize, f: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Send + Sync + 'static,
+    {
+        assert!(n > 0, "a decay space needs at least one node");
+        LazyBackend {
+            n,
+            f: Arc::new(f),
+            neighbors: None,
+        }
+    }
+
+    /// Installs a neighbor hint, replacing the `O(n)` row scan in
+    /// [`DecayBackend::potential_receivers`] with a structured `O(k)`
+    /// candidate query.
+    ///
+    /// The hint may over-approximate (extra candidates are filtered by
+    /// decay) but must never omit a node within reach, or deliveries will
+    /// silently be lost.
+    #[must_use]
+    pub fn with_neighbor_hint<F>(mut self, hint: F) -> Self
+    where
+        F: Fn(usize, f64) -> Vec<usize> + Send + Sync + 'static,
+    {
+        self.neighbors = Some(Arc::new(hint));
+        self
+    }
+}
+
+impl fmt::Debug for LazyBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyBackend")
+            .field("n", &self.n)
+            .field("neighbor_hint", &self.neighbors.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecayBackend for LazyBackend {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn decay(&self, from: NodeId, to: NodeId) -> f64 {
+        assert!(from.index() < self.n && to.index() < self.n);
+        if from == to {
+            return 0.0;
+        }
+        let v = (self.f)(from.index(), to.index());
+        debug_assert!(
+            v.is_finite() && v > 0.0,
+            "lazy decay f({}, {}) = {v} violates the decay-space contract",
+            from.index(),
+            to.index()
+        );
+        v
+    }
+
+    fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        match (&self.neighbors, reach) {
+            (Some(hint), Some(r)) => hint(from.index(), r)
+                .into_iter()
+                .filter(|&j| j != from.index() && j < self.n)
+                .map(NodeId::new)
+                .filter(|&to| self.decay(from, to) <= r)
+                .collect(),
+            _ => {
+                let n = self.n;
+                (0..n)
+                    .filter(|&j| j != from.index())
+                    .map(NodeId::new)
+                    .filter(|&to| match reach {
+                        None => true,
+                        Some(r) => self.decay(from, to) <= r,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One cached square tile of the decay matrix.
+struct Tile {
+    values: Vec<f64>,
+}
+
+/// Cache bookkeeping shared behind a mutex.
+struct TileCache {
+    tiles: HashMap<(usize, usize), Tile>,
+    /// FIFO order for eviction.
+    order: VecDeque<(usize, usize)>,
+    /// Total tiles ever computed (the bench's memory-pressure proxy).
+    computed: u64,
+}
+
+/// A tiled/sharded backend: decays are computed on demand in square
+/// tiles which are cached up to a bounded working set.
+///
+/// Sits between [`DenseBackend`] (all `n²` entries resident) and
+/// [`LazyBackend`] (nothing resident): repeated lookups within a hot
+/// region hit the cache, while total memory stays
+/// `O(max_tiles · tile_size²)` no matter how large the space is. Useful
+/// when decay evaluation is expensive (e.g. ray-traced indoor
+/// propagation) but access patterns are localized.
+pub struct TiledBackend {
+    n: usize,
+    tile_size: usize,
+    max_tiles: usize,
+    f: DecayFn,
+    cache: Mutex<TileCache>,
+}
+
+impl TiledBackend {
+    /// Creates a tiled backend over `n` nodes with `tile_size × tile_size`
+    /// tiles and at most `max_tiles` tiles resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n`, `tile_size` or `max_tiles` is zero.
+    pub fn from_fn<F>(n: usize, tile_size: usize, max_tiles: usize, f: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Send + Sync + 'static,
+    {
+        assert!(n > 0, "a decay space needs at least one node");
+        assert!(tile_size > 0, "tile size must be positive");
+        assert!(max_tiles > 0, "need at least one resident tile");
+        TiledBackend {
+            n,
+            tile_size,
+            max_tiles,
+            f: Arc::new(f),
+            cache: Mutex::new(TileCache {
+                tiles: HashMap::new(),
+                order: VecDeque::new(),
+                computed: 0,
+            }),
+        }
+    }
+
+    /// Number of tiles currently resident.
+    pub fn resident_tiles(&self) -> usize {
+        self.cache.lock().expect("tile cache poisoned").tiles.len()
+    }
+
+    /// Total tiles computed over the backend's lifetime (recomputation
+    /// after eviction counts again) — a proxy for evaluation cost and
+    /// memory pressure.
+    pub fn tiles_computed(&self) -> u64 {
+        self.cache.lock().expect("tile cache poisoned").computed
+    }
+
+    /// Peak resident bytes of tile storage.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_tiles() * self.tile_size * self.tile_size * std::mem::size_of::<f64>()
+    }
+}
+
+impl fmt::Debug for TiledBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TiledBackend")
+            .field("n", &self.n)
+            .field("tile_size", &self.tile_size)
+            .field("max_tiles", &self.max_tiles)
+            .field("resident_tiles", &self.resident_tiles())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecayBackend for TiledBackend {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn decay(&self, from: NodeId, to: NodeId) -> f64 {
+        assert!(from.index() < self.n && to.index() < self.n);
+        if from == to {
+            return 0.0;
+        }
+        let ts = self.tile_size;
+        let key = (from.index() / ts, to.index() / ts);
+        let mut cache = self.cache.lock().expect("tile cache poisoned");
+        if !cache.tiles.contains_key(&key) {
+            let row0 = key.0 * ts;
+            let col0 = key.1 * ts;
+            let rows = ts.min(self.n - row0);
+            let cols = ts.min(self.n - col0);
+            let mut values = vec![0.0; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    if row0 + r != col0 + c {
+                        let v = (self.f)(row0 + r, col0 + c);
+                        debug_assert!(
+                            v.is_finite() && v > 0.0,
+                            "tiled decay f({}, {}) = {v} violates the decay-space contract",
+                            row0 + r,
+                            col0 + c
+                        );
+                        values[r * cols + c] = v;
+                    }
+                }
+            }
+            if cache.tiles.len() >= self.max_tiles {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.tiles.remove(&old);
+                }
+            }
+            cache.tiles.insert(key, Tile { values });
+            cache.order.push_back(key);
+            cache.computed += 1;
+        }
+        let tile = &cache.tiles[&key];
+        let col0 = key.1 * ts;
+        let cols = ts.min(self.n - col0);
+        tile.values[(from.index() % ts) * cols + (to.index() % ts)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_fn(i: usize, j: usize) -> f64 {
+        ((i as f64) - (j as f64)).abs().powi(2)
+    }
+
+    #[test]
+    fn dense_matches_space() {
+        let space = DecaySpace::from_fn(5, line_fn).unwrap();
+        let b = DenseBackend::new(space.clone());
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(
+                    b.decay(NodeId::new(i), NodeId::new(j)),
+                    space.decay(NodeId::new(i), NodeId::new(j))
+                );
+            }
+        }
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn lazy_matches_dense_without_storing() {
+        let b = LazyBackend::from_fn(100, line_fn);
+        assert_eq!(b.decay(NodeId::new(3), NodeId::new(7)), 16.0);
+        assert_eq!(b.decay(NodeId::new(7), NodeId::new(7)), 0.0);
+    }
+
+    #[test]
+    fn lazy_scales_to_a_million_nodes() {
+        // The whole point: no O(n²) allocation happens here.
+        let b = LazyBackend::from_fn(1_000_000, line_fn);
+        assert_eq!(b.len(), 1_000_000);
+        assert_eq!(
+            b.decay(NodeId::new(999_999), NodeId::new(0)),
+            (999_999.0_f64).powi(2)
+        );
+    }
+
+    #[test]
+    fn potential_receivers_respects_reach() {
+        let b = LazyBackend::from_fn(10, line_fn);
+        let within = b.potential_receivers(NodeId::new(5), Some(4.0));
+        // Distance ≤ 2 at alpha = 2.
+        assert_eq!(
+            within,
+            vec![3, 4, 6, 7]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
+        );
+        let all = b.potential_receivers(NodeId::new(5), None);
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn neighbor_hint_filters_and_matches_scan() {
+        let scan = LazyBackend::from_fn(50, line_fn);
+        let hinted = LazyBackend::from_fn(50, line_fn).with_neighbor_hint(|i, r| {
+            let w = r.sqrt().ceil() as usize;
+            (i.saturating_sub(w)..=(i + w).min(49)).collect()
+        });
+        for i in [0usize, 10, 49] {
+            assert_eq!(
+                scan.potential_receivers(NodeId::new(i), Some(9.0)),
+                hinted.potential_receivers(NodeId::new(i), Some(9.0)),
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_matches_lazy_and_caches() {
+        let lazy = LazyBackend::from_fn(37, line_fn);
+        let tiled = TiledBackend::from_fn(37, 8, 4, line_fn);
+        for i in 0..37 {
+            for j in 0..37 {
+                assert_eq!(
+                    tiled.decay(NodeId::new(i), NodeId::new(j)),
+                    lazy.decay(NodeId::new(i), NodeId::new(j)),
+                    "({i}, {j})"
+                );
+            }
+        }
+        // Bounded residency despite touching every tile.
+        assert!(tiled.resident_tiles() <= 4);
+        assert!(tiled.tiles_computed() >= 25);
+        assert!(tiled.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn tiled_eviction_recomputes_consistently() {
+        let tiled = TiledBackend::from_fn(64, 16, 1, line_fn);
+        let a = tiled.decay(NodeId::new(0), NodeId::new(1));
+        let _ = tiled.decay(NodeId::new(60), NodeId::new(63)); // evicts
+        let b = tiled.decay(NodeId::new(0), NodeId::new(1)); // recompute
+        assert_eq!(a, b);
+        assert_eq!(tiled.resident_tiles(), 1);
+    }
+}

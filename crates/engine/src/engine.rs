@@ -1,0 +1,1207 @@
+//! The discrete-event engine itself.
+//!
+//! # Execution model
+//!
+//! Time is a [`Tick`] counter. Nodes are *passive* between events: a node
+//! only costs work when one of its events fires. The event kinds are
+//! wake-ups (scheduled by the node's own behavior), reception resolution
+//! (scheduled lazily, once per tick with transmissions), message
+//! deliveries (scheduled by resolution, possibly delayed by the latency
+//! model), and churn steps. Within a tick events fire in that fixed
+//! class order, with insertion order breaking ties — the total ordering
+//! that makes runs bit-reproducible from a seed.
+//!
+//! Transmissions within one tick contend exactly as slot-synchronous
+//! `decay-netsim` slots do: a listener captures the strongest incoming
+//! signal iff its SINR against the other transmissions (plus noise)
+//! clears `β`. The difference is cost: a tick costs `O(active)` work, not
+//! `O(n)`, and the decay matrix behind it may be lazy.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use decay_core::NodeId;
+use decay_netsim::{FaultPlan, ReceptionModel};
+use decay_sinr::SinrParams;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::backend::DecayBackend;
+use crate::codec::{Codec, CodecError};
+use crate::event::{Event, QueuedEvent, Tick};
+use crate::rng::EngineRng;
+
+/// Reserved RNG stream ids; per-node streams start after these.
+const STREAM_CHURN: u64 = 0;
+const STREAM_FADING: u64 = 1;
+const STREAM_JITTER: u64 = 2;
+const STREAM_JAM: u64 = 3;
+const STREAM_NODE_BASE: u64 = 4;
+
+/// A node's radio mode between events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeMode {
+    /// Radio on: the node is a reception candidate.
+    Listening,
+    /// Radio off: transmissions never reach this node.
+    Sleeping,
+    /// The node has left (churn); it neither acts nor receives until it
+    /// rejoins.
+    Down,
+}
+
+/// What a behavior asked the engine to do, buffered during a callback and
+/// applied when the callback returns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Command {
+    Transmit { power: f64, message: u64 },
+    Listen,
+    Sleep,
+    WakeAt { tick: Tick },
+}
+
+/// The engine-side view a behavior gets during any callback.
+///
+/// All effects are *commands*: they buffer inside the context and the
+/// engine applies them after the callback returns, so behaviors can never
+/// observe (or corrupt) mid-event engine state.
+pub struct NodeCtx<'a> {
+    /// This node's id.
+    pub node: NodeId,
+    /// Total number of nodes (alive or not).
+    pub nodes: usize,
+    /// The current tick.
+    pub now: Tick,
+    /// This node's private serializable RNG stream.
+    pub rng: &'a mut EngineRng,
+    commands: &'a mut Vec<Command>,
+}
+
+impl NodeCtx<'_> {
+    /// Transmits `message` at `power` in the current tick. The node still
+    /// cannot receive during a tick in which it transmits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `power` is positive and finite.
+    pub fn transmit(&mut self, power: f64, message: u64) {
+        assert!(
+            power.is_finite() && power > 0.0,
+            "node {} transmitted with non-positive power",
+            self.node
+        );
+        self.commands.push(Command::Transmit { power, message });
+    }
+
+    /// Turns the radio on: the node becomes a standing reception
+    /// candidate until it sleeps or goes down. Unlike the slot simulator
+    /// there is no per-slot listen decision — listening is a mode, which
+    /// is what lets idle listeners cost nothing.
+    pub fn listen(&mut self) {
+        self.commands.push(Command::Listen);
+    }
+
+    /// Turns the radio off.
+    pub fn sleep(&mut self) {
+        self.commands.push(Command::Sleep);
+    }
+
+    /// Schedules a wake-up at the absolute tick `tick` (`≥ now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is in the past.
+    pub fn wake_at(&mut self, tick: Tick) {
+        assert!(tick >= self.now, "cannot schedule a wake in the past");
+        self.commands.push(Command::WakeAt { tick });
+    }
+
+    /// Schedules a wake-up `dt` ticks from now.
+    pub fn wake_in(&mut self, dt: Tick) {
+        self.commands.push(Command::WakeAt {
+            tick: self.now + dt,
+        });
+    }
+}
+
+impl fmt::Debug for NodeCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeCtx")
+            .field("node", &self.node)
+            .field("nodes", &self.nodes)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A node's protocol logic in the event-driven model.
+///
+/// Behaviors schedule their own wake-ups; a node with nothing scheduled
+/// is free. For running unmodified slot-synchronous
+/// [`decay_netsim::NodeBehavior`] protocols, see
+/// [`crate::SlotAdapter`].
+pub trait EventBehavior {
+    /// Called once when the node enters the simulation: at tick 0 for the
+    /// initial population, and again (with state preserved) each time the
+    /// node rejoins after churn. Typical implementations call
+    /// [`NodeCtx::listen`] and schedule a first wake.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>);
+
+    /// Called at a wake-up the behavior scheduled.
+    fn on_wake(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message is delivered to this node. `power` is the
+    /// received signal power (transmit power over decay, after fading).
+    fn on_receive(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, message: u64, power: f64) {
+        let _ = (ctx, from, message, power);
+    }
+
+    /// Called at resolution time for a tick in which this node
+    /// transmitted, with the listeners that captured the transmission
+    /// (deliveries are *scheduled* for them; latency may still delay, and
+    /// churn may still drop, the actual arrival). An acknowledgment-style
+    /// oracle, as in the slot simulator.
+    fn on_transmit_result(&mut self, ctx: &mut NodeCtx<'_>, receivers: &[NodeId]) {
+        let _ = (ctx, receivers);
+    }
+}
+
+/// Node churn: the engine flips at most one node per churn step.
+///
+/// Every `interval` ticks one node is drawn uniformly; if it is up it
+/// leaves with probability `leave_prob`, if it is down it rejoins with
+/// probability `join_prob`. A rejoining node keeps its behavior state
+/// (crash-recovery semantics, matching [`decay_netsim::FaultPlan`]) but
+/// gets a fresh incarnation: wake-ups and deliveries scheduled for its
+/// previous life are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Ticks between churn steps (≥ 1).
+    pub interval: Tick,
+    /// Probability that the drawn node leaves, when up.
+    pub leave_prob: f64,
+    /// Probability that the drawn node rejoins, when down.
+    pub join_prob: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            interval: 1,
+            leave_prob: 0.5,
+            join_prob: 0.5,
+        }
+    }
+}
+
+/// Latency applied to each scheduled delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LatencyModel {
+    /// Deliveries arrive in the tick they were resolved (slot semantics).
+    #[default]
+    Immediate,
+    /// Every delivery is delayed by a fixed number of ticks.
+    Fixed {
+        /// The delay in ticks.
+        ticks: Tick,
+    },
+    /// Deliveries are delayed by `base` plus a uniform draw from
+    /// `[0, jitter]` ticks (drawn per delivery from the jitter stream).
+    Jittered {
+        /// Minimum delay in ticks.
+        base: Tick,
+        /// Maximum extra delay in ticks.
+        jitter: Tick,
+    },
+}
+
+/// When the jammer blankets the channel, killing every reception in the
+/// affected tick. The schedule kinds mirror
+/// `decay_distributed::adversarial::JammingModel` so adversarial
+/// experiments port directly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum JamSchedule {
+    /// No jamming.
+    #[default]
+    None,
+    /// Every `period`-th tick (ticks ≡ 0 mod `period`) is jammed.
+    Periodic {
+        /// The period in ticks (≥ 1).
+        period: Tick,
+    },
+    /// Each tick with transmissions is jammed independently with
+    /// probability `prob`.
+    Random {
+        /// Per-tick jamming probability.
+        prob: f64,
+    },
+}
+
+/// Engine configuration: physics, dynamics, and instrumentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Decay beyond which a signal is treated as unreceivable. `None`
+    /// considers every node a candidate (`O(n)` per transmission —
+    /// correct but slow at scale). Set it to the decay at which received
+    /// power drops below any detectable level for your powers and noise.
+    pub reach_decay: Option<f64>,
+    /// Top-k affectance pruning: each listener's SINR denominator keeps
+    /// only its `k` strongest concurrent signals; weaker interferers are
+    /// dropped. `None` sums all concurrent transmissions (exact).
+    pub top_k: Option<usize>,
+    /// Reception model, shared with the slot simulator.
+    pub reception: ReceptionModel,
+    /// Delivery latency model.
+    pub latency: LatencyModel,
+    /// Node churn, if any.
+    pub churn: Option<ChurnConfig>,
+    /// Jamming schedule.
+    pub jamming: JamSchedule,
+    /// Scheduled per-node outages, reusing the slot simulator's plan
+    /// type; ticks index slots. A node inside an outage window neither
+    /// wakes nor receives; pending wakes resume at the window's end.
+    pub faults: FaultPlan,
+    /// Whether to record the full delivery trace (the rolling
+    /// [`Engine::trace_hash`] is always maintained).
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            reach_decay: None,
+            top_k: None,
+            reception: ReceptionModel::Threshold,
+            latency: LatencyModel::Immediate,
+            churn: None,
+            jamming: JamSchedule::None,
+            faults: FaultPlan::none(),
+            record_trace: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), EngineError> {
+        let bad = |reason: &str| {
+            Err(EngineError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if let Some(r) = self.reach_decay {
+            if !(r.is_finite() && r > 0.0) {
+                return bad("reach_decay must be positive and finite");
+            }
+        }
+        if self.top_k == Some(0) {
+            return bad("top_k must keep at least one signal");
+        }
+        if let Some(churn) = &self.churn {
+            if churn.interval == 0 {
+                return bad("churn interval must be at least one tick");
+            }
+            if !(0.0..=1.0).contains(&churn.leave_prob) || !(0.0..=1.0).contains(&churn.join_prob) {
+                return bad("churn probabilities must be in [0, 1]");
+            }
+        }
+        match self.jamming {
+            JamSchedule::Periodic { period: 0 } => {
+                return bad("jamming period must be at least one tick");
+            }
+            JamSchedule::Random { prob } if !(0.0..=1.0).contains(&prob) => {
+                return bad("jamming probability must be in [0, 1]");
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// One recorded delivery (when [`EngineConfig::record_trace`] is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Tick the message arrived (resolution tick plus latency).
+    pub tick: Tick,
+    /// The transmitter.
+    pub from: NodeId,
+    /// The receiver.
+    pub to: NodeId,
+    /// The payload.
+    pub message: u64,
+}
+
+/// Cumulative counters over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Events dispatched.
+    pub events: u64,
+    /// Wake-ups delivered to behaviors.
+    pub wakes: u64,
+    /// Transmissions attempted.
+    pub transmissions: u64,
+    /// Messages delivered (callback fired).
+    pub deliveries: u64,
+    /// Scheduled deliveries dropped in flight (receiver down, asleep, or
+    /// reincarnated before arrival).
+    pub dropped_deliveries: u64,
+    /// Ticks with transmissions that the jammer blanked.
+    pub jammed_ticks: u64,
+    /// Churn departures.
+    pub churn_leaves: u64,
+    /// Churn rejoins.
+    pub churn_joins: u64,
+}
+
+/// Errors constructing or restoring an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Behavior count does not match the backend's node count.
+    BehaviorCountMismatch {
+        /// Nodes in the backend.
+        nodes: usize,
+        /// Behaviors supplied.
+        behaviors: usize,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BehaviorCountMismatch { nodes, behaviors } => write!(
+                f,
+                "expected {nodes} behaviors for {nodes} nodes, got {behaviors}"
+            ),
+            EngineError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A complete, serializable snapshot of engine state (everything except
+/// the backend, which is re-supplied on [`Engine::restore`] — backends
+/// are deterministic pure functions of node pairs, so they carry no run
+/// state).
+///
+/// Restoring a checkpoint and continuing produces a *bit-identical*
+/// trace to the uninterrupted run: the event queue, every RNG stream's
+/// mid-state, node modes and incarnations, behavior state, and the
+/// rolling trace hash are all captured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "B: Serialize",
+    deserialize = "B: serde::de::DeserializeOwned"
+))]
+pub struct Checkpoint<B> {
+    /// Snapshot format version.
+    pub version: u32,
+    now: Tick,
+    seq: u64,
+    queue: Vec<QueuedEvent>,
+    pending_tx: Vec<(NodeId, f64, u64)>,
+    resolve_scheduled: bool,
+    modes: Vec<NodeMode>,
+    incarnations: Vec<u32>,
+    rngs: Vec<EngineRng>,
+    churn_rng: EngineRng,
+    fading_rng: EngineRng,
+    jitter_rng: EngineRng,
+    jam_rng: EngineRng,
+    stats: EngineStats,
+    trace_hash: u64,
+    trace: Vec<DeliveryRecord>,
+    behaviors: Vec<B>,
+    params: SinrParams,
+    config: EngineConfig,
+}
+
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Magic bytes opening a serialized checkpoint.
+const CHECKPOINT_MAGIC: u32 = 0xDECA_E001;
+
+impl Codec for NodeMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            NodeMode::Listening => 0,
+            NodeMode::Sleeping => 1,
+            NodeMode::Down => 2,
+        });
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(NodeMode::Listening),
+            1 => Ok(NodeMode::Sleeping),
+            2 => Ok(NodeMode::Down),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                ty: "NodeMode",
+            }),
+        }
+    }
+}
+
+impl Codec for ChurnConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.interval.encode(out);
+        self.leave_prob.encode(out);
+        self.join_prob.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(ChurnConfig {
+            interval: Tick::decode(input)?,
+            leave_prob: f64::decode(input)?,
+            join_prob: f64::decode(input)?,
+        })
+    }
+}
+
+impl Codec for LatencyModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LatencyModel::Immediate => out.push(0),
+            LatencyModel::Fixed { ticks } => {
+                out.push(1);
+                ticks.encode(out);
+            }
+            LatencyModel::Jittered { base, jitter } => {
+                out.push(2);
+                base.encode(out);
+                jitter.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(LatencyModel::Immediate),
+            1 => Ok(LatencyModel::Fixed {
+                ticks: Tick::decode(input)?,
+            }),
+            2 => Ok(LatencyModel::Jittered {
+                base: Tick::decode(input)?,
+                jitter: Tick::decode(input)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                ty: "LatencyModel",
+            }),
+        }
+    }
+}
+
+impl Codec for JamSchedule {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            JamSchedule::None => out.push(0),
+            JamSchedule::Periodic { period } => {
+                out.push(1);
+                period.encode(out);
+            }
+            JamSchedule::Random { prob } => {
+                out.push(2);
+                prob.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(JamSchedule::None),
+            1 => Ok(JamSchedule::Periodic {
+                period: Tick::decode(input)?,
+            }),
+            2 => Ok(JamSchedule::Random {
+                prob: f64::decode(input)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                ty: "JamSchedule",
+            }),
+        }
+    }
+}
+
+impl Codec for EngineConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.reach_decay.encode(out);
+        self.top_k.encode(out);
+        self.reception.encode(out);
+        self.latency.encode(out);
+        self.churn.encode(out);
+        self.jamming.encode(out);
+        self.faults.encode(out);
+        self.record_trace.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(EngineConfig {
+            reach_decay: Option::<f64>::decode(input)?,
+            top_k: Option::<usize>::decode(input)?,
+            reception: Codec::decode(input)?,
+            latency: LatencyModel::decode(input)?,
+            churn: Option::<ChurnConfig>::decode(input)?,
+            jamming: JamSchedule::decode(input)?,
+            faults: Codec::decode(input)?,
+            record_trace: bool::decode(input)?,
+        })
+    }
+}
+
+impl Codec for DeliveryRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tick.encode(out);
+        self.from.encode(out);
+        self.to.encode(out);
+        self.message.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(DeliveryRecord {
+            tick: Tick::decode(input)?,
+            from: Codec::decode(input)?,
+            to: Codec::decode(input)?,
+            message: u64::decode(input)?,
+        })
+    }
+}
+
+impl Codec for EngineStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for field in [
+            self.events,
+            self.wakes,
+            self.transmissions,
+            self.deliveries,
+            self.dropped_deliveries,
+            self.jammed_ticks,
+            self.churn_leaves,
+            self.churn_joins,
+        ] {
+            field.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(EngineStats {
+            events: u64::decode(input)?,
+            wakes: u64::decode(input)?,
+            transmissions: u64::decode(input)?,
+            deliveries: u64::decode(input)?,
+            dropped_deliveries: u64::decode(input)?,
+            jammed_ticks: u64::decode(input)?,
+            churn_leaves: u64::decode(input)?,
+            churn_joins: u64::decode(input)?,
+        })
+    }
+}
+
+impl<B: Codec> Codec for Checkpoint<B> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        CHECKPOINT_MAGIC.encode(out);
+        self.version.encode(out);
+        self.now.encode(out);
+        self.seq.encode(out);
+        self.queue.encode(out);
+        self.pending_tx.encode(out);
+        self.resolve_scheduled.encode(out);
+        self.modes.encode(out);
+        self.incarnations.encode(out);
+        self.rngs.encode(out);
+        self.churn_rng.encode(out);
+        self.fading_rng.encode(out);
+        self.jitter_rng.encode(out);
+        self.jam_rng.encode(out);
+        self.stats.encode(out);
+        self.trace_hash.encode(out);
+        self.trace.encode(out);
+        self.behaviors.encode(out);
+        self.params.encode(out);
+        self.config.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        if u32::decode(input)? != CHECKPOINT_MAGIC {
+            return Err(CodecError::Invalid("checkpoint magic"));
+        }
+        let version = u32::decode(input)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CodecError::Invalid("checkpoint version"));
+        }
+        Ok(Checkpoint {
+            version,
+            now: Tick::decode(input)?,
+            seq: u64::decode(input)?,
+            queue: Codec::decode(input)?,
+            pending_tx: Codec::decode(input)?,
+            resolve_scheduled: bool::decode(input)?,
+            modes: Codec::decode(input)?,
+            incarnations: Vec::<u32>::decode(input)?,
+            rngs: Codec::decode(input)?,
+            churn_rng: Codec::decode(input)?,
+            fading_rng: Codec::decode(input)?,
+            jitter_rng: Codec::decode(input)?,
+            jam_rng: Codec::decode(input)?,
+            stats: Codec::decode(input)?,
+            trace_hash: u64::decode(input)?,
+            trace: Codec::decode(input)?,
+            behaviors: Codec::decode(input)?,
+            params: Codec::decode(input)?,
+            config: Codec::decode(input)?,
+        })
+    }
+}
+
+impl<B: Codec> Checkpoint<B> {
+    /// Serializes the checkpoint to bytes (the offline serde stand-in
+    /// cannot; this hand-rolled codec can — see [`crate::codec`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::codec::to_bytes(self)
+    }
+
+    /// Deserializes a checkpoint from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated, corrupt, or
+    /// version-mismatched input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        crate::codec::from_bytes(bytes)
+    }
+}
+
+/// The deterministic discrete-event simulation engine.
+///
+/// See the [module docs](self) for the execution model and the crate
+/// docs for a quickstart.
+pub struct Engine<B> {
+    backend: Box<dyn DecayBackend>,
+    behaviors: Vec<B>,
+    params: SinrParams,
+    config: EngineConfig,
+    now: Tick,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Transmissions of the current tick, awaiting resolution.
+    pending_tx: Vec<(NodeId, f64, u64)>,
+    resolve_scheduled: bool,
+    modes: Vec<NodeMode>,
+    incarnations: Vec<u32>,
+    rngs: Vec<EngineRng>,
+    churn_rng: EngineRng,
+    fading_rng: EngineRng,
+    jitter_rng: EngineRng,
+    jam_rng: EngineRng,
+    stats: EngineStats,
+    trace_hash: u64,
+    trace: Vec<DeliveryRecord>,
+    /// Scratch command buffer, reused across callbacks.
+    scratch: Vec<Command>,
+}
+
+impl<B> fmt::Debug for Engine<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.modes.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a over one delivery tuple, folded into the rolling hash.
+fn fold_delivery(hash: u64, tick: Tick, from: NodeId, to: NodeId, message: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = hash;
+    for word in [tick, from.index() as u64, to.index() as u64, message] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+impl<B: EventBehavior> Engine<B> {
+    /// Creates an engine; `behaviors[i]` drives node `i`. Every node
+    /// starts up (mode [`NodeMode::Sleeping`] until its `on_start` says
+    /// otherwise); `on_start` runs immediately, at tick 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the behavior count does not match the backend
+    /// or the configuration is degenerate.
+    pub fn new(
+        backend: impl DecayBackend + 'static,
+        behaviors: Vec<B>,
+        params: SinrParams,
+        config: EngineConfig,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        config.validate()?;
+        let n = backend.len();
+        if behaviors.len() != n {
+            return Err(EngineError::BehaviorCountMismatch {
+                nodes: n,
+                behaviors: behaviors.len(),
+            });
+        }
+        let mut engine = Engine {
+            backend: Box::new(backend),
+            behaviors,
+            params,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            pending_tx: Vec::new(),
+            resolve_scheduled: false,
+            modes: vec![NodeMode::Sleeping; n],
+            incarnations: vec![0; n],
+            rngs: (0..n)
+                .map(|i| EngineRng::for_stream(seed, STREAM_NODE_BASE + i as u64))
+                .collect(),
+            churn_rng: EngineRng::for_stream(seed, STREAM_CHURN),
+            fading_rng: EngineRng::for_stream(seed, STREAM_FADING),
+            jitter_rng: EngineRng::for_stream(seed, STREAM_JITTER),
+            jam_rng: EngineRng::for_stream(seed, STREAM_JAM),
+            stats: EngineStats::default(),
+            trace_hash: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+            trace: Vec::new(),
+            scratch: Vec::new(),
+            config,
+        };
+        for i in 0..n {
+            engine.with_ctx(i, |b, ctx| b.on_start(ctx));
+        }
+        if let Some(churn) = engine.config.churn {
+            engine.push_event(churn.interval, Event::ChurnStep);
+        }
+        Ok(engine)
+    }
+
+    /// Restores an engine from a checkpoint; the backend must describe
+    /// the same space the checkpoint was taken over (same node count at
+    /// minimum — decay values are the caller's responsibility, since
+    /// backends are not serializable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the backend's node count does not match.
+    pub fn restore(
+        backend: impl DecayBackend + 'static,
+        checkpoint: Checkpoint<B>,
+    ) -> Result<Self, EngineError> {
+        if backend.len() != checkpoint.modes.len() {
+            return Err(EngineError::BehaviorCountMismatch {
+                nodes: backend.len(),
+                behaviors: checkpoint.modes.len(),
+            });
+        }
+        Ok(Engine {
+            backend: Box::new(backend),
+            behaviors: checkpoint.behaviors,
+            params: checkpoint.params,
+            config: checkpoint.config,
+            now: checkpoint.now,
+            seq: checkpoint.seq,
+            queue: checkpoint.queue.into_iter().map(Reverse).collect(),
+            pending_tx: checkpoint.pending_tx,
+            resolve_scheduled: checkpoint.resolve_scheduled,
+            modes: checkpoint.modes,
+            incarnations: checkpoint.incarnations,
+            rngs: checkpoint.rngs,
+            churn_rng: checkpoint.churn_rng,
+            fading_rng: checkpoint.fading_rng,
+            jitter_rng: checkpoint.jitter_rng,
+            jam_rng: checkpoint.jam_rng,
+            stats: checkpoint.stats,
+            trace_hash: checkpoint.trace_hash,
+            trace: checkpoint.trace,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Snapshots the complete engine state. Call between [`Self::run_until`]
+    /// calls; the snapshot is self-contained modulo the backend.
+    pub fn checkpoint(&self) -> Checkpoint<B>
+    where
+        B: Clone,
+    {
+        let mut queue: Vec<QueuedEvent> = self.queue.iter().map(|Reverse(qe)| qe.clone()).collect();
+        queue.sort();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            now: self.now,
+            seq: self.seq,
+            queue,
+            pending_tx: self.pending_tx.clone(),
+            resolve_scheduled: self.resolve_scheduled,
+            modes: self.modes.clone(),
+            incarnations: self.incarnations.clone(),
+            rngs: self.rngs.clone(),
+            churn_rng: self.churn_rng.clone(),
+            fading_rng: self.fading_rng.clone(),
+            jitter_rng: self.jitter_rng.clone(),
+            jam_rng: self.jam_rng.clone(),
+            stats: self.stats,
+            trace_hash: self.trace_hash,
+            trace: self.trace.clone(),
+            behaviors: self.behaviors.clone(),
+            params: self.params,
+            config: self.config.clone(),
+        }
+    }
+
+    /// Processes every event with firing tick `≤ end`, then advances the
+    /// clock to `end`. Returns the cumulative stats.
+    pub fn run_until(&mut self, end: Tick) -> EngineStats {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.tick > end {
+                break;
+            }
+            let Reverse(qe) = self.queue.pop().expect("peeked");
+            self.now = qe.tick;
+            self.stats.events += 1;
+            self.dispatch(qe.event);
+        }
+        self.now = self.now.max(end);
+        self.stats
+    }
+
+    /// Runs `dt` more ticks (see [`Self::run_until`]).
+    pub fn run_for(&mut self, dt: Tick) -> EngineStats {
+        self.run_until(self.now + dt)
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Whether the engine has no nodes (never true for constructed
+    /// engines; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Read access to a node's behavior.
+    pub fn behavior(&self, node: NodeId) -> &B {
+        &self.behaviors[node.index()]
+    }
+
+    /// A node's current radio mode.
+    pub fn mode(&self, node: NodeId) -> NodeMode {
+        self.modes[node.index()]
+    }
+
+    /// Whether the node is currently up (not churned out).
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.modes[node.index()] != NodeMode::Down
+    }
+
+    /// The rolling FNV-1a hash over every delivery
+    /// `(tick, from, to, message)` so far — equal hashes mean equal
+    /// delivery traces, without storing them.
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash
+    }
+
+    /// The recorded deliveries (empty unless
+    /// [`EngineConfig::record_trace`] is set).
+    pub fn trace(&self) -> &[DeliveryRecord] {
+        &self.trace
+    }
+
+    /// The backend being simulated.
+    pub fn backend(&self) -> &dyn DecayBackend {
+        &*self.backend
+    }
+
+    /// Pending events (diagnostic).
+    pub fn queued_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push_event(&mut self, tick: Tick, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent::new(tick, seq, event)));
+    }
+
+    /// Runs a behavior callback for node `i` with a fresh context, then
+    /// applies the buffered commands.
+    fn with_ctx<F: FnOnce(&mut B, &mut NodeCtx<'_>)>(&mut self, i: usize, f: F) {
+        let mut cmds = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = NodeCtx {
+                node: NodeId::new(i),
+                nodes: self.modes.len(),
+                now: self.now,
+                rng: &mut self.rngs[i],
+                commands: &mut cmds,
+            };
+            f(&mut self.behaviors[i], &mut ctx);
+        }
+        self.apply_commands(NodeId::new(i), &mut cmds);
+        cmds.clear();
+        self.scratch = cmds;
+    }
+
+    fn apply_commands(&mut self, node: NodeId, cmds: &mut Vec<Command>) {
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Transmit { power, message } => {
+                    if !self.resolve_scheduled {
+                        self.push_event(self.now, Event::Resolve);
+                        self.resolve_scheduled = true;
+                    }
+                    self.pending_tx.push((node, power, message));
+                }
+                Command::Listen => self.modes[node.index()] = NodeMode::Listening,
+                Command::Sleep => self.modes[node.index()] = NodeMode::Sleeping,
+                Command::WakeAt { tick } => {
+                    let incarnation = self.incarnations[node.index()];
+                    self.push_event(tick, Event::Wake { node, incarnation });
+                }
+            }
+        }
+    }
+
+    /// The tick until which `node` is down per the fault plan, if it is
+    /// down at `tick`; `None` when it is up. `Tick::MAX` means a
+    /// permanent crash.
+    fn fault_until(&self, node: NodeId, tick: Tick) -> Option<Tick> {
+        let slot = usize::try_from(tick).unwrap_or(usize::MAX);
+        self.config
+            .faults
+            .outages()
+            .iter()
+            .filter(|o| o.node == node && o.covers(slot))
+            .map(|o| {
+                if o.until_slot == usize::MAX {
+                    Tick::MAX
+                } else {
+                    o.until_slot as Tick
+                }
+            })
+            .max()
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Wake { node, incarnation } => {
+                let i = node.index();
+                if self.incarnations[i] != incarnation || self.modes[i] == NodeMode::Down {
+                    return;
+                }
+                if let Some(until) = self.fault_until(node, self.now) {
+                    // Frozen by the fault plan: resume at the outage end
+                    // (drop permanently for a crash).
+                    if until != Tick::MAX {
+                        self.push_event(until, Event::Wake { node, incarnation });
+                    }
+                    return;
+                }
+                self.stats.wakes += 1;
+                self.with_ctx(i, |b, ctx| b.on_wake(ctx));
+            }
+            Event::Resolve => self.resolve_tick(),
+            Event::Deliver {
+                to,
+                from,
+                message,
+                power,
+                incarnation,
+            } => {
+                let i = to.index();
+                if self.incarnations[i] != incarnation
+                    || self.modes[i] != NodeMode::Listening
+                    || self.fault_until(to, self.now).is_some()
+                {
+                    self.stats.dropped_deliveries += 1;
+                    return;
+                }
+                self.stats.deliveries += 1;
+                self.trace_hash = fold_delivery(self.trace_hash, self.now, from, to, message);
+                if self.config.record_trace {
+                    self.trace.push(DeliveryRecord {
+                        tick: self.now,
+                        from,
+                        to,
+                        message,
+                    });
+                }
+                self.with_ctx(i, |b, ctx| b.on_receive(ctx, from, message, power));
+            }
+            Event::ChurnStep => {
+                let Some(churn) = self.config.churn else {
+                    return;
+                };
+                let n = self.modes.len();
+                let i = self.churn_rng.gen_range(0..n);
+                let u: f64 = self.churn_rng.gen_range(0.0..1.0);
+                if self.modes[i] == NodeMode::Down {
+                    if u < churn.join_prob {
+                        self.incarnations[i] += 1;
+                        self.modes[i] = NodeMode::Sleeping;
+                        self.stats.churn_joins += 1;
+                        self.with_ctx(i, |b, ctx| b.on_start(ctx));
+                    }
+                } else if u < churn.leave_prob {
+                    self.modes[i] = NodeMode::Down;
+                    self.stats.churn_leaves += 1;
+                }
+                self.push_event(self.now + churn.interval, Event::ChurnStep);
+            }
+        }
+    }
+
+    /// Resolves all transmissions of the current tick under SINR and
+    /// schedules the resulting deliveries.
+    fn resolve_tick(&mut self) {
+        self.resolve_scheduled = false;
+        let txs = std::mem::take(&mut self.pending_tx);
+        if txs.is_empty() {
+            return;
+        }
+        self.stats.transmissions += txs.len() as u64;
+        let jammed = match self.config.jamming {
+            JamSchedule::None => false,
+            JamSchedule::Periodic { period } => self.now.is_multiple_of(period),
+            JamSchedule::Random { prob } => self.jam_rng.gen_range(0.0..1.0) < prob,
+        };
+        let mut per_tx_receivers: Vec<Vec<NodeId>> = vec![Vec::new(); txs.len()];
+        if jammed {
+            self.stats.jammed_ticks += 1;
+        } else {
+            // (listener, transmitter) pairs within reach. Each listener
+            // only ever evaluates the transmitters that can reach it —
+            // `O(Σ_t |receivers(t)|)` total work per tick, not
+            // `O(listeners · transmitters)`. Sorted by (listener, tx
+            // order): part of the determinism contract — fading draws
+            // follow this order.
+            let mut pairs: Vec<(NodeId, usize)> = Vec::new();
+            for (k, &(t, _, _)) in txs.iter().enumerate() {
+                for v in self.backend.potential_receivers(t, self.config.reach_decay) {
+                    pairs.push((v, k));
+                }
+            }
+            pairs.sort_unstable_by_key(|&(v, k)| (v.index(), k));
+            // O(1) transmitter-exclusion lookups (only membership is
+            // queried, so hash order cannot leak into the trace).
+            let transmitting: HashSet<NodeId> = txs.iter().map(|&(t, _, _)| t).collect();
+            let noise = self.params.noise();
+            let beta = self.params.beta();
+            let mut deliveries: Vec<(NodeId, usize, f64)> = Vec::new();
+            let mut i = 0;
+            while i < pairs.len() {
+                let v = pairs[i].0;
+                let mut end = i;
+                while end < pairs.len() && pairs[end].0 == v {
+                    end += 1;
+                }
+                let group = &pairs[i..end];
+                i = end;
+                if self.modes[v.index()] != NodeMode::Listening
+                    || self.fault_until(v, self.now).is_some()
+                    || transmitting.contains(&v)
+                {
+                    continue;
+                }
+                // Received power from each in-reach concurrent
+                // transmitter (out-of-reach interference is below the
+                // reach cutoff by construction).
+                let mut rx: Vec<(usize, f64)> = Vec::with_capacity(group.len());
+                for &(_, k) in group {
+                    let (t, power, _) = txs[k];
+                    let fade = match self.config.reception {
+                        ReceptionModel::Threshold => 1.0,
+                        // Unit-mean exponential via inverse CDF, as in the
+                        // slot simulator.
+                        ReceptionModel::Rayleigh => -(1.0 - self.fading_rng.gen::<f64>()).ln(),
+                    };
+                    rx.push((k, fade * power / self.backend.decay(t, v)));
+                }
+                // Top-k affectance pruning: keep only the k strongest
+                // signals in the SINR denominator. Stable sort keeps the
+                // earliest transmitter first among ties.
+                if let Some(k) = self.config.top_k {
+                    if rx.len() > k {
+                        rx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(CmpOrdering::Equal));
+                        rx.truncate(k);
+                    }
+                }
+                // First strict maximum wins ties, as in the slot simulator.
+                let (mut best_k, mut best_p) = rx[0];
+                let mut total = 0.0;
+                for &(k, p) in &rx {
+                    total += p;
+                    if p > best_p {
+                        best_k = k;
+                        best_p = p;
+                    }
+                }
+                let interference = total - best_p + noise;
+                let sinr = if interference > 0.0 {
+                    best_p / interference
+                } else {
+                    f64::INFINITY
+                };
+                if sinr >= beta * (1.0 - 1e-12) {
+                    deliveries.push((v, best_k, best_p));
+                    per_tx_receivers[best_k].push(v);
+                }
+            }
+            // Schedule deliveries (latency drawn per delivery, in order).
+            for (v, k, p) in deliveries {
+                let delay = match self.config.latency {
+                    LatencyModel::Immediate => 0,
+                    LatencyModel::Fixed { ticks } => ticks,
+                    LatencyModel::Jittered { base, jitter } => {
+                        base + if jitter == 0 {
+                            0
+                        } else {
+                            self.jitter_rng.gen_range(0..=jitter)
+                        }
+                    }
+                };
+                let (from, _, message) = txs[k];
+                self.push_event(
+                    self.now + delay,
+                    Event::Deliver {
+                        to: v,
+                        from,
+                        message,
+                        power: p,
+                        incarnation: self.incarnations[v.index()],
+                    },
+                );
+            }
+        }
+        // Transmit-result callbacks, in transmission order.
+        for (k, &(t, _, _)) in txs.iter().enumerate() {
+            let receivers = std::mem::take(&mut per_tx_receivers[k]);
+            if self.modes[t.index()] == NodeMode::Down {
+                continue;
+            }
+            self.with_ctx(t.index(), |b, ctx| {
+                b.on_transmit_result(ctx, &receivers);
+            });
+        }
+    }
+}

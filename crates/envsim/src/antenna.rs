@@ -7,9 +7,10 @@
 use serde::{Deserialize, Serialize};
 
 /// A transmit/receive antenna pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum AntennaPattern {
     /// Equal gain in all directions.
+    #[default]
     Isotropic,
     /// Smooth heart-shaped pattern: `front_db` at the boresight fading to
     /// `back_db` directly behind.
@@ -64,12 +65,6 @@ impl AntennaPattern {
                 }
             }
         }
-    }
-}
-
-impl Default for AntennaPattern {
-    fn default() -> Self {
-        AntennaPattern::Isotropic
     }
 }
 

@@ -146,10 +146,7 @@ mod tests {
     #[test]
     fn single_wall_attenuates_crossing_paths_only() {
         let mut plan = FloorPlan::new();
-        plan.add_wall(Wall::new(
-            Segment::new(p(5.0, -10.0), p(5.0, 10.0)),
-            7.0,
-        ));
+        plan.add_wall(Wall::new(Segment::new(p(5.0, -10.0), p(5.0, 10.0)), 7.0));
         assert_eq!(plan.crossing_loss_db(p(0.0, 0.0), p(10.0, 0.0)), 7.0);
         assert_eq!(plan.crossing_loss_db(p(0.0, 0.0), p(4.0, 0.0)), 0.0);
     }

@@ -128,7 +128,9 @@ pub fn distance_decay_correlation(
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for (i, j, f) in space.ordered_pairs() {
-        let d = positions[i.index()].distance(positions[j.index()]).max(1e-9);
+        let d = positions[i.index()]
+            .distance(positions[j.index()])
+            .max(1e-9);
         xs.push(d.ln());
         ys.push(f.ln());
     }

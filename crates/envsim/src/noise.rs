@@ -140,7 +140,11 @@ mod tests {
         // Within a tenth of the correlation length values barely move.
         let base = f.sample(25.0, 25.0);
         let near = f.sample(25.5, 25.2);
-        assert!((base - near).abs() < 0.3, "near delta {}", (base - near).abs());
+        assert!(
+            (base - near).abs() < 0.3,
+            "near delta {}",
+            (base - near).abs()
+        );
         // Across many correlation lengths the field takes diverse values.
         let samples: Vec<f64> = (0..40)
             .map(|i| f.sample(i as f64 * 37.0, i as f64 * 53.0))

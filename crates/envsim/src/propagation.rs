@@ -96,13 +96,7 @@ impl PropagationModel {
     ///
     /// Distances below 0.1 m are clamped (near-field); the result is
     /// clamped at ≥ 0 dB so gains never exceed 1.
-    pub fn path_loss_db(
-        &self,
-        devices: &[Device],
-        i: usize,
-        j: usize,
-        plan: &FloorPlan,
-    ) -> f64 {
+    pub fn path_loss_db(&self, devices: &[Device], i: usize, j: usize, plan: &FloorPlan) -> f64 {
         let tx = devices[i];
         let rx = devices[j];
         let d = tx.position.distance(rx.position).max(0.1);

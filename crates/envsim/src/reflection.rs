@@ -71,13 +71,7 @@ impl MultipathModel {
     }
 
     /// The image-path lengths of all valid single bounces from `i` to `j`.
-    fn bounce_lengths(
-        &self,
-        devices: &[Device],
-        i: usize,
-        j: usize,
-        plan: &FloorPlan,
-    ) -> Vec<f64> {
+    fn bounce_lengths(&self, devices: &[Device], i: usize, j: usize, plan: &FloorPlan) -> Vec<f64> {
         let tx = devices[i].position;
         let rx = devices[j].position;
         let mut lengths = Vec::new();
@@ -107,16 +101,12 @@ impl MultipathModel {
     pub fn path_loss_db(&self, devices: &[Device], i: usize, j: usize, plan: &FloorPlan) -> f64 {
         let direct_db = self.base.path_loss_db(devices, i, j, plan);
         let mut gain = 10f64.powf(-direct_db / 10.0);
-        let d_direct = devices[i]
-            .position
-            .distance(devices[j].position)
-            .max(0.1);
+        let d_direct = devices[i].position.distance(devices[j].position).max(0.1);
         for length in self.bounce_lengths(devices, i, j, plan) {
             // Charge the bounce the same per-meter law as the direct path
             // plus the reflection loss: its dB loss is the direct loss
             // with the geometric term re-evaluated at the image length.
-            let extra_geometric =
-                10.0 * self.base.exponent * (length.max(0.1) / d_direct).log10();
+            let extra_geometric = 10.0 * self.base.exponent * (length.max(0.1) / d_direct).log10();
             let bounce_db = direct_db + extra_geometric + self.reflection_loss_db;
             gain += 10f64.powf(-bounce_db / 10.0);
         }
@@ -153,10 +143,7 @@ mod tests {
     fn corridor_wall() -> FloorPlan {
         // A long wall along y = 2 above the x axis.
         let mut plan = FloorPlan::new();
-        plan.add_wall(Wall::new(
-            Segment::new(p(-100.0, 2.0), p(100.0, 2.0)),
-            8.0,
-        ));
+        plan.add_wall(Wall::new(Segment::new(p(-100.0, 2.0), p(100.0, 2.0)), 8.0));
         plan
     }
 

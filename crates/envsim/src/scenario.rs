@@ -113,7 +113,10 @@ impl OfficeConfig {
                     } else {
                         AntennaPattern::Isotropic
                     };
-                    devices.push(Device { position: pos, antenna });
+                    devices.push(Device {
+                        position: pos,
+                        antenna,
+                    });
                 }
             }
         }

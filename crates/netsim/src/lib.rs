@@ -62,7 +62,7 @@ pub use reception::ReceptionModel;
 use decay_core::{DecaySpace, NodeId};
 use decay_sinr::SinrParams;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// What a node does in one slot.
@@ -93,7 +93,11 @@ pub struct Delivery {
 }
 
 /// Everything a behavior may consult when choosing its action.
-#[derive(Debug)]
+///
+/// The RNG is type-erased so the same behavior runs unmodified on every
+/// execution substrate: the slot-synchronous [`Simulator`] here hands out
+/// per-node [`StdRng`]s, while the event-driven `decay-engine` hands out
+/// its own serializable per-node streams.
 pub struct SlotContext<'a> {
     /// This node's id.
     pub node: NodeId,
@@ -102,7 +106,17 @@ pub struct SlotContext<'a> {
     /// The current slot number (0-based).
     pub slot: usize,
     /// This node's private RNG (deterministic per node and seed).
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut dyn RngCore,
+}
+
+impl std::fmt::Debug for SlotContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotContext")
+            .field("node", &self.node)
+            .field("nodes", &self.nodes)
+            .field("slot", &self.slot)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A node's protocol logic.
@@ -486,7 +500,11 @@ mod tests {
         .unwrap();
         let r = sim.step();
         assert_eq!(r.deliveries.len(), 3);
-        let to1 = r.deliveries.iter().find(|d| d.to == NodeId::new(1)).unwrap();
+        let to1 = r
+            .deliveries
+            .iter()
+            .find(|d| d.to == NodeId::new(1))
+            .unwrap();
         assert_eq!(to1.from, NodeId::new(0));
     }
 

@@ -387,17 +387,13 @@ mod tests {
     fn extreme_decays_are_censored() {
         // f(0,1) = 1 but f(0,2) = 200: with N = 0.5 the far pair succeeds
         // w.p. e^{-100}, i.e. never in any realistic campaign.
-        let s = DecaySpace::from_matrix(
-            3,
-            vec![0.0, 1.0, 200.0, 1.0, 0.0, 200.0, 200.0, 200.0, 0.0],
-        )
-        .unwrap();
+        let s =
+            DecaySpace::from_matrix(3, vec![0.0, 1.0, 200.0, 1.0, 0.0, 200.0, 200.0, 200.0, 0.0])
+                .unwrap();
         let params = SinrParams::new(1.0, 0.5).unwrap();
         let prr = run_probe_campaign(&s, &params, ReceptionModel::Rayleigh, 200, 1.0, 11);
         let outcome = infer_decay_from_prr(&prr, 1.0, &params).unwrap();
-        assert!(outcome
-            .censored
-            .contains(&(NodeId::new(0), NodeId::new(2))));
+        assert!(outcome.censored.contains(&(NodeId::new(0), NodeId::new(2))));
         // Censored estimate is a lower bound that still dominates the
         // resolvable pairs.
         assert!(

@@ -54,13 +54,19 @@ impl fmt::Display for SinrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             SinrError::EndpointOutOfRange { link, nodes } => {
-                write!(f, "link {link} has an endpoint outside the {nodes}-node space")
+                write!(
+                    f,
+                    "link {link} has an endpoint outside the {nodes}-node space"
+                )
             }
             SinrError::SelfLoop { link } => {
                 write!(f, "link {link} is a self-loop (sender equals receiver)")
             }
             SinrError::InvalidPower { link, value } => {
-                write!(f, "power of link {link} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "power of link {link} must be positive and finite, got {value}"
+                )
             }
             SinrError::PowerLengthMismatch { links, powers } => {
                 write!(f, "expected {links} power values, got {powers}")
@@ -69,10 +75,16 @@ impl fmt::Display for SinrError {
                 write!(f, "sinr threshold beta must be >= 1, got {value}")
             }
             SinrError::InvalidNoise { value } => {
-                write!(f, "ambient noise must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "ambient noise must be finite and non-negative, got {value}"
+                )
             }
             SinrError::NotFeasible { worst_affectance } => {
-                write!(f, "input set is not feasible (worst in-affectance {worst_affectance})")
+                write!(
+                    f,
+                    "input set is not feasible (worst in-affectance {worst_affectance})"
+                )
             }
         }
     }

@@ -296,11 +296,7 @@ pub fn inductive_independence(
 /// Samples maximal feasible sets by first-fit over uniformly random link
 /// permutations: deterministic in `seed`, always returns `samples` sets,
 /// each feasible and maximal (no remaining link can be added).
-pub fn sample_feasible_sets(
-    aff: &AffectanceMatrix,
-    samples: usize,
-    seed: u64,
-) -> Vec<Vec<LinkId>> {
+pub fn sample_feasible_sets(aff: &AffectanceMatrix, samples: usize, seed: u64) -> Vec<Vec<LinkId>> {
     let m = aff.len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(samples);
@@ -335,8 +331,7 @@ mod tests {
             pos.push(i as f64 * gap); // sender
             pos.push(i as f64 * gap + 1.0); // receiver
         }
-        let space =
-            DecaySpace::from_fn(2 * k, |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
+        let space = DecaySpace::from_fn(2 * k, |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
         let links = LinkSet::new(
             &space,
             (0..k)
@@ -427,7 +422,7 @@ mod tests {
             }
         }
         let max_color = colors.iter().copied().max().unwrap();
-        assert!(max_color <= g.len() - 1);
+        assert!(max_color < g.len());
     }
 
     #[test]

@@ -91,12 +91,7 @@ impl PowerAssignment {
 /// Whether a concrete power vector is *monotone* on the given links
 /// (Section 2.4): for `f_vv ≤ f_ww`, both `P_v ≤ P_w` and
 /// `P_w / f_ww ≤ P_v / f_vv`, up to relative tolerance `tol`.
-pub fn is_monotone(
-    space: &DecaySpace,
-    links: &LinkSet,
-    powers: &[f64],
-    tol: f64,
-) -> bool {
+pub fn is_monotone(space: &DecaySpace, links: &LinkSet, powers: &[f64], tol: f64) -> bool {
     let order = links.ids_by_decay(space);
     for (k, &v) in order.iter().enumerate() {
         for &w in &order[k + 1..] {

@@ -96,8 +96,7 @@ mod tests {
             pos.push(base); // sender
             pos.push(base + 1.0); // receiver
         }
-        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powf(alpha))
-            .unwrap();
+        let s = DecaySpace::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs().powf(alpha)).unwrap();
         let links: Vec<Link> = (0..m)
             .map(|i| Link::new(NodeId::new(2 * i), NodeId::new(2 * i + 1)))
             .collect();

@@ -40,7 +40,10 @@ pub fn signal_strengthen(
     set: &[LinkId],
     q: f64,
 ) -> Result<Vec<Vec<LinkId>>, SinrError> {
-    assert!(q.is_finite() && q > 0.0, "target strength q must be positive");
+    assert!(
+        q.is_finite() && q > 0.0,
+        "target strength q must be positive"
+    );
     if set.is_empty() {
         return Ok(Vec::new());
     }
@@ -129,8 +132,7 @@ mod tests {
             .collect();
         let ls = LinkSet::new(&s, links).unwrap();
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
-        let aff =
-            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
+        let aff = AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::default()).unwrap();
         (s, ls, aff)
     }
 
@@ -186,13 +188,8 @@ mod tests {
         let s = DecaySpace::from_fn(2, |i, j| (pos[i] - pos[j]).abs().powi(2)).unwrap();
         let ls = LinkSet::new(&s, vec![Link::new(NodeId::new(0), NodeId::new(1))]).unwrap();
         let powers = PowerAssignment::unit().powers(&s, &ls).unwrap();
-        let aff = AffectanceMatrix::build(
-            &s,
-            &ls,
-            &powers,
-            &SinrParams::new(1.0, 1.0).unwrap(),
-        )
-        .unwrap();
+        let aff =
+            AffectanceMatrix::build(&s, &ls, &powers, &SinrParams::new(1.0, 1.0).unwrap()).unwrap();
         let err = signal_strengthen(&aff, &[LinkId::new(0)], 2.0).unwrap_err();
         assert!(matches!(err, SinrError::NotFeasible { .. }));
     }

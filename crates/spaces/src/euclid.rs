@@ -144,10 +144,7 @@ mod tests {
         for alpha in [1.5, 2.0, 3.0] {
             let s = geometric_space(&random_points(12, 50.0, 7), alpha).unwrap();
             let z = metricity(&s).zeta;
-            assert!(
-                (z - alpha).abs() < 0.05,
-                "alpha = {alpha}, zeta = {z}"
-            );
+            assert!((z - alpha).abs() < 0.05, "alpha = {alpha}, zeta = {z}");
         }
     }
 
@@ -193,10 +190,7 @@ mod tests {
     fn perturbation_raises_zeta_above_alpha() {
         let pts = random_points(10, 50.0, 5);
         let clean = metricity(&geometric_space(&pts, 2.0).unwrap()).zeta;
-        let noisy = metricity(
-            &perturbed_geometric_space(&pts, 2.0, 1.0, true, 5).unwrap(),
-        )
-        .zeta;
+        let noisy = metricity(&perturbed_geometric_space(&pts, 2.0, 1.0, true, 5).unwrap()).zeta;
         assert!(noisy > clean, "noisy = {noisy}, clean = {clean}");
     }
 }

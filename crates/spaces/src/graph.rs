@@ -47,7 +47,10 @@ impl Graph {
     ///
     /// Panics if `p` is not in `[0, 1]` or `n == 0`.
     pub fn gnp(n: usize, p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "edge probability must be in [0, 1]"
+        );
         let mut g = Graph::empty(n);
         let mut rng = StdRng::seed_from_u64(seed);
         for u in 0..n {
@@ -111,10 +114,10 @@ impl Graph {
     pub fn max_independent_set(&self) -> Vec<usize> {
         if self.n <= 64 {
             let mut bits = vec![0_u64; self.n];
-            for u in 0..self.n {
+            for (u, mask) in bits.iter_mut().enumerate() {
                 for v in 0..self.n {
                     if self.has_edge(u, v) {
-                        bits[u] |= 1 << v;
+                        *mask |= 1 << v;
                     }
                 }
             }

@@ -176,9 +176,7 @@ mod tests {
     use decay_sinr::{AffectanceMatrix, PowerAssignment, SinrParams};
 
     fn all_subsets(n: usize) -> impl Iterator<Item = Vec<usize>> {
-        (0u32..(1 << n)).map(move |mask| {
-            (0..n).filter(|&i| mask & (1 << i) != 0).collect()
-        })
+        (0u32..(1 << n)).map(move |mask| (0..n).filter(|&i| mask & (1 << i) != 0).collect())
     }
 
     fn feasibility_matches_independence(inst: &HardnessInstance) {
@@ -186,8 +184,7 @@ mod tests {
         let powers = PowerAssignment::unit()
             .powers(&inst.space, &inst.links)
             .unwrap();
-        let aff =
-            AffectanceMatrix::build(&inst.space, &inst.links, &powers, &params).unwrap();
+        let aff = AffectanceMatrix::build(&inst.space, &inst.links, &powers, &params).unwrap();
         for vs in all_subsets(inst.graph.len()) {
             let ids = inst.links_of(&vs);
             assert_eq!(
@@ -218,8 +215,7 @@ mod tests {
             let powers = PowerAssignment::Custom(vec![1.0, ratio])
                 .powers(&inst.space, &inst.links)
                 .unwrap();
-            let aff =
-                AffectanceMatrix::build(&inst.space, &inst.links, &powers, &params).unwrap();
+            let aff = AffectanceMatrix::build(&inst.space, &inst.links, &powers, &params).unwrap();
             assert!(!aff.is_feasible(&ids), "feasible at power ratio {ratio}");
         }
     }

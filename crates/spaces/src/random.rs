@@ -145,7 +145,7 @@ mod tests {
         for id in links.ids() {
             let f = links.decay_of(&space, id);
             let len = f.sqrt(); // alpha = 2
-            assert!(len >= 2.0 - 1e-9 && len <= 5.0 + 1e-9, "len = {len}");
+            assert!(((2.0 - 1e-9)..=(5.0 + 1e-9)).contains(&len), "len = {len}");
         }
     }
 }

@@ -37,15 +37,18 @@ pub fn uniform_space(n: usize, decay: f64) -> DecaySpace {
 /// Panics if `k == 0` or `r` is not positive and finite.
 pub fn star_space(k: usize, r: f64) -> Result<DecaySpace, DecayError> {
     assert!(k > 0, "star needs at least one far leaf");
-    assert!(r.is_finite() && r > 0.0, "near-leaf distance must be positive");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "near-leaf distance must be positive"
+    );
     let far = (k * k) as f64;
     let n = k + 2;
     DecaySpace::from_fn(n, |i, j| {
         let leg = |v: usize| -> f64 {
             match v {
-                0 => 0.0,    // center
-                1 => r,      // near leaf
-                _ => far,    // far leaves
+                0 => 0.0, // center
+                1 => r,   // near leaf
+                _ => far, // far leaves
             }
         };
         if i == 0 || j == 0 {
@@ -102,9 +105,15 @@ pub fn phi_gap_space(q: f64) -> DecaySpace {
     DecaySpace::from_matrix(
         3,
         vec![
-            0.0, 1.0, 2.0 * q, //
-            1.0, 0.0, q, //
-            2.0 * q, q, 0.0,
+            0.0,
+            1.0,
+            2.0 * q, //
+            1.0,
+            0.0,
+            q, //
+            2.0 * q,
+            q,
+            0.0,
         ],
     )
     .expect("fixed positive entries")

@@ -3,8 +3,8 @@
 
 use decay_core::{metricity, phi_metricity, DecaySpace, NodeId};
 use decay_spaces::{
-    dual_slope_space, geometric_space, geometric_space_3d, obstructed_grid_space,
-    random_points, random_points_3d, random_premetric, uniform_space, welzl_space,
+    dual_slope_space, geometric_space, geometric_space_3d, obstructed_grid_space, random_points,
+    random_points_3d, random_premetric, uniform_space, welzl_space,
 };
 use proptest::prelude::*;
 

@@ -17,8 +17,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- geometric baselines ---");
     for (name, space, f_max) in [
-        ("line  alpha=3", geometric_space(&line_points(16, 1.0), 3.0)?, 8.0),
-        ("grid  alpha=3", geometric_space(&grid_points(4, 1.0), 3.0)?, 8.0),
+        (
+            "line  alpha=3",
+            geometric_space(&line_points(16, 1.0), 3.0)?,
+            8.0,
+        ),
+        (
+            "grid  alpha=3",
+            geometric_space(&grid_points(4, 1.0), 3.0)?,
+            8.0,
+        ),
     ] {
         report(name, &space, f_max, &params);
     }
@@ -42,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn report(name: &str, space: &DecaySpace, f_max: f64, params: &SinrParams) {
-    let delta = neighborhood_sizes(space, f_max).into_iter().max().unwrap_or(0);
+    let delta = neighborhood_sizes(space, f_max)
+        .into_iter()
+        .max()
+        .unwrap_or(0);
     let gamma = fading_parameter(space, (f_max).min(4.0)).value;
     let out = run_local_broadcast(
         space,

@@ -5,9 +5,7 @@
 //! cargo run --release --example hardness_gallery
 //! ```
 
-use beyond_geometry::core::{
-    assouad_dimension_fit, independence_at, zeta_upper_bound,
-};
+use beyond_geometry::core::{assouad_dimension_fit, independence_at, zeta_upper_bound};
 use beyond_geometry::prelude::*;
 use beyond_geometry::spaces::{phi_gap_space, star_nodes, star_space, welzl_space};
 
@@ -32,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alg.size()
     );
 
-    println!("\n--- Theorem 6: two-line instances (bounded growth, linear phi, still MIS-hard) ---");
+    println!(
+        "\n--- Theorem 6: two-line instances (bounded growth, linear phi, still MIS-hard) ---"
+    );
     let inst2 = two_line_instance(&g, 2.0, 0.25)?;
     let p = phi_metricity(&inst2.space);
     let a = assouad_dimension_fit(&inst2.space, &[2.0, 4.0, 8.0]);

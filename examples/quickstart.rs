@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = metricity(&space);
     let p = phi_metricity(&space);
     let a = assouad_dimension_fit(&space, &[2.0, 4.0, 8.0]);
-    println!("zeta      = {:.3}   (paper: equals alpha = 2.8 in GEO-SINR)", m.zeta);
+    println!(
+        "zeta      = {:.3}   (paper: equals alpha = 2.8 in GEO-SINR)",
+        m.zeta
+    );
     println!("phi       = {:.3}   (paper: phi <= zeta)", p.phi);
     println!("assouad A = {:.3}   (fading space iff A < 1)", a.dimension);
 

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aff = AffectanceMatrix::build(&space, &links, &powers, &params)?;
     let all: Vec<LinkId> = links.ids().collect();
     let opt = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
-    println!("centralized optimum: {} of {} links", opt.len(), links.len());
+    println!(
+        "centralized optimum: {} of {} links",
+        opt.len(),
+        links.len()
+    );
 
     for rounds in [200usize, 1000, 5000] {
         let out = regret_capacity_game(

@@ -18,7 +18,8 @@
 //! | [`envsim`] | indoor propagation + RSSI measurement simulator |
 //! | [`capacity`] | Algorithm 1, greedy baselines, exact optimum, amicability, scheduling |
 //! | [`netsim`] | slot-synchronous SINR network simulator |
-//! | [`distributed`] | regret capacity game, randomized local broadcast |
+//! | [`engine`] | discrete-event engine: lazy million-node backends, churn, checkpointing |
+//! | [`distributed`] | regret capacity game, randomized local broadcast (slot + event-driven) |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 pub use decay_capacity as capacity;
 pub use decay_core as core;
 pub use decay_distributed as distributed;
+pub use decay_engine as engine;
 pub use decay_envsim as envsim;
 pub use decay_netsim as netsim;
 pub use decay_sinr as sinr;
@@ -42,28 +44,30 @@ pub use decay_spaces as spaces;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use decay_capacity::{
-        aggregation_tree, algorithm1, arrival_order, conflict_schedule_report,
-        greedy_affectance, max_feasible_subset, max_weight_feasible_subset, online_capacity,
-        run_auction, schedule_aggregation, schedule_by_capacity, weighted_greedy,
-        ArrivalOrder, AuctionConfig, CapacityResult, OnlineRule, EXACT_CAPACITY_LIMIT,
-        EXACT_WEIGHTED_LIMIT,
+        aggregation_tree, algorithm1, arrival_order, conflict_schedule_report, greedy_affectance,
+        max_feasible_subset, max_weight_feasible_subset, online_capacity, run_auction,
+        schedule_aggregation, schedule_by_capacity, weighted_greedy, ArrivalOrder, AuctionConfig,
+        CapacityResult, OnlineRule, EXACT_CAPACITY_LIMIT, EXACT_WEIGHTED_LIMIT,
     };
     pub use decay_core::{
-        assouad_dimension_fit, fading_parameter, independence_dimension, metricity,
-        phi_metricity, DecayError, DecaySpace, NodeId, QuasiMetric,
+        assouad_dimension_fit, fading_parameter, independence_dimension, metricity, phi_metricity,
+        DecayError, DecaySpace, NodeId, QuasiMetric,
     };
     pub use decay_distributed::{
         adversarial_regret_game, regret_capacity_game, run_coloring, run_contention,
-        run_dominating_set, run_local_broadcast, run_multi_broadcast, run_queueing,
-        AdversarialConfig, BroadcastConfig, ColoringConfig, ContentionConfig,
-        DominatingConfig, MultiBroadcastConfig, QueueingConfig, RegretConfig,
+        run_contention_event, run_dominating_set, run_local_broadcast, run_local_broadcast_event,
+        run_multi_broadcast, run_queueing, AdversarialConfig, BroadcastConfig, ColoringConfig,
+        ContentionConfig, DominatingConfig, EventBroadcastConfig, EventContentionConfig,
+        MultiBroadcastConfig, QueueingConfig, RegretConfig,
     };
-    pub use decay_envsim::{
-        Device, FloorPlan, MeasurementModel, OfficeConfig, PropagationModel,
+    pub use decay_engine::{
+        ChurnConfig, DecayBackend, DenseBackend, Engine, EngineConfig, EventBehavior, JamSchedule,
+        LatencyModel, LazyBackend, NodeCtx, SlotAdapter, TiledBackend,
     };
+    pub use decay_envsim::{Device, FloorPlan, MeasurementModel, OfficeConfig, PropagationModel};
     pub use decay_netsim::{
-        compare_decays, infer_decay_from_prr, run_probe_campaign, Action, FaultPlan,
-        NodeBehavior, ReceptionModel, Simulator, SlotContext,
+        compare_decays, infer_decay_from_prr, run_probe_campaign, Action, FaultPlan, NodeBehavior,
+        ReceptionModel, Simulator, SlotContext,
     };
     pub use decay_sinr::{
         inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,

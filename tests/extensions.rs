@@ -15,13 +15,11 @@ fn deployment(
     seed: u64,
 ) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
     let (space, links, _) =
-        beyond_geometry::spaces::bounded_length_deployment(m, 30.0, 1.0, 3.0, alpha, seed)
-            .unwrap();
+        beyond_geometry::spaces::bounded_length_deployment(m, 30.0, 1.0, 3.0, alpha, seed).unwrap();
     let zeta = metricity(&space).zeta_at_least_one();
     let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
     let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
-    let aff =
-        AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+    let aff = AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
     (space, links, quasi, aff)
 }
 
@@ -35,7 +33,14 @@ fn prr_inference_preserves_capacity_decisions() {
     decays.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let truth = raw.scaled(1.0 / (decays[decays.len() / 2] * 0.3));
     let probe_params = SinrParams::new(1.0, 0.3).unwrap();
-    let prr = run_probe_campaign(&truth, &probe_params, ReceptionModel::Rayleigh, 4000, 1.0, 3);
+    let prr = run_probe_campaign(
+        &truth,
+        &probe_params,
+        ReceptionModel::Rayleigh,
+        4000,
+        1.0,
+        3,
+    );
     let outcome = infer_decay_from_prr(&prr, 1.0, &probe_params).unwrap();
     let report = compare_decays(&truth, &outcome.space, &outcome.unreliable_pairs());
     assert!(report.mean_abs_log10_error < 0.1, "{report:?}");

@@ -2,25 +2,19 @@
 //! crate boundaries.
 
 use beyond_geometry::capacity::amicable_core;
-use beyond_geometry::core::{fading_parameter, theorem2_bound, assouad_dimension_fit};
+use beyond_geometry::core::{assouad_dimension_fit, fading_parameter, theorem2_bound};
 use beyond_geometry::prelude::*;
-use beyond_geometry::sinr::{
-    is_link_set_separated, signal_strengthen, sparsify_feasible,
-};
+use beyond_geometry::sinr::{is_link_set_separated, signal_strengthen, sparsify_feasible};
 use beyond_geometry::spaces::{grid_points, line_points};
 
-fn geo_instance(
-    alpha: f64,
-    seed: u64,
-) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
+fn geo_instance(alpha: f64, seed: u64) -> (DecaySpace, LinkSet, QuasiMetric, AffectanceMatrix) {
     let (space, links, _) =
         beyond_geometry::spaces::bounded_length_deployment(12, 30.0, 1.0, 3.0, alpha, seed)
             .unwrap();
     let zeta = metricity(&space).zeta_at_least_one();
     let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
     let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
-    let aff =
-        AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+    let aff = AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
     (space, links, quasi, aff)
 }
 
@@ -49,11 +43,7 @@ fn theorem2_bound_on_fading_grid() {
     let bound = theorem2_bound(fit.constant.max(1.0), fit.dimension).unwrap();
     for r in [1.0, 2.0, 4.0, 8.0] {
         let g = fading_parameter(&space, r);
-        assert!(
-            g.value <= bound,
-            "gamma({r}) = {} > bound {bound}",
-            g.value
-        );
+        assert!(g.value <= bound, "gamma({r}) = {} > bound {bound}", g.value);
     }
 }
 
@@ -118,13 +108,9 @@ fn theorem3_and_6_instances_are_mis_equivalent() {
         let powers = PowerAssignment::unit()
             .powers(&inst.space, &inst.links)
             .unwrap();
-        let aff = AffectanceMatrix::build(
-            &inst.space,
-            &inst.links,
-            &powers,
-            &SinrParams::default(),
-        )
-        .unwrap();
+        let aff =
+            AffectanceMatrix::build(&inst.space, &inst.links, &powers, &SinrParams::default())
+                .unwrap();
         let all: Vec<LinkId> = inst.links.ids().collect();
         let cap = max_feasible_subset(&aff, &all, EXACT_CAPACITY_LIMIT);
         assert_eq!(cap.len(), mis, "capacity must equal MIS");
@@ -149,8 +135,7 @@ fn algorithm1_beats_trivial_lower_bound_on_lines() {
         let zeta = metricity(&space).zeta_at_least_one();
         let quasi = QuasiMetric::from_space_with_exponent(&space, zeta);
         let powers = PowerAssignment::unit().powers(&space, &links).unwrap();
-        let aff =
-            AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
+        let aff = AffectanceMatrix::build(&space, &links, &powers, &SinrParams::default()).unwrap();
         let res = algorithm1(&space, &links, &quasi, &aff, None);
         assert!(
             res.size() * 4 >= links_count,

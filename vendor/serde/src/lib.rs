@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container that grows this repository has no crates.io access, so
+//! the real serde cannot be used. This stub keeps every `use serde::...`
+//! and `#[derive(Serialize, Deserialize)]` in the codebase compiling —
+//! the traits are markers, blanket-implemented for all types, and the
+//! derive macros (from the sibling `serde_derive` stub) emit nothing.
+//!
+//! Nothing actually serializes through this stub. Code that needs real
+//! persistence in this environment uses a hand-rolled codec (see
+//! `decay_engine`'s checkpoint byte format); code that only *declares*
+//! serializability compiles unchanged and will serialize for real the
+//! moment the workspace manifest points back at genuine serde.
+
+/// Marker for serializable types (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Serialization-side items.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Deserialization-side items.
+pub mod de {
+    pub use super::Deserialize;
+
+    /// Marker for owned-deserializable types (blanket-implemented).
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no crates.io access, so the real serde cannot be
+//! vendored. The sibling `serde` stub blanket-implements its marker
+//! traits for every type; these derive macros therefore only need to
+//! *accept* the `#[derive(Serialize, Deserialize)]` syntax (including
+//! `#[serde(...)]` helper attributes) and emit nothing. Swapping the
+//! real serde back in is a two-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; the impl comes from the stub's
+/// blanket implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; the impl comes from the stub's
+/// blanket implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
