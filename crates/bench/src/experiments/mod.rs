@@ -9,6 +9,7 @@ mod extensions2;
 mod fading;
 mod indoor;
 mod params;
+mod scenario;
 
 pub use capacity::{deployment, instance, Instance};
 
@@ -214,6 +215,11 @@ pub fn all() -> Vec<Experiment> {
             title: "discrete-event engine at scale (Corten-style substrate)",
             run: engine::e36_event_engine,
         },
+        Experiment {
+            id: "E37",
+            title: "declarative scenario sweep (PowerRAFT-style specs)",
+            run: scenario::e37_scenario_sweep,
+        },
     ]
 }
 
@@ -229,7 +235,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all();
-        assert_eq!(exps.len(), 36);
+        assert_eq!(exps.len(), 37);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -13,7 +13,10 @@
 //! recovery.
 
 use decay_core::{DecaySpace, NodeId};
-use decay_engine::{DenseBackend, Engine, EngineConfig, EngineStats, EventBehavior, NodeCtx, Tick};
+use decay_engine::{
+    Codec, CodecError, DecayBackend, DenseBackend, Engine, EngineConfig, EngineStats,
+    EventBehavior, NodeCtx, Tick,
+};
 use decay_sinr::SinrParams;
 use serde::{Deserialize, Serialize};
 
@@ -175,24 +178,89 @@ impl EventBehavior for ContentionNode {
     }
 }
 
-/// Runs event-driven contention resolution over `links` (sender,
-/// receiver) pairs on `space`. Links must be endpoint-disjoint (each
-/// node drives or terminates at most one link): the port models roles
-/// as one behavior per node.
+/// Byte-level state capture, so contention runs can checkpoint/resume
+/// through `decay_engine::Checkpoint` (the offline serde stand-in cannot
+/// serialize; see `decay_engine::codec`).
+impl Codec for ContentionNode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ContentionNode::Receiver { peer } => {
+                out.push(0);
+                peer.encode(out);
+            }
+            ContentionNode::Sender {
+                peer,
+                prob,
+                start,
+                down,
+                up,
+                floor,
+                last_attempt,
+                delivered_at,
+                viable,
+                attempts,
+            } => {
+                out.push(1);
+                peer.encode(out);
+                prob.encode(out);
+                start.encode(out);
+                down.encode(out);
+                up.encode(out);
+                floor.encode(out);
+                last_attempt.encode(out);
+                delivered_at.encode(out);
+                viable.encode(out);
+                attempts.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(input)? {
+            0 => Ok(ContentionNode::Receiver {
+                peer: NodeId::decode(input)?,
+            }),
+            1 => Ok(ContentionNode::Sender {
+                peer: NodeId::decode(input)?,
+                prob: f64::decode(input)?,
+                start: f64::decode(input)?,
+                down: f64::decode(input)?,
+                up: f64::decode(input)?,
+                floor: f64::decode(input)?,
+                last_attempt: Tick::decode(input)?,
+                delivered_at: Option::<Tick>::decode(input)?,
+                viable: bool::decode(input)?,
+                attempts: u64::decode(input)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                ty: "ContentionNode",
+            }),
+        }
+    }
+}
+
+/// Builds a contention engine over any [`DecayBackend`] without driving
+/// it — the seam declarative scenarios compile through, and the entry
+/// point for callers that want churn/jamming/latency dynamics (via
+/// `engine_config`) or checkpoint/resume around a contention run.
+///
+/// Returns the engine plus the sender of each link, in link order.
 ///
 /// # Panics
 ///
-/// Panics on degenerate configs, out-of-range link endpoints, or links
-/// sharing endpoints.
-pub fn run_contention_event(
-    space: &DecaySpace,
+/// Panics on out-of-range strategy parameters, out-of-range link
+/// endpoints, or links sharing endpoints.
+pub fn build_contention_engine<Bk: DecayBackend + 'static>(
+    backend: Bk,
     links: &[(NodeId, NodeId)],
     params: &SinrParams,
-    config: &EventContentionConfig,
-) -> EventContentionReport {
-    assert!(config.max_ticks > 0, "need at least one tick");
-    let n = space.len();
-    let (start, down, up, floor) = match config.strategy {
+    strategy: ContentionStrategy,
+    engine_config: EngineConfig,
+    seed: u64,
+) -> (Engine<ContentionNode>, Vec<NodeId>) {
+    let n = backend.len();
+    let (start, down, up, floor) = match strategy {
         ContentionStrategy::Fixed { p } => {
             assert!(p > 0.0 && p <= 1.0, "fixed probability must be in (0, 1]");
             (p, 1.0, 1.0, p)
@@ -235,7 +303,7 @@ pub fn run_contention_event(
         // A link that cannot clear the noise floor alone can never
         // deliver; its sender stays silent (mirrors run_contention).
         let viable = params.noise() == 0.0
-            || (1.0 / space.decay(s, r)) / params.noise() >= params.beta() * (1.0 - 1e-12);
+            || (1.0 / backend.decay(s, r)) / params.noise() >= params.beta() * (1.0 - 1e-12);
         behaviors[r.index()] = ContentionNode::Receiver { peer: s };
         behaviors[s.index()] = ContentionNode::Sender {
             peer: r,
@@ -251,14 +319,35 @@ pub fn run_contention_event(
         };
         sender_of_link.push(s);
     }
-    let mut engine = Engine::new(
+    let engine = Engine::new(backend, behaviors, *params, engine_config, seed)
+        .expect("behavior count matches backend");
+    (engine, sender_of_link)
+}
+
+/// Runs event-driven contention resolution over `links` (sender,
+/// receiver) pairs on `space`. Links must be endpoint-disjoint (each
+/// node drives or terminates at most one link): the port models roles
+/// as one behavior per node.
+///
+/// # Panics
+///
+/// Panics on degenerate configs, out-of-range link endpoints, or links
+/// sharing endpoints.
+pub fn run_contention_event(
+    space: &DecaySpace,
+    links: &[(NodeId, NodeId)],
+    params: &SinrParams,
+    config: &EventContentionConfig,
+) -> EventContentionReport {
+    assert!(config.max_ticks > 0, "need at least one tick");
+    let (mut engine, sender_of_link) = build_contention_engine(
         DenseBackend::new(space.clone()),
-        behaviors,
-        *params,
+        links,
+        params,
+        config.strategy,
         EngineConfig::default(),
         config.seed,
-    )
-    .expect("behavior count matches space");
+    );
     let check = 64;
     let mut ticks_used = 0;
     while engine.now() < config.max_ticks {

@@ -58,7 +58,8 @@ pub use event_broadcast::{
     EventBroadcastConfig, EventBroadcastReport, EventBroadcaster,
 };
 pub use event_contention::{
-    run_contention_event, ContentionNode, EventContentionConfig, EventContentionReport,
+    build_contention_engine, run_contention_event, ContentionNode, EventContentionConfig,
+    EventContentionReport,
 };
 pub use multimsg::{
     run_multi_broadcast, run_multi_broadcast_with_faults, MultiBroadcastConfig,

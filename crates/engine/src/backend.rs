@@ -61,6 +61,23 @@ pub trait DecayBackend: Send + Sync {
     }
 }
 
+/// Boxed backends forward, so heterogeneous call sites (a scenario spec
+/// choosing its backend at runtime) can hand the engine a
+/// `Box<dyn DecayBackend>` directly.
+impl<T: DecayBackend + ?Sized> DecayBackend for Box<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn decay(&self, from: NodeId, to: NodeId) -> f64 {
+        (**self).decay(from, to)
+    }
+
+    fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        (**self).potential_receivers(from, reach)
+    }
+}
+
 /// A dense backend wrapping a fully materialized [`DecaySpace`].
 ///
 /// `O(n²)` storage, `O(1)` lookups — the right choice below a few

@@ -326,12 +326,22 @@ impl EngineConfig {
 pub struct DeliveryRecord {
     /// Tick the message arrived (resolution tick plus latency).
     pub tick: Tick,
+    /// Tick the transmission was resolved; `tick - sent` is the delivery
+    /// latency imposed by the [`LatencyModel`].
+    pub sent: Tick,
     /// The transmitter.
     pub from: NodeId,
     /// The receiver.
     pub to: NodeId,
     /// The payload.
     pub message: u64,
+}
+
+impl DeliveryRecord {
+    /// Ticks this delivery spent in flight.
+    pub fn latency(&self) -> Tick {
+        self.tick - self.sent
+    }
 }
 
 /// Cumulative counters over a run.
@@ -424,7 +434,7 @@ pub struct Checkpoint<B> {
     config: EngineConfig,
 }
 
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Magic bytes opening a serialized checkpoint.
 const CHECKPOINT_MAGIC: u32 = 0xDECA_E001;
@@ -557,6 +567,7 @@ impl Codec for EngineConfig {
 impl Codec for DeliveryRecord {
     fn encode(&self, out: &mut Vec<u8>) {
         self.tick.encode(out);
+        self.sent.encode(out);
         self.from.encode(out);
         self.to.encode(out);
         self.message.encode(out);
@@ -564,6 +575,7 @@ impl Codec for DeliveryRecord {
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
         Ok(DeliveryRecord {
             tick: Tick::decode(input)?,
+            sent: Tick::decode(input)?,
             from: Codec::decode(input)?,
             to: Codec::decode(input)?,
             message: u64::decode(input)?,
@@ -715,10 +727,10 @@ impl<B> fmt::Debug for Engine<B> {
 }
 
 /// FNV-1a over one delivery tuple, folded into the rolling hash.
-fn fold_delivery(hash: u64, tick: Tick, from: NodeId, to: NodeId, message: u64) -> u64 {
+fn fold_delivery(hash: u64, tick: Tick, sent: Tick, from: NodeId, to: NodeId, message: u64) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut h = hash;
-    for word in [tick, from.index() as u64, to.index() as u64, message] {
+    for word in [tick, sent, from.index() as u64, to.index() as u64, message] {
         for byte in word.to_le_bytes() {
             h ^= u64::from(byte);
             h = h.wrapping_mul(PRIME);
@@ -927,6 +939,25 @@ impl<B: EventBehavior> Engine<B> {
         &self.trace
     }
 
+    /// Takes the recorded deliveries accumulated since construction (or
+    /// the last drain), leaving the buffer empty — the streaming hook for
+    /// metrics collectors on runs too long to hold a full trace. The
+    /// rolling [`Self::trace_hash`] is unaffected; note that a
+    /// [`Checkpoint`] only captures records not yet drained.
+    pub fn drain_trace(&mut self) -> Vec<DeliveryRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The SINR parameters in force.
+    pub fn params(&self) -> SinrParams {
+        self.params
+    }
+
     /// The backend being simulated.
     pub fn backend(&self) -> &dyn DecayBackend {
         &*self.backend
@@ -1027,6 +1058,7 @@ impl<B: EventBehavior> Engine<B> {
                 message,
                 power,
                 incarnation,
+                sent,
             } => {
                 let i = to.index();
                 if self.incarnations[i] != incarnation
@@ -1037,10 +1069,11 @@ impl<B: EventBehavior> Engine<B> {
                     return;
                 }
                 self.stats.deliveries += 1;
-                self.trace_hash = fold_delivery(self.trace_hash, self.now, from, to, message);
+                self.trace_hash = fold_delivery(self.trace_hash, self.now, sent, from, to, message);
                 if self.config.record_trace {
                     self.trace.push(DeliveryRecord {
                         tick: self.now,
+                        sent,
                         from,
                         to,
                         message,
@@ -1189,6 +1222,7 @@ impl<B: EventBehavior> Engine<B> {
                         message,
                         power: p,
                         incarnation: self.incarnations[v.index()],
+                        sent: self.now,
                     },
                 );
             }

@@ -46,6 +46,9 @@ pub enum Event {
         /// The receiver's incarnation at resolve time; the delivery is
         /// dropped if the receiver has since left and rejoined.
         incarnation: u32,
+        /// The tick the transmission was resolved (arrival minus latency)
+        /// — what delivery-latency metrics are measured against.
+        sent: Tick,
     },
 }
 
@@ -106,6 +109,7 @@ impl Codec for Event {
                 message,
                 power,
                 incarnation,
+                sent,
             } => {
                 out.push(3);
                 to.encode(out);
@@ -113,6 +117,7 @@ impl Codec for Event {
                 message.encode(out);
                 power.encode(out);
                 incarnation.encode(out);
+                sent.encode(out);
             }
         }
     }
@@ -131,6 +136,7 @@ impl Codec for Event {
                 message: u64::decode(input)?,
                 power: f64::decode(input)?,
                 incarnation: u32::decode(input)?,
+                sent: Tick::decode(input)?,
             }),
             tag => Err(CodecError::InvalidTag { tag, ty: "Event" }),
         }

@@ -55,7 +55,7 @@ mod reception;
 pub use faults::{FaultPlan, Outage};
 pub use prr::{
     compare_decays, infer_decay_from_prr, run_probe_campaign, InferenceError, InferenceOutcome,
-    InferenceReport, PrrMatrix,
+    InferenceReport, PrrMatrix, PrrTracker,
 };
 pub use reception::ReceptionModel;
 

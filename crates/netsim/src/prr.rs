@@ -131,6 +131,105 @@ pub fn run_probe_campaign(
     }
 }
 
+/// Streaming per-pair reception statistics over *arbitrary* traffic.
+///
+/// [`PrrMatrix`] comes from the dedicated interference-free probe
+/// campaign; this tracker instead folds the [`SlotReport`]s of any
+/// running protocol into per-ordered-pair attempt/success counts, so
+/// harness-side code can read PRR out of real traffic without
+/// re-instrumenting behaviors. (The event-driven scenario runner in
+/// `decay-scenario` computes its protocol-level PRR from engine traces
+/// instead; this export serves slot-synchronous experiments.)
+///
+/// An "attempt" at pair `(tx, rx)` is a slot in which `tx` transmitted
+/// (every other node is a potential receiver under the broadcast
+/// medium); a success is `rx` actually capturing that transmission.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrrTracker {
+    n: usize,
+    /// Slots in which each node transmitted.
+    attempts: Vec<u64>,
+    /// Row-major `successes[tx * n + rx]`.
+    successes: Vec<u64>,
+    /// Total deliveries folded in.
+    deliveries: u64,
+}
+
+impl PrrTracker {
+    /// A tracker over `n` nodes with no traffic recorded yet.
+    pub fn new(n: usize) -> Self {
+        PrrTracker {
+            n,
+            attempts: vec![0; n],
+            successes: vec![0; n * n],
+            deliveries: 0,
+        }
+    }
+
+    /// Folds one slot's outcome into the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report mentions nodes outside the tracked range.
+    pub fn record(&mut self, report: &crate::SlotReport) {
+        for t in &report.transmitters {
+            self.attempts[t.index()] += 1;
+        }
+        for d in &report.deliveries {
+            self.successes[d.from.index() * self.n + d.to.index()] += 1;
+            self.deliveries += 1;
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Slots in which `from` transmitted.
+    pub fn attempts(&self, from: NodeId) -> u64 {
+        self.attempts[from.index()]
+    }
+
+    /// Captures of `from` by `to`.
+    pub fn successes(&self, from: NodeId, to: NodeId) -> u64 {
+        self.successes[from.index() * self.n + to.index()]
+    }
+
+    /// The packet reception rate of the ordered pair: captures over
+    /// transmission attempts (0 when `from` never transmitted).
+    pub fn rate(&self, from: NodeId, to: NodeId) -> f64 {
+        let attempts = self.attempts(from);
+        if attempts == 0 {
+            0.0
+        } else {
+            self.successes(from, to) as f64 / attempts as f64
+        }
+    }
+
+    /// Mean receivers per transmission of `from` (its broadcast yield).
+    pub fn yield_of(&self, from: NodeId) -> f64 {
+        let attempts = self.attempts(from);
+        if attempts == 0 {
+            return 0.0;
+        }
+        let row = &self.successes[from.index() * self.n..(from.index() + 1) * self.n];
+        row.iter().sum::<u64>() as f64 / attempts as f64
+    }
+
+    /// Network-wide PRR: delivered (transmission, potential-receiver)
+    /// opportunities over all of them — `Σ successes / (Σ attempts ·
+    /// (n - 1))`.
+    pub fn overall(&self) -> f64 {
+        let opportunities = self.attempts.iter().sum::<u64>() * (self.n as u64).saturating_sub(1);
+        if opportunities == 0 {
+            0.0
+        } else {
+            self.deliveries as f64 / opportunities as f64
+        }
+    }
+}
+
 /// Why PRR-based inference can fail.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InferenceError {
@@ -318,6 +417,60 @@ mod tests {
 
     fn line(n: usize, alpha: f64) -> DecaySpace {
         DecaySpace::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powf(alpha)).unwrap()
+    }
+
+    #[test]
+    fn tracker_accumulates_arbitrary_traffic() {
+        // Round-robin traffic (each node transmits alone in its slot on a
+        // noiseless line) delivers to everyone: PRR 1 on every pair.
+        struct RoundRobin;
+        impl NodeBehavior for RoundRobin {
+            fn on_slot(&mut self, ctx: &mut SlotContext<'_>) -> Action {
+                if ctx.slot % ctx.nodes == ctx.node.index() {
+                    Action::Transmit {
+                        power: 1.0,
+                        message: 0,
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+        let n = 4;
+        let mut sim = Simulator::new(
+            line(n, 2.0),
+            (0..n).map(|_| RoundRobin).collect(),
+            SinrParams::default(),
+            1,
+        )
+        .unwrap();
+        let mut tracker = PrrTracker::new(n);
+        for _ in 0..3 * n {
+            tracker.record(&sim.step());
+        }
+        assert_eq!(tracker.nodes(), n);
+        for tx in 0..n {
+            assert_eq!(tracker.attempts(NodeId::new(tx)), 3);
+            assert_eq!(tracker.yield_of(NodeId::new(tx)), (n - 1) as f64);
+            for rx in 0..n {
+                if tx != rx {
+                    assert_eq!(tracker.rate(NodeId::new(tx), NodeId::new(rx)), 1.0);
+                    assert_eq!(tracker.successes(NodeId::new(tx), NodeId::new(rx)), 3);
+                }
+            }
+        }
+        assert_eq!(tracker.overall(), 1.0);
+    }
+
+    #[test]
+    fn tracker_is_quiet_without_traffic() {
+        let tracker = PrrTracker::new(5);
+        assert_eq!(tracker.overall(), 0.0);
+        assert_eq!(tracker.rate(NodeId::new(0), NodeId::new(1)), 0.0);
+        assert_eq!(tracker.yield_of(NodeId::new(2)), 0.0);
+        // Degenerate sizes never underflow the opportunity count.
+        assert_eq!(PrrTracker::new(0).overall(), 0.0);
+        assert_eq!(PrrTracker::new(1).overall(), 0.0);
     }
 
     #[test]

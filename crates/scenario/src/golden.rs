@@ -1,0 +1,168 @@
+//! Golden-trace bookkeeping: every shipped spec doubles as a regression
+//! test by pinning its [`TraceDigest`] under `tests/golden/` at the
+//! repository root.
+//!
+//! The flow: run a spec, render [`TraceDigest::canonical`], and compare
+//! against the recorded file. Drift fails loudly with both texts;
+//! setting the `SCENARIO_GOLDEN_UPDATE=1` environment variable rewrites
+//! the files instead (the reviewable way to bless an intentional
+//! behavior change).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::runner::TraceDigest;
+use crate::spec::{ScenarioSpec, SpecError};
+
+/// The repository root, resolved relative to this crate
+/// (`crates/scenario/../..`).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// The shipped spec directory, `scenarios/` at the repository root.
+pub fn scenario_dir() -> PathBuf {
+    repo_root().join("scenarios")
+}
+
+/// The recorded digest directory, `tests/golden/` at the repository
+/// root.
+pub fn golden_dir() -> PathBuf {
+    repo_root().join("tests").join("golden")
+}
+
+/// Loads and validates every `*.json` spec in `dir`, sorted by file name
+/// (so sweep order is stable).
+///
+/// # Errors
+///
+/// Returns the first unreadable or invalid spec, naming the file.
+pub fn load_specs(dir: &Path) -> Result<Vec<ScenarioSpec>, SpecError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| SpecError {
+            path: dir.display().to_string(),
+            message: format!("unreadable spec directory: {e}"),
+        })?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p).map_err(|e| SpecError {
+                path: p.display().to_string(),
+                message: format!("unreadable spec: {e}"),
+            })?;
+            ScenarioSpec::from_json_str(&text).map_err(|e| SpecError {
+                path: format!("{}: {}", p.display(), e.path),
+                message: e.message,
+            })
+        })
+        .collect()
+}
+
+/// Outcome of comparing a fresh digest against its golden file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenOutcome {
+    /// Digest matches the recorded golden.
+    Match,
+    /// No golden recorded and updates are off; `path` names the missing
+    /// file.
+    Missing {
+        /// Where the golden was expected.
+        path: String,
+    },
+    /// Digest differs from the recorded golden.
+    Drift {
+        /// The recorded canonical text.
+        expected: String,
+        /// The freshly computed canonical text.
+        actual: String,
+    },
+    /// The golden file was (re)written because `SCENARIO_GOLDEN_UPDATE`
+    /// is set.
+    Updated,
+}
+
+/// Whether golden updates are enabled via `SCENARIO_GOLDEN_UPDATE`.
+pub fn updates_enabled() -> bool {
+    std::env::var("SCENARIO_GOLDEN_UPDATE").is_ok_and(|v| v == "1")
+}
+
+/// Compares `digest` against `golden_dir()/<name>.digest`, writing the
+/// file instead when updates are enabled.
+///
+/// # Panics
+///
+/// Panics if the golden directory cannot be created or written while
+/// updating.
+pub fn check(digest: &TraceDigest) -> GoldenOutcome {
+    let path = golden_dir().join(format!("{}.digest", digest.name));
+    let actual = digest.canonical();
+    if updates_enabled() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, &actual).expect("write golden digest");
+        return GoldenOutcome::Updated;
+    }
+    match fs::read_to_string(&path) {
+        Err(_) => GoldenOutcome::Missing {
+            path: path.display().to_string(),
+        },
+        Ok(expected) if expected == actual => GoldenOutcome::Match,
+        Ok(expected) => GoldenOutcome::Drift { expected, actual },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_engine::EngineStats;
+
+    #[test]
+    fn digest_canonical_round_trips() {
+        let digest = TraceDigest {
+            name: "demo".to_string(),
+            hash: 0x0123_4567_89AB_CDEF,
+            stats: EngineStats {
+                events: 10,
+                wakes: 4,
+                transmissions: 3,
+                deliveries: 2,
+                dropped_deliveries: 1,
+                jammed_ticks: 5,
+                churn_leaves: 6,
+                churn_joins: 7,
+            },
+            completed_at: Some(42),
+        };
+        let text = digest.canonical();
+        assert_eq!(TraceDigest::parse(&text).unwrap(), digest);
+
+        let open = TraceDigest {
+            completed_at: None,
+            ..digest
+        };
+        assert_eq!(TraceDigest::parse(&open.canonical()).unwrap(), open);
+    }
+
+    #[test]
+    fn malformed_digests_are_rejected() {
+        assert!(TraceDigest::parse("").is_err());
+        assert!(TraceDigest::parse("scenario-digest v1\nname = x\n").is_err());
+        let good = TraceDigest {
+            name: "x".to_string(),
+            hash: 1,
+            stats: EngineStats::default(),
+            completed_at: None,
+        }
+        .canonical();
+        let tampered = good.replace("hash = ", "hash = zz");
+        assert!(TraceDigest::parse(&tampered).is_err());
+    }
+
+    #[test]
+    fn repo_paths_resolve() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+}

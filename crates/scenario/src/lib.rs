@@ -1,0 +1,82 @@
+//! # decay-scenario
+//!
+//! Declarative scenarios for the decay engine: the ROADMAP's "as many
+//! scenarios as you can imagine" machine. A [`ScenarioSpec`] is one JSON
+//! document describing a complete simulation — topology, backend, SINR
+//! physics, protocol, churn, faults, jamming, latency, seed, horizon —
+//! and a [`ScenarioRunner`] compiles it into a configured
+//! [`decay_engine::Engine`] run, collecting a [`MetricsReport`]
+//! (delivery-latency histogram, PRR, completion tick, events/sec) and a
+//! canonical [`TraceDigest`].
+//!
+//! Every future workload becomes a config file instead of a code change,
+//! and every shipped spec doubles as a regression test: its digest is
+//! recorded under `tests/golden/` and must stay bit-identical across
+//! dense/lazy/tiled backends and across checkpoint/resume cycles (see
+//! the conformance and golden suites under `tests/`).
+//!
+//! # Spec format
+//!
+//! ```json
+//! {
+//!   "name": "line-broadcast",
+//!   "seed": 7,
+//!   "horizon": 2000,
+//!   "check_interval": 64,
+//!   "topology": { "kind": "line", "n": 64, "spacing": 1.0, "alpha": 2.0 },
+//!   "backend": { "kind": "lazy" },
+//!   "sinr": { "beta": 1.0, "noise": 0.05 },
+//!   "reception": "threshold",
+//!   "protocol": { "kind": "broadcast", "neighborhood_decay": 4.0, "power": 1.0 },
+//!   "churn": { "interval": 8, "leave_prob": 0.2, "join_prob": 0.8 },
+//!   "faults": [ { "node": 3, "from": 10, "until": 40 } ],
+//!   "jamming": { "kind": "periodic", "period": 7 },
+//!   "latency": { "kind": "jittered", "base": 1, "jitter": 3 },
+//!   "reach_decay": 64.0,
+//!   "top_k": 8
+//! }
+//! ```
+//!
+//! `check_interval`, `backend`, `reception`, `churn`, `faults`,
+//! `jamming`, `latency`, `reach_decay`, and `top_k` are optional (the
+//! defaults are lazy backend, threshold reception, no dynamics, exact
+//! resolution). Protocols: `broadcast` (complete when every
+//! decay-neighborhood heard its owner), `contention` (one packet per
+//! link), `announce` (free-running traffic for the whole horizon).
+//!
+//! # Example
+//!
+//! ```
+//! use decay_scenario::{ScenarioRunner, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::from_json_str(r#"{
+//!   "name": "quick",
+//!   "seed": 3,
+//!   "horizon": 400,
+//!   "topology": { "kind": "line", "n": 12, "spacing": 1.0, "alpha": 3.0 },
+//!   "sinr": { "beta": 1.0, "noise": 0.0 },
+//!   "protocol": { "kind": "broadcast", "neighborhood_decay": 8.0, "power": 1.0 }
+//! }"#).unwrap();
+//! let report = ScenarioRunner::new(spec).unwrap().run().unwrap();
+//! assert!(report.metrics.prr > 0.0);
+//! // The digest is a pure function of the spec: bit-equal on every
+//! // backend and across checkpoint/resume.
+//! println!("{}", report.digest.canonical());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod golden;
+pub mod json;
+mod metrics;
+mod runner;
+mod spec;
+mod topology;
+
+pub use json::{JsonError, JsonValue};
+pub use metrics::{MetricsCollector, MetricsReport, BUCKET_LABELS, LATENCY_BUCKETS};
+pub use runner::{ScenarioError, ScenarioReport, ScenarioRunner, TraceDigest};
+pub use spec::{
+    BackendSpec, FaultSpec, LinkSpec, ProtocolSpec, ScenarioSpec, SinrSpec, SpecError, TopologySpec,
+};

@@ -1,0 +1,281 @@
+//! Run metrics: delivery-latency histogram, PRR, completion, and
+//! throughput, with a stable text and JSON report format.
+//!
+//! The collector consumes [`DeliveryRecord`]s streamed out of the engine
+//! (via [`decay_engine::Engine::drain_trace`], so memory stays bounded on
+//! long runs) plus the engine's cumulative counters, and renders a
+//! [`MetricsReport`]. Everything in the report except `events_per_sec`
+//! (wall-clock) is deterministic in the spec.
+
+use std::fmt;
+use std::time::Duration;
+
+use decay_engine::{DeliveryRecord, EngineStats, Tick};
+use serde::{Deserialize, Serialize};
+
+use crate::json::{int, num, obj, JsonValue};
+
+/// Number of latency histogram buckets: delay 0, 1, then doubling ranges
+/// `[2,3] [4,7] [8,15] [16,31] [32,63]`, and `64+`.
+pub const LATENCY_BUCKETS: usize = 8;
+
+/// Upper-inclusive bounds of each histogram bucket (the last is open).
+const BUCKET_BOUNDS: [Tick; LATENCY_BUCKETS - 1] = [0, 1, 3, 7, 15, 31, 63];
+
+/// Human-readable bucket labels, aligned with [`LATENCY_BUCKETS`].
+pub const BUCKET_LABELS: [&str; LATENCY_BUCKETS] =
+    ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"];
+
+fn bucket_of(latency: Tick) -> usize {
+    BUCKET_BOUNDS
+        .iter()
+        .position(|&b| latency <= b)
+        .unwrap_or(LATENCY_BUCKETS - 1)
+}
+
+/// Streaming metrics accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsCollector {
+    hist: [u64; LATENCY_BUCKETS],
+    observed: u64,
+    total_latency: u64,
+    first_delivery: Option<Tick>,
+    last_delivery: Option<Tick>,
+}
+
+impl MetricsCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        MetricsCollector::default()
+    }
+
+    /// Folds one delivery into the histogram.
+    pub fn observe(&mut self, record: &DeliveryRecord) {
+        let latency = record.latency();
+        self.hist[bucket_of(latency)] += 1;
+        self.observed += 1;
+        self.total_latency += latency;
+        if self.first_delivery.is_none() {
+            self.first_delivery = Some(record.tick);
+        }
+        self.last_delivery = Some(record.tick);
+    }
+
+    /// Folds a batch of deliveries.
+    pub fn observe_all(&mut self, records: &[DeliveryRecord]) {
+        for r in records {
+            self.observe(r);
+        }
+    }
+
+    /// Deliveries observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Finalizes the report. `prr` is the protocol-level packet reception
+    /// ratio computed by the runner (coverage for broadcast, delivered
+    /// links for contention, in-flight survival for announce);
+    /// `completed_at` the tick the protocol's goal was reached, if it
+    /// was; `wall` the measured wall-clock time of the run.
+    pub fn finish(
+        self,
+        stats: EngineStats,
+        horizon: Tick,
+        prr: f64,
+        completed_at: Option<Tick>,
+        wall: Duration,
+    ) -> MetricsReport {
+        MetricsReport {
+            horizon,
+            completed_at,
+            prr,
+            latency_hist: self.hist,
+            mean_latency: if self.observed == 0 {
+                0.0
+            } else {
+                self.total_latency as f64 / self.observed as f64
+            },
+            first_delivery: self.first_delivery,
+            last_delivery: self.last_delivery,
+            events_per_sec: if wall.as_secs_f64() > 0.0 {
+                stats.events as f64 / wall.as_secs_f64()
+            } else {
+                f64::INFINITY
+            },
+            stats,
+        }
+    }
+}
+
+/// The finished metrics of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// The spec's horizon.
+    pub horizon: Tick,
+    /// Tick the protocol goal was reached (`None` = budget exhausted or
+    /// the protocol has no completion notion).
+    pub completed_at: Option<Tick>,
+    /// Protocol-level packet reception ratio in `[0, 1]`.
+    pub prr: f64,
+    /// Delivery-latency histogram over [`BUCKET_LABELS`] buckets.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Mean delivery latency in ticks.
+    pub mean_latency: f64,
+    /// Tick of the first delivery.
+    pub first_delivery: Option<Tick>,
+    /// Tick of the last delivery.
+    pub last_delivery: Option<Tick>,
+    /// Events dispatched per wall-clock second (the only
+    /// non-deterministic field).
+    pub events_per_sec: f64,
+    /// The engine's cumulative counters.
+    pub stats: EngineStats,
+}
+
+impl MetricsReport {
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        let opt_tick = |t: Option<Tick>| match t {
+            Some(t) => int(t),
+            None => JsonValue::Null,
+        };
+        obj(vec![
+            ("horizon", int(self.horizon)),
+            ("completed_at", opt_tick(self.completed_at)),
+            ("prr", num(self.prr)),
+            (
+                "latency_hist",
+                JsonValue::Array(self.latency_hist.iter().map(|&c| int(c)).collect()),
+            ),
+            ("mean_latency", num(self.mean_latency)),
+            ("first_delivery", opt_tick(self.first_delivery)),
+            ("last_delivery", opt_tick(self.last_delivery)),
+            ("events_per_sec", num(self.events_per_sec)),
+            (
+                "stats",
+                obj(vec![
+                    ("events", int(self.stats.events)),
+                    ("wakes", int(self.stats.wakes)),
+                    ("transmissions", int(self.stats.transmissions)),
+                    ("deliveries", int(self.stats.deliveries)),
+                    ("dropped_deliveries", int(self.stats.dropped_deliveries)),
+                    ("jammed_ticks", int(self.stats.jammed_ticks)),
+                    ("churn_leaves", int(self.stats.churn_leaves)),
+                    ("churn_joins", int(self.stats.churn_joins)),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.completed_at {
+            Some(t) => writeln!(f, "completed at tick {t} (horizon {})", self.horizon)?,
+            None => writeln!(f, "ran to horizon {} without completing", self.horizon)?,
+        }
+        writeln!(f, "prr: {:.4}", self.prr)?;
+        writeln!(
+            f,
+            "deliveries: {} of {} transmissions ({} dropped in flight)",
+            self.stats.deliveries, self.stats.transmissions, self.stats.dropped_deliveries
+        )?;
+        writeln!(f, "mean delivery latency: {:.3} ticks", self.mean_latency)?;
+        writeln!(f, "latency histogram (ticks: count):")?;
+        for (label, count) in BUCKET_LABELS.iter().zip(self.latency_hist.iter()) {
+            if *count > 0 {
+                writeln!(f, "  {label:>6}: {count}")?;
+            }
+        }
+        if self.stats.jammed_ticks > 0 {
+            writeln!(f, "jammed ticks: {}", self.stats.jammed_ticks)?;
+        }
+        if self.stats.churn_leaves + self.stats.churn_joins > 0 {
+            writeln!(
+                f,
+                "churn: {} leaves, {} rejoins",
+                self.stats.churn_leaves, self.stats.churn_joins
+            )?;
+        }
+        writeln!(
+            f,
+            "events: {} ({:.0} events/sec)",
+            self.stats.events, self.events_per_sec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decay_core::NodeId;
+
+    fn record(sent: Tick, tick: Tick) -> DeliveryRecord {
+        DeliveryRecord {
+            tick,
+            sent,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            message: 9,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_latencies() {
+        let mut c = MetricsCollector::new();
+        for (sent, tick) in [(5, 5), (5, 6), (5, 8), (0, 70)] {
+            c.observe(&record(sent, tick));
+        }
+        let report = c.finish(
+            EngineStats::default(),
+            100,
+            1.0,
+            None,
+            Duration::from_millis(10),
+        );
+        assert_eq!(report.latency_hist[0], 1, "latency 0");
+        assert_eq!(report.latency_hist[1], 1, "latency 1");
+        assert_eq!(report.latency_hist[2], 1, "latency 3");
+        assert_eq!(report.latency_hist[7], 1, "latency 70 overflows");
+        assert_eq!(report.mean_latency, (0.0 + 1.0 + 3.0 + 70.0) / 4.0);
+        assert_eq!(report.first_delivery, Some(5));
+        assert_eq!(report.last_delivery, Some(70));
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut c = MetricsCollector::new();
+        c.observe_all(&[record(1, 1), record(2, 4)]);
+        assert_eq!(c.observed(), 2);
+        let stats = EngineStats {
+            events: 100,
+            transmissions: 10,
+            deliveries: 2,
+            ..EngineStats::default()
+        };
+        let report = c.finish(stats, 50, 0.5, Some(40), Duration::from_millis(5));
+        let text = report.to_string();
+        assert!(text.contains("completed at tick 40"));
+        assert!(text.contains("prr: 0.5000"));
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"completed_at\": 40"));
+        assert!(json.contains("\"prr\": 0.5"));
+        // JSON parses back cleanly.
+        crate::json::parse(&json).unwrap();
+    }
+
+    #[test]
+    fn empty_collector_is_well_behaved() {
+        let report = MetricsCollector::new().finish(
+            EngineStats::default(),
+            10,
+            0.0,
+            None,
+            Duration::from_secs(0),
+        );
+        assert_eq!(report.mean_latency, 0.0);
+        assert!(report.first_delivery.is_none());
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -1,0 +1,484 @@
+//! The scenario runner: compiles a [`ScenarioSpec`] into a configured
+//! [`Engine`] run and drives it to completion, collecting metrics and
+//! the canonical trace digest.
+//!
+//! # Determinism
+//!
+//! A run's [`TraceDigest`] is a pure function of the spec: it folds the
+//! engine's rolling delivery-trace hash with the final event counters.
+//! The runner only pauses the engine on a fixed boundary grid (multiples
+//! of `check_interval`), so pausing more often — to checkpoint, restore,
+//! or drain metrics — cannot change what the engine computes. That is
+//! what makes [`ScenarioRunner::run_with_resume`] digest-identical to
+//! [`ScenarioRunner::run`], and all three decay backends digest-identical
+//! to each other.
+
+use std::fmt;
+use std::rc::Rc;
+use std::time::Instant;
+
+use decay_core::NodeId;
+use decay_distributed::{build_contention_engine, ContentionNode, EventBroadcaster};
+use decay_engine::{
+    Checkpoint, Codec, DecayBackend, Engine, EngineError, EngineStats, EventBehavior, Tick,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::json::{int, obj, s, JsonValue};
+use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::spec::{BackendSpec, ProtocolSpec, ScenarioSpec, SpecError};
+
+/// A failure constructing or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The spec failed validation or decoding.
+    Spec(SpecError),
+    /// The compiled engine rejected its configuration.
+    Engine(EngineError),
+    /// A checkpoint failed to round-trip through bytes.
+    Checkpoint(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Spec(e) => write!(f, "{e}"),
+            ScenarioError::Engine(e) => write!(f, "{e}"),
+            ScenarioError::Checkpoint(what) => write!(f, "checkpoint round trip failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<SpecError> for ScenarioError {
+    fn from(e: SpecError) -> Self {
+        ScenarioError::Spec(e)
+    }
+}
+
+impl From<EngineError> for ScenarioError {
+    fn from(e: EngineError) -> Self {
+        ScenarioError::Engine(e)
+    }
+}
+
+/// The canonical digest of one run's event trace: the engine's rolling
+/// delivery hash plus every deterministic counter. Two runs of the same
+/// spec — on any backend, with or without a checkpoint/resume cycle —
+/// must produce equal digests; `tests/golden/` pins them per shipped
+/// spec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceDigest {
+    /// The spec name.
+    pub name: String,
+    /// The engine's rolling FNV-1a delivery-trace hash.
+    pub hash: u64,
+    /// Final engine counters.
+    pub stats: EngineStats,
+    /// Tick the protocol goal was reached, if it was.
+    pub completed_at: Option<Tick>,
+}
+
+impl TraceDigest {
+    /// Renders the canonical, diffable text form recorded under
+    /// `tests/golden/`.
+    pub fn canonical(&self) -> String {
+        let completed = match self.completed_at {
+            Some(t) => t.to_string(),
+            None => "none".to_string(),
+        };
+        format!(
+            "scenario-digest v1\n\
+             name = {}\n\
+             hash = {:#018x}\n\
+             events = {}\n\
+             wakes = {}\n\
+             transmissions = {}\n\
+             deliveries = {}\n\
+             dropped_deliveries = {}\n\
+             jammed_ticks = {}\n\
+             churn_leaves = {}\n\
+             churn_joins = {}\n\
+             completed_at = {}\n",
+            self.name,
+            self.hash,
+            self.stats.events,
+            self.stats.wakes,
+            self.stats.transmissions,
+            self.stats.deliveries,
+            self.stats.dropped_deliveries,
+            self.stats.jammed_ticks,
+            self.stats.churn_leaves,
+            self.stats.churn_joins,
+            completed,
+        )
+    }
+
+    /// Parses the canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("scenario-digest v1") {
+            return Err("missing 'scenario-digest v1' header".to_string());
+        }
+        let mut get = |key: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing '{key}'"))?;
+            let (k, v) = line
+                .split_once(" = ")
+                .ok_or_else(|| format!("malformed line '{line}'"))?;
+            if k != key {
+                return Err(format!("expected '{key}', found '{k}'"));
+            }
+            Ok(v.to_string())
+        };
+        let name = get("name")?;
+        let hash_text = get("hash")?;
+        let hash = hash_text
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad hash '{hash_text}'"))?;
+        let mut int_field = |key: &str| -> Result<u64, String> {
+            let v = get(key)?;
+            v.parse().map_err(|_| format!("bad {key} '{v}'"))
+        };
+        let stats = EngineStats {
+            events: int_field("events")?,
+            wakes: int_field("wakes")?,
+            transmissions: int_field("transmissions")?,
+            deliveries: int_field("deliveries")?,
+            dropped_deliveries: int_field("dropped_deliveries")?,
+            jammed_ticks: int_field("jammed_ticks")?,
+            churn_leaves: int_field("churn_leaves")?,
+            churn_joins: int_field("churn_joins")?,
+        };
+        let completed = get("completed_at")?;
+        let completed_at = match completed.as_str() {
+            "none" => None,
+            t => Some(t.parse().map_err(|_| format!("bad completed_at '{t}'"))?),
+        };
+        Ok(TraceDigest {
+            name,
+            hash,
+            stats,
+            completed_at,
+        })
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The canonical trace digest.
+    pub digest: TraceDigest,
+    /// Collected metrics.
+    pub metrics: MetricsReport,
+    /// Number of nodes simulated.
+    pub nodes: usize,
+    /// Tick at which a checkpoint/restore cycle actually ran (only for
+    /// [`ScenarioRunner::run_with_resume`], and `None` there too when
+    /// the run completed before reaching the requested split — callers
+    /// asserting resume fidelity should check this rather than assume).
+    pub checkpointed: Option<Tick>,
+}
+
+impl ScenarioReport {
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("name", s(&self.digest.name)),
+            ("nodes", int(self.nodes as u64)),
+            ("hash", s(&format!("{:#018x}", self.digest.hash))),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== scenario {} — {} nodes ===",
+            self.digest.name, self.nodes
+        )?;
+        write!(f, "{}", self.metrics)?;
+        write!(f, "trace hash: {:#018x}", self.digest.hash)
+    }
+}
+
+/// Compiles and drives [`ScenarioSpec`]s.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioRunner {
+    /// Wraps a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure.
+    pub fn new(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
+        spec.validate()?;
+        Ok(ScenarioRunner { spec })
+    }
+
+    /// The spec being run.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Runs the scenario on the backend the spec declares.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine rejects the compiled configuration.
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        self.run_on(self.spec.backend)
+    }
+
+    /// Runs the scenario on an explicit backend (the cross-backend
+    /// conformance hook; the digest must not depend on the choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine rejects the compiled configuration.
+    pub fn run_on(&self, backend: BackendSpec) -> Result<ScenarioReport, ScenarioError> {
+        self.execute(backend, None)
+    }
+
+    /// Runs the scenario with a checkpoint/restore cycle at tick
+    /// `split`: the engine is serialized to bytes, decoded, and restored
+    /// onto a freshly built backend mid-run. The digest must equal an
+    /// uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the engine rejects the configuration or the
+    /// checkpoint fails to round-trip.
+    pub fn run_with_resume(&self, split: Tick) -> Result<ScenarioReport, ScenarioError> {
+        self.execute(self.spec.backend, Some(split))
+    }
+
+    fn execute(
+        &self,
+        backend: BackendSpec,
+        resume_at: Option<Tick>,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let spec = &self.spec;
+        let build = || backend.build(&spec.topology);
+        match &spec.protocol {
+            ProtocolSpec::Broadcast {
+                neighborhood_decay,
+                probability,
+                power,
+            } => {
+                // The EventBroadcaster protocol from decay-distributed,
+                // wired with the spec's full dynamics (its own driver,
+                // `run_local_broadcast_event`, covers churn/jamming/
+                // latency but not faults or checkpoint cycles).
+                let backend = build();
+                let n = backend.len();
+                let required: Vec<Vec<NodeId>> = (0..n)
+                    .map(|u| backend.potential_receivers(NodeId::new(u), Some(*neighborhood_decay)))
+                    .collect();
+                let delta = required.iter().map(Vec::len).max().unwrap_or(0);
+                let p = probability.unwrap_or((0.5 / delta.max(1) as f64).min(0.5));
+                let behaviors: Vec<EventBroadcaster> =
+                    (0..n).map(|_| EventBroadcaster::new(p, *power)).collect();
+                let engine = Engine::new(
+                    backend,
+                    behaviors,
+                    spec.sinr_params(),
+                    spec.engine_config(),
+                    spec.seed,
+                )?;
+                let required = Rc::new(required);
+                let required_pairs: usize = required.iter().map(Vec::len).sum();
+                let done_req = Rc::clone(&required);
+                let done = move |e: &Engine<EventBroadcaster>| {
+                    covered_pairs(e, &done_req) == required_pairs
+                };
+                let prr_req = required;
+                self.drive(engine, build, resume_at, done, move |e| {
+                    if required_pairs == 0 {
+                        1.0
+                    } else {
+                        covered_pairs(e, &prr_req) as f64 / required_pairs as f64
+                    }
+                })
+            }
+            ProtocolSpec::Contention { strategy, .. } => {
+                let links = spec.contention_links();
+                let (engine, senders) = build_contention_engine(
+                    build(),
+                    &links,
+                    &spec.sinr_params(),
+                    *strategy,
+                    spec.engine_config(),
+                    spec.seed,
+                );
+                let done_senders = senders.clone();
+                let done = move |e: &Engine<ContentionNode>| {
+                    done_senders.iter().all(|&s| {
+                        matches!(
+                            e.behavior(s),
+                            ContentionNode::Sender {
+                                delivered_at: Some(_),
+                                ..
+                            } | ContentionNode::Sender { viable: false, .. }
+                        )
+                    })
+                };
+                let total = senders.len().max(1);
+                let prr_senders = senders;
+                self.drive(engine, build, resume_at, done, move |e| {
+                    prr_senders
+                        .iter()
+                        .filter(|&&s| {
+                            matches!(
+                                e.behavior(s),
+                                ContentionNode::Sender {
+                                    delivered_at: Some(_),
+                                    ..
+                                }
+                            )
+                        })
+                        .count() as f64
+                        / total as f64
+                })
+            }
+            ProtocolSpec::Announce { probability, power } => {
+                let n = spec.node_count();
+                let behaviors: Vec<EventBroadcaster> = (0..n)
+                    .map(|_| EventBroadcaster::new(*probability, *power))
+                    .collect();
+                let engine = Engine::new(
+                    build(),
+                    behaviors,
+                    spec.sinr_params(),
+                    spec.engine_config(),
+                    spec.seed,
+                )?;
+                // Announce has no completion notion: run the horizon out.
+                self.drive(
+                    engine,
+                    build,
+                    resume_at,
+                    |_: &Engine<EventBroadcaster>| false,
+                    |e| {
+                        let s = e.stats();
+                        let total = s.deliveries + s.dropped_deliveries;
+                        if total == 0 {
+                            0.0
+                        } else {
+                            s.deliveries as f64 / total as f64
+                        }
+                    },
+                )
+            }
+        }
+    }
+
+    /// Drives an engine to completion or the horizon, pausing only on the
+    /// `check_interval` grid (plus at most once at `resume_at` for the
+    /// checkpoint cycle, which is invisible to the engine's event
+    /// schedule).
+    fn drive<B, F, D, P>(
+        &self,
+        mut engine: Engine<B>,
+        rebuild: F,
+        resume_at: Option<Tick>,
+        done: D,
+        prr: P,
+    ) -> Result<ScenarioReport, ScenarioError>
+    where
+        B: EventBehavior + Codec + Clone + PartialEq + fmt::Debug,
+        F: Fn() -> Box<dyn DecayBackend>,
+        D: Fn(&Engine<B>) -> bool,
+        P: Fn(&Engine<B>) -> f64,
+    {
+        let spec = &self.spec;
+        let horizon = spec.horizon;
+        let ci = spec.check_interval;
+        let mut resume_at = resume_at.filter(|&t| t > 0 && t < horizon);
+        let mut collector = MetricsCollector::new();
+        let wall_start = Instant::now();
+        let mut completed_at = None;
+        let mut checkpointed = None;
+        loop {
+            let now = engine.now();
+            if now >= horizon {
+                break;
+            }
+            let grid_next = ((now / ci + 1) * ci).min(horizon);
+            if let Some(split) = resume_at {
+                if split > now && split <= grid_next {
+                    engine.run_until(split);
+                    collector.observe_all(&engine.drain_trace());
+                    // Completion is only ever checked on the grid — the
+                    // extra pause at an off-grid split is invisible, so
+                    // the uninterrupted and resumed runs stop at
+                    // identical ticks.
+                    if split == grid_next && done(&engine) {
+                        completed_at = Some(engine.now());
+                        break;
+                    }
+                    let bytes = engine.checkpoint().to_bytes();
+                    let decoded: Checkpoint<B> = Checkpoint::from_bytes(&bytes)
+                        .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
+                    engine = Engine::restore(rebuild(), decoded)?;
+                    checkpointed = Some(split);
+                    resume_at = None;
+                    continue;
+                }
+                if split <= now {
+                    resume_at = None;
+                }
+            }
+            engine.run_until(grid_next);
+            collector.observe_all(&engine.drain_trace());
+            if done(&engine) {
+                completed_at = Some(engine.now());
+                break;
+            }
+        }
+        collector.observe_all(&engine.drain_trace());
+        let stats = engine.stats();
+        let metrics = collector.finish(
+            stats,
+            horizon,
+            prr(&engine),
+            completed_at,
+            wall_start.elapsed(),
+        );
+        Ok(ScenarioReport {
+            digest: TraceDigest {
+                name: spec.name.clone(),
+                hash: engine.trace_hash(),
+                stats,
+                completed_at,
+            },
+            metrics,
+            nodes: engine.len(),
+            checkpointed,
+        })
+    }
+}
+
+/// Delivered required pairs of a broadcast run (the completion check).
+fn covered_pairs(engine: &Engine<EventBroadcaster>, required: &[Vec<NodeId>]) -> usize {
+    required
+        .iter()
+        .enumerate()
+        .map(|(u, receivers)| {
+            receivers
+                .iter()
+                .filter(|&&z| engine.behavior(z).has_heard(NodeId::new(u)))
+                .count()
+        })
+        .sum()
+}

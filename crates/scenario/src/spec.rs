@@ -1,0 +1,1345 @@
+//! The declarative scenario specification.
+//!
+//! A [`ScenarioSpec`] is a complete, human-readable description of one
+//! simulation run: which topology and decay backend, which protocol with
+//! which parameters, which dynamics (churn, faults, jamming, latency),
+//! the SINR physics, the seed, and the horizon. Specs live in JSON files
+//! (see `scenarios/` at the repository root) and are the unit of
+//! reproducibility: the same spec always produces the same event trace,
+//! on every backend, across checkpoint/resume cycles — enforced by the
+//! golden-trace suite.
+//!
+//! The JSON codec here is hand-rolled (the workspace `serde` is an
+//! offline stand-in that cannot serialize); all spec types still derive
+//! `Serialize`/`Deserialize` so swapping the real `serde` back in works
+//! without touching this crate.
+
+use std::fmt;
+
+use decay_core::NodeId;
+use decay_distributed::ContentionStrategy;
+use decay_engine::{ChurnConfig, EngineConfig, JamSchedule, LatencyModel, Tick};
+use decay_netsim::{FaultPlan, ReceptionModel};
+use decay_sinr::SinrParams;
+use serde::{Deserialize, Serialize};
+
+use crate::json::{self, int, num, obj, s, JsonError, JsonValue};
+
+/// A named node layout. Every topology is a point deployment with
+/// geometric decay `f(u, v) = dist(u, v)^alpha`; the names map onto the
+/// constructors in `decay-spaces` ([`decay_spaces::line_points`],
+/// [`decay_spaces::grid_points`], [`decay_spaces::ring_points`],
+/// [`decay_spaces::random_points`], [`decay_spaces::clustered_points`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// `n` evenly spaced nodes on a line.
+    Line {
+        /// Node count.
+        n: usize,
+        /// Distance between adjacent nodes.
+        spacing: f64,
+        /// Path-loss exponent.
+        alpha: f64,
+    },
+    /// A `side × side` grid.
+    Grid {
+        /// Nodes per side (total `side²`).
+        side: usize,
+        /// Distance between adjacent nodes.
+        spacing: f64,
+        /// Path-loss exponent.
+        alpha: f64,
+    },
+    /// `n` nodes evenly spaced on a circle.
+    Ring {
+        /// Node count.
+        n: usize,
+        /// Circle radius.
+        radius: f64,
+        /// Path-loss exponent.
+        alpha: f64,
+    },
+    /// `n` nodes uniformly random in a square box.
+    Random {
+        /// Node count.
+        n: usize,
+        /// Box side length.
+        size: f64,
+        /// Path-loss exponent.
+        alpha: f64,
+        /// Placement seed (independent of the run seed, so the same
+        /// deployment can be re-run under different traffic seeds).
+        seed: u64,
+    },
+    /// Hotspot clusters in a square box.
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Nodes per cluster.
+        per_cluster: usize,
+        /// Box side length.
+        size: f64,
+        /// Path-loss exponent.
+        alpha: f64,
+        /// Placement seed.
+        seed: u64,
+    },
+}
+
+/// Which [`decay_engine::DecayBackend`] realizes the topology's decay
+/// space. All three are required to produce bit-identical traces for the
+/// same spec — the cross-backend conformance suite enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// Materialized `n × n` matrix ([`decay_engine::DenseBackend`]).
+    Dense,
+    /// Compute on demand, store nothing ([`decay_engine::LazyBackend`]),
+    /// with a structured neighbor hint where the topology admits one.
+    Lazy,
+    /// Bounded tile cache ([`decay_engine::TiledBackend`]).
+    Tiled {
+        /// Tile side length.
+        tile_size: usize,
+        /// Maximum resident tiles.
+        max_tiles: usize,
+    },
+}
+
+/// SINR physics: capture threshold and ambient noise (see
+/// [`decay_sinr::SinrParams`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrSpec {
+    /// Capture threshold `β`.
+    pub beta: f64,
+    /// Ambient noise power `N`.
+    pub noise: f64,
+}
+
+/// One scheduled outage (see [`decay_netsim::Outage`]); `until: None`
+/// means a permanent crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The affected node index.
+    pub node: usize,
+    /// First tick of the outage.
+    pub from: Tick,
+    /// First tick after the outage; `None` for a permanent crash.
+    pub until: Option<Tick>,
+}
+
+/// One directed link for the contention protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// The sending node index.
+    pub from: usize,
+    /// The receiving node index.
+    pub to: usize,
+}
+
+/// The workload: which protocol the nodes run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolSpec {
+    /// Event-driven local broadcast
+    /// ([`decay_distributed::run_local_broadcast_event`]): every node
+    /// owns one message and transmits with a geometric gap until its
+    /// whole decay-neighborhood has heard it. The run completes when
+    /// every required (sender, neighbor) pair has been delivered.
+    Broadcast {
+        /// Neighborhood radius in decay: `z` must hear `u` whenever
+        /// `f(u, z) ≤ neighborhood_decay`.
+        neighborhood_decay: f64,
+        /// Per-tick transmit probability; `None` selects `0.5 / Δ`.
+        probability: Option<f64>,
+        /// Uniform transmission power.
+        power: f64,
+    },
+    /// Event-driven contention resolution
+    /// ([`decay_distributed::run_contention_event`]): each link's sender
+    /// delivers one packet to its dedicated receiver. Completes when all
+    /// viable links have delivered. With an empty `links` list,
+    /// consecutive node pairs `(0→1), (2→3), …` are used.
+    Contention {
+        /// The links; endpoints must be disjoint across links.
+        links: Vec<LinkSpec>,
+        /// Sender strategy.
+        strategy: ContentionStrategy,
+    },
+    /// Free-running announcements: every node transmits its id with a
+    /// geometric gap for the whole horizon (the
+    /// [`decay_distributed::EventBroadcaster`] behavior without a
+    /// completion condition) — the steady-state traffic workload.
+    Announce {
+        /// Per-tick transmit probability.
+        probability: f64,
+        /// Uniform transmission power.
+        power: f64,
+    },
+}
+
+/// A complete declarative scenario. See the crate docs for the JSON
+/// format and `scenarios/` for shipped examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name; also names the golden-trace digest file.
+    pub name: String,
+    /// Master RNG seed for the run (churn, fading, jitter, jamming, and
+    /// per-node streams all derive from it).
+    pub seed: u64,
+    /// Run length in ticks.
+    pub horizon: Tick,
+    /// How often the runner pauses the engine to check completion and
+    /// drain metrics (completion is detected at this granularity).
+    pub check_interval: Tick,
+    /// Node layout.
+    pub topology: TopologySpec,
+    /// Decay-space storage backend.
+    pub backend: BackendSpec,
+    /// SINR physics.
+    pub sinr: SinrSpec,
+    /// Reception model (deterministic threshold or Rayleigh fading).
+    pub reception: ReceptionModel,
+    /// The workload.
+    pub protocol: ProtocolSpec,
+    /// Node churn, if any.
+    pub churn: Option<ChurnConfig>,
+    /// Scheduled per-node outages.
+    pub faults: Vec<FaultSpec>,
+    /// Jamming schedule.
+    pub jamming: JamSchedule,
+    /// Delivery latency model.
+    pub latency: LatencyModel,
+    /// Decay beyond which signals are ignored (`None` = exact `O(n)`
+    /// candidate scans).
+    pub reach_decay: Option<f64>,
+    /// Top-k affectance pruning (`None` = exact interference sums).
+    pub top_k: Option<usize>,
+}
+
+/// A spec that failed validation or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (e.g. `"topology.spacing"`).
+    pub path: String,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid scenario spec at {}: {}",
+            self.path, self.message
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(err: JsonError) -> Self {
+        SpecError::new("<json>", err.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding helpers
+// ---------------------------------------------------------------------
+
+fn field<'a>(v: &'a JsonValue, path: &str, key: &str) -> Result<&'a JsonValue, SpecError> {
+    v.get(key)
+        .ok_or_else(|| SpecError::new(join(path, key), "missing field"))
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn get_u64(v: &JsonValue, path: &str, key: &str) -> Result<u64, SpecError> {
+    field(v, path, key)?
+        .as_u64()
+        .ok_or_else(|| SpecError::new(join(path, key), "expected a non-negative integer"))
+}
+
+fn get_usize(v: &JsonValue, path: &str, key: &str) -> Result<usize, SpecError> {
+    usize::try_from(get_u64(v, path, key)?)
+        .map_err(|_| SpecError::new(join(path, key), "integer out of range"))
+}
+
+fn get_f64(v: &JsonValue, path: &str, key: &str) -> Result<f64, SpecError> {
+    field(v, path, key)?
+        .as_f64()
+        .ok_or_else(|| SpecError::new(join(path, key), "expected a number"))
+}
+
+fn get_str<'a>(v: &'a JsonValue, path: &str, key: &str) -> Result<&'a str, SpecError> {
+    field(v, path, key)?
+        .as_str()
+        .ok_or_else(|| SpecError::new(join(path, key), "expected a string"))
+}
+
+fn get_kind<'a>(v: &'a JsonValue, path: &str) -> Result<&'a str, SpecError> {
+    get_str(v, path, "kind")
+}
+
+/// Rejects object keys outside the allowed set, so typos in spec files
+/// fail loudly instead of silently falling back to defaults.
+fn reject_unknown(v: &JsonValue, path: &str, allowed: &[&str]) -> Result<(), SpecError> {
+    if let Some(entries) = v.entries() {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SpecError::new(join(path, key), "unknown field"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Per-type JSON codecs
+// ---------------------------------------------------------------------
+
+impl TopologySpec {
+    fn to_json(self) -> JsonValue {
+        match self {
+            TopologySpec::Line { n, spacing, alpha } => obj(vec![
+                ("kind", s("line")),
+                ("n", int(n as u64)),
+                ("spacing", num(spacing)),
+                ("alpha", num(alpha)),
+            ]),
+            TopologySpec::Grid {
+                side,
+                spacing,
+                alpha,
+            } => obj(vec![
+                ("kind", s("grid")),
+                ("side", int(side as u64)),
+                ("spacing", num(spacing)),
+                ("alpha", num(alpha)),
+            ]),
+            TopologySpec::Ring { n, radius, alpha } => obj(vec![
+                ("kind", s("ring")),
+                ("n", int(n as u64)),
+                ("radius", num(radius)),
+                ("alpha", num(alpha)),
+            ]),
+            TopologySpec::Random {
+                n,
+                size,
+                alpha,
+                seed,
+            } => obj(vec![
+                ("kind", s("random")),
+                ("n", int(n as u64)),
+                ("size", num(size)),
+                ("alpha", num(alpha)),
+                ("seed", int(seed)),
+            ]),
+            TopologySpec::Clustered {
+                clusters,
+                per_cluster,
+                size,
+                alpha,
+                seed,
+            } => obj(vec![
+                ("kind", s("clustered")),
+                ("clusters", int(clusters as u64)),
+                ("per_cluster", int(per_cluster as u64)),
+                ("size", num(size)),
+                ("alpha", num(alpha)),
+                ("seed", int(seed)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &JsonValue, path: &str) -> Result<Self, SpecError> {
+        match get_kind(v, path)? {
+            "line" => {
+                reject_unknown(v, path, &["kind", "n", "spacing", "alpha"])?;
+                Ok(TopologySpec::Line {
+                    n: get_usize(v, path, "n")?,
+                    spacing: get_f64(v, path, "spacing")?,
+                    alpha: get_f64(v, path, "alpha")?,
+                })
+            }
+            "grid" => {
+                reject_unknown(v, path, &["kind", "side", "spacing", "alpha"])?;
+                Ok(TopologySpec::Grid {
+                    side: get_usize(v, path, "side")?,
+                    spacing: get_f64(v, path, "spacing")?,
+                    alpha: get_f64(v, path, "alpha")?,
+                })
+            }
+            "ring" => {
+                reject_unknown(v, path, &["kind", "n", "radius", "alpha"])?;
+                Ok(TopologySpec::Ring {
+                    n: get_usize(v, path, "n")?,
+                    radius: get_f64(v, path, "radius")?,
+                    alpha: get_f64(v, path, "alpha")?,
+                })
+            }
+            "random" => {
+                reject_unknown(v, path, &["kind", "n", "size", "alpha", "seed"])?;
+                Ok(TopologySpec::Random {
+                    n: get_usize(v, path, "n")?,
+                    size: get_f64(v, path, "size")?,
+                    alpha: get_f64(v, path, "alpha")?,
+                    seed: get_u64(v, path, "seed")?,
+                })
+            }
+            "clustered" => {
+                reject_unknown(
+                    v,
+                    path,
+                    &["kind", "clusters", "per_cluster", "size", "alpha", "seed"],
+                )?;
+                Ok(TopologySpec::Clustered {
+                    clusters: get_usize(v, path, "clusters")?,
+                    per_cluster: get_usize(v, path, "per_cluster")?,
+                    size: get_f64(v, path, "size")?,
+                    alpha: get_f64(v, path, "alpha")?,
+                    seed: get_u64(v, path, "seed")?,
+                })
+            }
+            other => Err(SpecError::new(
+                join(path, "kind"),
+                format!("unknown topology \"{other}\" (line|grid|ring|random|clustered)"),
+            )),
+        }
+    }
+}
+
+impl BackendSpec {
+    fn to_json(self) -> JsonValue {
+        match self {
+            BackendSpec::Dense => obj(vec![("kind", s("dense"))]),
+            BackendSpec::Lazy => obj(vec![("kind", s("lazy"))]),
+            BackendSpec::Tiled {
+                tile_size,
+                max_tiles,
+            } => obj(vec![
+                ("kind", s("tiled")),
+                ("tile_size", int(tile_size as u64)),
+                ("max_tiles", int(max_tiles as u64)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &JsonValue, path: &str) -> Result<Self, SpecError> {
+        match get_kind(v, path)? {
+            "dense" => {
+                reject_unknown(v, path, &["kind"])?;
+                Ok(BackendSpec::Dense)
+            }
+            "lazy" => {
+                reject_unknown(v, path, &["kind"])?;
+                Ok(BackendSpec::Lazy)
+            }
+            "tiled" => {
+                reject_unknown(v, path, &["kind", "tile_size", "max_tiles"])?;
+                Ok(BackendSpec::Tiled {
+                    tile_size: get_usize(v, path, "tile_size")?,
+                    max_tiles: get_usize(v, path, "max_tiles")?,
+                })
+            }
+            other => Err(SpecError::new(
+                join(path, "kind"),
+                format!("unknown backend \"{other}\" (dense|lazy|tiled)"),
+            )),
+        }
+    }
+}
+
+fn strategy_to_json(strategy: &ContentionStrategy) -> JsonValue {
+    match *strategy {
+        ContentionStrategy::Fixed { p } => obj(vec![("kind", s("fixed")), ("p", num(p))]),
+        ContentionStrategy::Backoff {
+            start,
+            down,
+            up,
+            floor,
+        } => obj(vec![
+            ("kind", s("backoff")),
+            ("start", num(start)),
+            ("down", num(down)),
+            ("up", num(up)),
+            ("floor", num(floor)),
+        ]),
+    }
+}
+
+fn strategy_from_json(v: &JsonValue, path: &str) -> Result<ContentionStrategy, SpecError> {
+    match get_kind(v, path)? {
+        "fixed" => {
+            reject_unknown(v, path, &["kind", "p"])?;
+            Ok(ContentionStrategy::Fixed {
+                p: get_f64(v, path, "p")?,
+            })
+        }
+        "backoff" => {
+            reject_unknown(v, path, &["kind", "start", "down", "up", "floor"])?;
+            Ok(ContentionStrategy::Backoff {
+                start: get_f64(v, path, "start")?,
+                down: get_f64(v, path, "down")?,
+                up: get_f64(v, path, "up")?,
+                floor: get_f64(v, path, "floor")?,
+            })
+        }
+        other => Err(SpecError::new(
+            join(path, "kind"),
+            format!("unknown strategy \"{other}\" (fixed|backoff)"),
+        )),
+    }
+}
+
+impl ProtocolSpec {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            ProtocolSpec::Broadcast {
+                neighborhood_decay,
+                probability,
+                power,
+            } => {
+                let mut pairs = vec![
+                    ("kind", s("broadcast")),
+                    ("neighborhood_decay", num(*neighborhood_decay)),
+                ];
+                if let Some(p) = probability {
+                    pairs.push(("probability", num(*p)));
+                }
+                pairs.push(("power", num(*power)));
+                obj(pairs)
+            }
+            ProtocolSpec::Contention { links, strategy } => obj(vec![
+                ("kind", s("contention")),
+                (
+                    "links",
+                    JsonValue::Array(
+                        links
+                            .iter()
+                            .map(|l| {
+                                obj(vec![("from", int(l.from as u64)), ("to", int(l.to as u64))])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("strategy", strategy_to_json(strategy)),
+            ]),
+            ProtocolSpec::Announce { probability, power } => obj(vec![
+                ("kind", s("announce")),
+                ("probability", num(*probability)),
+                ("power", num(*power)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &JsonValue, path: &str) -> Result<Self, SpecError> {
+        match get_kind(v, path)? {
+            "broadcast" => {
+                reject_unknown(
+                    v,
+                    path,
+                    &["kind", "neighborhood_decay", "probability", "power"],
+                )?;
+                Ok(ProtocolSpec::Broadcast {
+                    neighborhood_decay: get_f64(v, path, "neighborhood_decay")?,
+                    probability: match v.get("probability") {
+                        None | Some(JsonValue::Null) => None,
+                        Some(p) => Some(p.as_f64().ok_or_else(|| {
+                            SpecError::new(join(path, "probability"), "expected a number")
+                        })?),
+                    },
+                    power: get_f64(v, path, "power")?,
+                })
+            }
+            "contention" => {
+                reject_unknown(v, path, &["kind", "links", "strategy"])?;
+                let links = field(v, path, "links")?
+                    .as_array()
+                    .ok_or_else(|| SpecError::new(join(path, "links"), "expected an array"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| {
+                        let lp = format!("{}.links[{i}]", path);
+                        reject_unknown(l, &lp, &["from", "to"])?;
+                        Ok(LinkSpec {
+                            from: get_usize(l, &lp, "from")?,
+                            to: get_usize(l, &lp, "to")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?;
+                Ok(ProtocolSpec::Contention {
+                    links,
+                    strategy: strategy_from_json(
+                        field(v, path, "strategy")?,
+                        &join(path, "strategy"),
+                    )?,
+                })
+            }
+            "announce" => {
+                reject_unknown(v, path, &["kind", "probability", "power"])?;
+                Ok(ProtocolSpec::Announce {
+                    probability: get_f64(v, path, "probability")?,
+                    power: get_f64(v, path, "power")?,
+                })
+            }
+            other => Err(SpecError::new(
+                join(path, "kind"),
+                format!("unknown protocol \"{other}\" (broadcast|contention|announce)"),
+            )),
+        }
+    }
+}
+
+fn jamming_to_json(jamming: JamSchedule) -> JsonValue {
+    match jamming {
+        JamSchedule::None => obj(vec![("kind", s("none"))]),
+        JamSchedule::Periodic { period } => {
+            obj(vec![("kind", s("periodic")), ("period", int(period))])
+        }
+        JamSchedule::Random { prob } => obj(vec![("kind", s("random")), ("prob", num(prob))]),
+    }
+}
+
+fn jamming_from_json(v: &JsonValue, path: &str) -> Result<JamSchedule, SpecError> {
+    match get_kind(v, path)? {
+        "none" => {
+            reject_unknown(v, path, &["kind"])?;
+            Ok(JamSchedule::None)
+        }
+        "periodic" => {
+            reject_unknown(v, path, &["kind", "period"])?;
+            Ok(JamSchedule::Periodic {
+                period: get_u64(v, path, "period")?,
+            })
+        }
+        "random" => {
+            reject_unknown(v, path, &["kind", "prob"])?;
+            Ok(JamSchedule::Random {
+                prob: get_f64(v, path, "prob")?,
+            })
+        }
+        other => Err(SpecError::new(
+            join(path, "kind"),
+            format!("unknown jamming \"{other}\" (none|periodic|random)"),
+        )),
+    }
+}
+
+fn latency_to_json(latency: LatencyModel) -> JsonValue {
+    match latency {
+        LatencyModel::Immediate => obj(vec![("kind", s("immediate"))]),
+        LatencyModel::Fixed { ticks } => obj(vec![("kind", s("fixed")), ("ticks", int(ticks))]),
+        LatencyModel::Jittered { base, jitter } => obj(vec![
+            ("kind", s("jittered")),
+            ("base", int(base)),
+            ("jitter", int(jitter)),
+        ]),
+    }
+}
+
+fn latency_from_json(v: &JsonValue, path: &str) -> Result<LatencyModel, SpecError> {
+    match get_kind(v, path)? {
+        "immediate" => {
+            reject_unknown(v, path, &["kind"])?;
+            Ok(LatencyModel::Immediate)
+        }
+        "fixed" => {
+            reject_unknown(v, path, &["kind", "ticks"])?;
+            Ok(LatencyModel::Fixed {
+                ticks: get_u64(v, path, "ticks")?,
+            })
+        }
+        "jittered" => {
+            reject_unknown(v, path, &["kind", "base", "jitter"])?;
+            Ok(LatencyModel::Jittered {
+                base: get_u64(v, path, "base")?,
+                jitter: get_u64(v, path, "jitter")?,
+            })
+        }
+        other => Err(SpecError::new(
+            join(path, "kind"),
+            format!("unknown latency \"{other}\" (immediate|fixed|jittered)"),
+        )),
+    }
+}
+
+const SPEC_FIELDS: &[&str] = &[
+    "name",
+    "seed",
+    "horizon",
+    "check_interval",
+    "topology",
+    "backend",
+    "sinr",
+    "reception",
+    "protocol",
+    "churn",
+    "faults",
+    "jamming",
+    "latency",
+    "reach_decay",
+    "top_k",
+];
+
+impl ScenarioSpec {
+    /// Serializes the spec to a [`JsonValue`] (field order is fixed, so
+    /// output is byte-stable).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("name", s(&self.name)),
+            ("seed", int(self.seed)),
+            ("horizon", int(self.horizon)),
+            ("check_interval", int(self.check_interval)),
+            ("topology", self.topology.to_json()),
+            ("backend", self.backend.to_json()),
+            (
+                "sinr",
+                obj(vec![
+                    ("beta", num(self.sinr.beta)),
+                    ("noise", num(self.sinr.noise)),
+                ]),
+            ),
+            (
+                "reception",
+                s(match self.reception {
+                    ReceptionModel::Threshold => "threshold",
+                    ReceptionModel::Rayleigh => "rayleigh",
+                }),
+            ),
+            ("protocol", self.protocol.to_json()),
+        ];
+        if let Some(churn) = self.churn {
+            pairs.push((
+                "churn",
+                obj(vec![
+                    ("interval", int(churn.interval)),
+                    ("leave_prob", num(churn.leave_prob)),
+                    ("join_prob", num(churn.join_prob)),
+                ]),
+            ));
+        }
+        if !self.faults.is_empty() {
+            pairs.push((
+                "faults",
+                JsonValue::Array(
+                    self.faults
+                        .iter()
+                        .map(|f| {
+                            let mut fp = vec![("node", int(f.node as u64)), ("from", int(f.from))];
+                            if let Some(until) = f.until {
+                                fp.push(("until", int(until)));
+                            }
+                            obj(fp)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        pairs.push(("jamming", jamming_to_json(self.jamming)));
+        pairs.push(("latency", latency_to_json(self.latency)));
+        if let Some(reach) = self.reach_decay {
+            pairs.push(("reach_decay", num(reach)));
+        }
+        if let Some(k) = self.top_k {
+            pairs.push(("top_k", int(k as u64)));
+        }
+        obj(pairs)
+    }
+
+    /// Renders the spec as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Decodes a spec from a parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending field on missing,
+    /// mistyped, unknown, or out-of-range fields.
+    pub fn from_json(v: &JsonValue) -> Result<Self, SpecError> {
+        reject_unknown(v, "", SPEC_FIELDS)?;
+        let spec = ScenarioSpec {
+            name: get_str(v, "", "name")?.to_string(),
+            seed: get_u64(v, "", "seed")?,
+            horizon: get_u64(v, "", "horizon")?,
+            check_interval: match v.get("check_interval") {
+                None => 64,
+                Some(_) => get_u64(v, "", "check_interval")?,
+            },
+            topology: TopologySpec::from_json(field(v, "", "topology")?, "topology")?,
+            backend: match v.get("backend") {
+                None => BackendSpec::Lazy,
+                Some(b) => BackendSpec::from_json(b, "backend")?,
+            },
+            sinr: {
+                let sv = field(v, "", "sinr")?;
+                reject_unknown(sv, "sinr", &["beta", "noise"])?;
+                SinrSpec {
+                    beta: get_f64(sv, "sinr", "beta")?,
+                    noise: get_f64(sv, "sinr", "noise")?,
+                }
+            },
+            reception: match v.get("reception") {
+                None => ReceptionModel::Threshold,
+                Some(r) => match r.as_str() {
+                    Some("threshold") => ReceptionModel::Threshold,
+                    Some("rayleigh") => ReceptionModel::Rayleigh,
+                    _ => {
+                        return Err(SpecError::new(
+                            "reception",
+                            "expected \"threshold\" or \"rayleigh\"",
+                        ))
+                    }
+                },
+            },
+            protocol: ProtocolSpec::from_json(field(v, "", "protocol")?, "protocol")?,
+            churn: match v.get("churn") {
+                None | Some(JsonValue::Null) => None,
+                Some(cv) => {
+                    reject_unknown(cv, "churn", &["interval", "leave_prob", "join_prob"])?;
+                    Some(ChurnConfig {
+                        interval: get_u64(cv, "churn", "interval")?,
+                        leave_prob: get_f64(cv, "churn", "leave_prob")?,
+                        join_prob: get_f64(cv, "churn", "join_prob")?,
+                    })
+                }
+            },
+            faults: match v.get("faults") {
+                None => Vec::new(),
+                Some(fv) => fv
+                    .as_array()
+                    .ok_or_else(|| SpecError::new("faults", "expected an array"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        let fp = format!("faults[{i}]");
+                        reject_unknown(f, &fp, &["node", "from", "until"])?;
+                        Ok(FaultSpec {
+                            node: get_usize(f, &fp, "node")?,
+                            from: get_u64(f, &fp, "from")?,
+                            until: match f.get("until") {
+                                None | Some(JsonValue::Null) => None,
+                                Some(_) => Some(get_u64(f, &fp, "until")?),
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SpecError>>()?,
+            },
+            jamming: match v.get("jamming") {
+                None => JamSchedule::None,
+                Some(jv) => jamming_from_json(jv, "jamming")?,
+            },
+            latency: match v.get("latency") {
+                None => LatencyModel::Immediate,
+                Some(lv) => latency_from_json(lv, "latency")?,
+            },
+            reach_decay: match v.get("reach_decay") {
+                None | Some(JsonValue::Null) => None,
+                Some(r) => Some(
+                    r.as_f64()
+                        .ok_or_else(|| SpecError::new("reach_decay", "expected a number"))?,
+                ),
+            },
+            top_k: match v.get("top_k") {
+                None | Some(JsonValue::Null) => None,
+                Some(k) => Some(
+                    k.as_u64()
+                        .and_then(|k| usize::try_from(k).ok())
+                        .ok_or_else(|| SpecError::new("top_k", "expected an integer"))?,
+                ),
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on malformed JSON or an invalid spec.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_json(&json::parse(text)?)
+    }
+
+    /// The number of nodes the topology deploys (saturating, so absurd
+    /// spec values fail validation instead of overflowing).
+    pub fn node_count(&self) -> usize {
+        match self.topology {
+            TopologySpec::Line { n, .. } | TopologySpec::Ring { n, .. } => n,
+            TopologySpec::Grid { side, .. } => side.saturating_mul(side),
+            TopologySpec::Random { n, .. } => n,
+            TopologySpec::Clustered {
+                clusters,
+                per_cluster,
+                ..
+            } => clusters.saturating_mul(per_cluster),
+        }
+    }
+
+    /// The SINR parameters.
+    ///
+    /// # Panics
+    ///
+    /// Never panics on a validated spec.
+    pub fn sinr_params(&self) -> SinrParams {
+        SinrParams::new(self.sinr.beta, self.sinr.noise).expect("validated by ScenarioSpec")
+    }
+
+    /// The contention links, with the default consecutive pairing
+    /// `(0→1), (2→3), …` applied when the spec lists none. Empty for
+    /// other protocols.
+    pub fn contention_links(&self) -> Vec<(NodeId, NodeId)> {
+        match &self.protocol {
+            ProtocolSpec::Contention { links, .. } if links.is_empty() => (0..self.node_count()
+                / 2)
+                .map(|i| (NodeId::new(2 * i), NodeId::new(2 * i + 1)))
+                .collect(),
+            ProtocolSpec::Contention { links, .. } => links
+                .iter()
+                .map(|l| (NodeId::new(l.from), NodeId::new(l.to)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The engine configuration this spec compiles to (trace recording
+    /// always on — the metrics collector consumes it).
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut faults = FaultPlan::none();
+        for f in &self.faults {
+            let node = NodeId::new(f.node);
+            faults = match f.until {
+                Some(until) => faults.with_outage(
+                    node,
+                    usize::try_from(f.from).unwrap_or(usize::MAX),
+                    usize::try_from(until).unwrap_or(usize::MAX),
+                ),
+                None => faults.with_crash(node, usize::try_from(f.from).unwrap_or(usize::MAX)),
+            };
+        }
+        EngineConfig {
+            reach_decay: self.reach_decay,
+            top_k: self.top_k,
+            reception: self.reception,
+            latency: self.latency,
+            churn: self.churn,
+            jamming: self.jamming,
+            faults,
+            record_trace: true,
+        }
+    }
+
+    /// Validates every field; called by the JSON decoder and by
+    /// [`crate::ScenarioRunner::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let bad = |path: &str, msg: &str| Err(SpecError::new(path, msg));
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return bad(
+                "name",
+                "must be non-empty and use only [A-Za-z0-9_-] (it names the golden file)",
+            );
+        }
+        if self.horizon == 0 {
+            return bad("horizon", "must be at least one tick");
+        }
+        if self.check_interval == 0 {
+            return bad("check_interval", "must be at least one tick");
+        }
+        // Every integer in a spec must survive the JSON number round
+        // trip (f64 mantissa), or a spec written by `to_json_string`
+        // would not parse back.
+        const MAX_JSON_INT: u64 = 1 << 53;
+        let json_int_fields: [(&str, u64); 3] = [
+            ("seed", self.seed),
+            ("horizon", self.horizon),
+            ("check_interval", self.check_interval),
+        ];
+        for (path, value) in json_int_fields {
+            if value > MAX_JSON_INT {
+                return bad(path, "must fit in 2^53 (JSON number precision)");
+            }
+        }
+        if let TopologySpec::Random { seed, .. } | TopologySpec::Clustered { seed, .. } =
+            self.topology
+        {
+            if seed > MAX_JSON_INT {
+                return bad("topology.seed", "must fit in 2^53 (JSON number precision)");
+            }
+        }
+        let n = self.node_count();
+        if n < 2 {
+            return bad("topology", "needs at least two nodes");
+        }
+        // Far above any practical engine run, but low enough that grid
+        // sides and cluster products can never overflow node_count.
+        if n > 10_000_000 {
+            return bad("topology", "deploys more than 10M nodes");
+        }
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        match self.topology {
+            TopologySpec::Line { spacing, alpha, .. }
+            | TopologySpec::Grid { spacing, alpha, .. } => {
+                if !positive(spacing) || !positive(alpha) {
+                    return bad("topology", "spacing and alpha must be positive and finite");
+                }
+            }
+            TopologySpec::Ring { radius, alpha, .. } => {
+                if !positive(radius) || !positive(alpha) {
+                    return bad("topology", "radius and alpha must be positive and finite");
+                }
+            }
+            TopologySpec::Random { size, alpha, .. }
+            | TopologySpec::Clustered { size, alpha, .. } => {
+                if !positive(size) || !positive(alpha) {
+                    return bad("topology", "size and alpha must be positive and finite");
+                }
+            }
+        }
+        if let BackendSpec::Tiled {
+            tile_size,
+            max_tiles,
+        } = self.backend
+        {
+            if tile_size == 0 || max_tiles == 0 {
+                return bad("backend", "tile_size and max_tiles must be positive");
+            }
+        }
+        if SinrParams::new(self.sinr.beta, self.sinr.noise).is_err() {
+            return bad("sinr", "beta must be >= 1 and noise >= 0, both finite");
+        }
+        match &self.protocol {
+            ProtocolSpec::Broadcast {
+                neighborhood_decay,
+                probability,
+                power,
+            } => {
+                if !positive(*neighborhood_decay) {
+                    return bad("protocol.neighborhood_decay", "must be positive and finite");
+                }
+                if !positive(*power) {
+                    return bad("protocol.power", "must be positive and finite");
+                }
+                if let Some(p) = probability {
+                    if !(*p > 0.0 && *p < 1.0) {
+                        return bad("protocol.probability", "must be in (0, 1)");
+                    }
+                }
+                if let Some(reach) = self.reach_decay {
+                    if reach < *neighborhood_decay {
+                        return bad(
+                            "reach_decay",
+                            "must be at least the broadcast neighborhood_decay \
+                             (pairs past the reach could never be delivered)",
+                        );
+                    }
+                }
+            }
+            ProtocolSpec::Contention { strategy, .. } => {
+                let links = self.contention_links();
+                if links.is_empty() {
+                    return bad("protocol.links", "needs at least one link");
+                }
+                let mut used = vec![false; n];
+                for (from, to) in &links {
+                    if from.index() >= n || to.index() >= n || from == to {
+                        return bad("protocol.links", "link endpoints out of range");
+                    }
+                    if used[from.index()] || used[to.index()] {
+                        return bad("protocol.links", "links must not share endpoints");
+                    }
+                    used[from.index()] = true;
+                    used[to.index()] = true;
+                }
+                match *strategy {
+                    ContentionStrategy::Fixed { p } => {
+                        if !(p > 0.0 && p <= 1.0) {
+                            return bad("protocol.strategy.p", "must be in (0, 1]");
+                        }
+                    }
+                    ContentionStrategy::Backoff {
+                        start,
+                        down,
+                        up,
+                        floor,
+                    } => {
+                        let ok = start > 0.0
+                            && start <= 1.0
+                            && down > 0.0
+                            && down < 1.0
+                            && up >= 1.0
+                            && floor > 0.0
+                            && floor <= start;
+                        if !ok {
+                            return bad(
+                                "protocol.strategy",
+                                "need start in (0,1], down in (0,1), up >= 1, floor in (0, start]",
+                            );
+                        }
+                    }
+                }
+            }
+            ProtocolSpec::Announce { probability, power } => {
+                if !(*probability > 0.0 && *probability < 1.0) {
+                    return bad("protocol.probability", "must be in (0, 1)");
+                }
+                if !positive(*power) {
+                    return bad("protocol.power", "must be positive and finite");
+                }
+            }
+        }
+        if let Some(churn) = &self.churn {
+            if churn.interval == 0 || churn.interval > MAX_JSON_INT {
+                return bad("churn.interval", "must be in [1, 2^53] ticks");
+            }
+            if !(0.0..=1.0).contains(&churn.leave_prob) || !(0.0..=1.0).contains(&churn.join_prob) {
+                return bad("churn", "probabilities must be in [0, 1]");
+            }
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.node >= n {
+                return bad(&format!("faults[{i}].node"), "node index out of range");
+            }
+            if f.from > MAX_JSON_INT || f.until.is_some_and(|u| u > MAX_JSON_INT) {
+                return bad(
+                    &format!("faults[{i}]"),
+                    "ticks must fit in 2^53 (JSON number precision)",
+                );
+            }
+            if let Some(until) = f.until {
+                if until <= f.from {
+                    return bad(&format!("faults[{i}]"), "until must exceed from");
+                }
+            }
+        }
+        match self.jamming {
+            JamSchedule::Periodic { period } if period == 0 || period > MAX_JSON_INT => {
+                return bad("jamming.period", "must be in [1, 2^53] ticks");
+            }
+            JamSchedule::Random { prob } if !(0.0..=1.0).contains(&prob) => {
+                return bad("jamming.prob", "must be in [0, 1]");
+            }
+            _ => {}
+        }
+        match self.latency {
+            LatencyModel::Fixed { ticks } if ticks > MAX_JSON_INT => {
+                return bad("latency.ticks", "must fit in 2^53 (JSON number precision)");
+            }
+            LatencyModel::Jittered { base, jitter }
+                if base > MAX_JSON_INT || jitter > MAX_JSON_INT =>
+            {
+                return bad("latency", "ticks must fit in 2^53 (JSON number precision)");
+            }
+            _ => {}
+        }
+        if let Some(reach) = self.reach_decay {
+            if !positive(reach) {
+                return bad("reach_decay", "must be positive and finite");
+            }
+        }
+        if self.top_k == Some(0) {
+            return bad("top_k", "must keep at least one signal");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "demo".to_string(),
+            seed: 7,
+            horizon: 500,
+            check_interval: 32,
+            topology: TopologySpec::Line {
+                n: 16,
+                spacing: 1.0,
+                alpha: 2.0,
+            },
+            backend: BackendSpec::Lazy,
+            sinr: SinrSpec {
+                beta: 1.0,
+                noise: 0.05,
+            },
+            reception: ReceptionModel::Threshold,
+            protocol: ProtocolSpec::Broadcast {
+                neighborhood_decay: 4.0,
+                probability: Some(0.05),
+                power: 1.0,
+            },
+            churn: Some(ChurnConfig {
+                interval: 8,
+                leave_prob: 0.2,
+                join_prob: 0.8,
+            }),
+            faults: vec![FaultSpec {
+                node: 3,
+                from: 10,
+                until: Some(40),
+            }],
+            jamming: JamSchedule::Periodic { period: 7 },
+            latency: LatencyModel::Jittered { base: 1, jitter: 3 },
+            reach_decay: Some(64.0),
+            top_k: Some(8),
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec = demo_spec();
+        let text = spec.to_json_string();
+        let back = ScenarioSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+        // Printing is a fixed point, so re-serializing never diffs.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn optional_fields_default() {
+        let text = r#"{
+            "name": "min",
+            "seed": 1,
+            "horizon": 100,
+            "topology": {"kind": "grid", "side": 4, "spacing": 1.0, "alpha": 2.0},
+            "sinr": {"beta": 1.0, "noise": 0.0},
+            "protocol": {"kind": "announce", "probability": 0.1, "power": 1.0}
+        }"#;
+        let spec = ScenarioSpec::from_json_str(text).unwrap();
+        assert_eq!(spec.backend, BackendSpec::Lazy);
+        assert_eq!(spec.reception, ReceptionModel::Threshold);
+        assert_eq!(spec.jamming, JamSchedule::None);
+        assert_eq!(spec.latency, LatencyModel::Immediate);
+        assert_eq!(spec.check_interval, 64);
+        assert!(spec.churn.is_none() && spec.faults.is_empty());
+        assert_eq!(spec.node_count(), 16);
+    }
+
+    #[test]
+    fn unknown_and_invalid_fields_are_rejected() {
+        let base = demo_spec();
+        // Unknown top-level key.
+        let mut v = base.to_json();
+        if let JsonValue::Object(pairs) = &mut v {
+            pairs.push(("typo_field".to_string(), int(1)));
+        }
+        let err = ScenarioSpec::from_json(&v).unwrap_err();
+        assert!(err.path.contains("typo_field"), "{err}");
+
+        // Out-of-range probability.
+        let mut bad = base.clone();
+        bad.protocol = ProtocolSpec::Announce {
+            probability: 1.5,
+            power: 1.0,
+        };
+        assert!(bad.validate().is_err());
+
+        // Fault on a nonexistent node.
+        let mut bad = base.clone();
+        bad.faults[0].node = 999;
+        assert!(bad.validate().is_err());
+
+        // Reach below the broadcast neighborhood.
+        let mut bad = base.clone();
+        bad.reach_decay = Some(1.0);
+        assert!(bad.validate().is_err());
+
+        // Integers past 2^53 would not survive the JSON round trip, so
+        // validation refuses them up front.
+        let mut bad = base.clone();
+        bad.seed = u64::MAX;
+        assert!(bad.validate().is_err());
+
+        // Absurd topology sizes fail cleanly instead of overflowing.
+        let mut bad = base;
+        bad.topology = TopologySpec::Grid {
+            side: 1 << 33,
+            spacing: 1.0,
+            alpha: 2.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_fields_in_sub_objects_are_rejected() {
+        // A typo'd key inside jamming/latency/backend/strategy must fail
+        // loudly, not silently run with the default dynamics.
+        for (field, value) in [
+            ("jamming", r#"{"kind": "none", "period": 7}"#),
+            ("latency", r#"{"kind": "fixed", "ticks": 2, "jitter": 3}"#),
+            ("backend", r#"{"kind": "lazy", "tile_size": 4}"#),
+        ] {
+            let text = format!(
+                r#"{{
+                    "name": "x",
+                    "seed": 1,
+                    "horizon": 10,
+                    "topology": {{"kind": "line", "n": 4, "spacing": 1.0, "alpha": 2.0}},
+                    "sinr": {{"beta": 1.0, "noise": 0.0}},
+                    "protocol": {{"kind": "announce", "probability": 0.1, "power": 1.0}},
+                    "{field}": {value}
+                }}"#
+            );
+            let err = ScenarioSpec::from_json_str(&text).expect_err(field);
+            assert!(err.path.starts_with(field), "{field}: {err}");
+        }
+    }
+
+    #[test]
+    fn contention_default_pairing_and_endpoint_checks() {
+        let mut spec = demo_spec();
+        spec.protocol = ProtocolSpec::Contention {
+            links: vec![],
+            strategy: ContentionStrategy::Fixed { p: 0.2 },
+        };
+        spec.reach_decay = None;
+        spec.validate().unwrap();
+        let links = spec.contention_links();
+        assert_eq!(links.len(), 8);
+        assert_eq!(links[3], (NodeId::new(6), NodeId::new(7)));
+
+        spec.protocol = ProtocolSpec::Contention {
+            links: vec![LinkSpec { from: 0, to: 1 }, LinkSpec { from: 2, to: 0 }],
+            strategy: ContentionStrategy::Fixed { p: 0.2 },
+        };
+        assert!(spec.validate().is_err(), "shared endpoint must be rejected");
+    }
+
+    #[test]
+    fn engine_config_reflects_spec() {
+        let spec = demo_spec();
+        let cfg = spec.engine_config();
+        assert!(cfg.record_trace);
+        assert_eq!(cfg.top_k, Some(8));
+        assert_eq!(cfg.reach_decay, Some(64.0));
+        assert_eq!(cfg.faults.outages().len(), 1);
+        assert!(cfg.churn.is_some());
+    }
+}

@@ -36,6 +36,19 @@ pub fn line_points(n: usize, spacing: f64) -> Vec<Point> {
     (0..n).map(|i| (i as f64 * spacing, 0.0)).collect()
 }
 
+/// `n` points evenly spaced on a circle of the given radius — the
+/// third named deployment shape (after lines and grids) used by
+/// declarative scenario topologies; rings are the classic worst case for
+/// broadcast because every node has exactly two nearest neighbors.
+pub fn ring_points(n: usize, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * (i as f64) / (n.max(1) as f64);
+            (radius * theta.cos(), radius * theta.sin())
+        })
+        .collect()
+}
+
 /// A `k × k` unit grid scaled by `spacing`.
 pub fn grid_points(k: usize, spacing: f64) -> Vec<Point> {
     let mut pts = Vec::with_capacity(k * k);
@@ -154,6 +167,22 @@ mod tests {
         assert_eq!(line_points(5, 2.0)[4], (8.0, 0.0));
         assert_eq!(grid_points(3, 1.0).len(), 9);
         assert_eq!(grid_points(3, 1.0)[8], (2.0, 2.0));
+    }
+
+    #[test]
+    fn ring_points_sit_on_the_circle() {
+        let pts = ring_points(12, 5.0);
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0], (5.0, 0.0));
+        for &(x, y) in &pts {
+            assert!(((x * x + y * y).sqrt() - 5.0).abs() < 1e-9);
+        }
+        // Adjacent gaps are uniform, so the space is well-conditioned.
+        let gap = distance(pts[0], pts[1]);
+        for i in 0..12 {
+            assert!((distance(pts[i], pts[(i + 1) % 12]) - gap).abs() < 1e-9);
+        }
+        geometric_space(&pts, 2.0).unwrap();
     }
 
     #[test]

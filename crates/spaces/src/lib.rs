@@ -32,7 +32,7 @@ mod special;
 
 pub use euclid::{
     clustered_points, distance, geometric_space, grid_points, line_points,
-    perturbed_geometric_space, random_points, Point,
+    perturbed_geometric_space, random_points, ring_points, Point,
 };
 pub use extended::{
     distance_3d, dual_slope_space, geometric_space_3d, obstructed_grid_space, random_points_3d,

@@ -20,6 +20,7 @@
 //! | [`netsim`] | slot-synchronous SINR network simulator |
 //! | [`engine`] | discrete-event engine: lazy million-node backends, churn, checkpointing |
 //! | [`distributed`] | regret capacity game, randomized local broadcast (slot + event-driven) |
+//! | [`scenario`] | declarative JSON scenario specs, metrics, golden-trace digests |
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@ pub use decay_distributed as distributed;
 pub use decay_engine as engine;
 pub use decay_envsim as envsim;
 pub use decay_netsim as netsim;
+pub use decay_scenario as scenario;
 pub use decay_sinr as sinr;
 pub use decay_spaces as spaces;
 
@@ -67,7 +69,11 @@ pub mod prelude {
     pub use decay_envsim::{Device, FloorPlan, MeasurementModel, OfficeConfig, PropagationModel};
     pub use decay_netsim::{
         compare_decays, infer_decay_from_prr, run_probe_campaign, Action, FaultPlan, NodeBehavior,
-        ReceptionModel, Simulator, SlotContext,
+        PrrTracker, ReceptionModel, Simulator, SlotContext,
+    };
+    pub use decay_scenario::{
+        BackendSpec, MetricsReport, ProtocolSpec, ScenarioReport, ScenarioRunner, ScenarioSpec,
+        TopologySpec, TraceDigest,
     };
     pub use decay_sinr::{
         inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,
