@@ -3,11 +3,15 @@
 //! future PRs have a perf trajectory to measure against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decay_channel::{
+    FadingConfig, MobilityConfig, MobilityModel, ShadowingConfig, TemporalAdapter, TemporalChannel,
+};
 use decay_core::NodeId;
 use decay_engine::{
     DecayBackend, Engine, EngineConfig, EventBehavior, LazyBackend, NodeCtx, TiledBackend,
 };
 use decay_sinr::SinrParams;
+use decay_spaces::line_points;
 use rand::Rng;
 
 /// A gossip-style behavior: listen, transmit at geometric intervals.
@@ -42,14 +46,39 @@ fn line_backend(n: usize) -> LazyBackend {
 }
 
 fn engine_at(n: usize) -> Engine<Gossiper> {
+    engine_over(line_backend(n), n)
+}
+
+fn engine_over(backend: impl DecayBackend + 'static, n: usize) -> Engine<Gossiper> {
     let behaviors = (0..n).map(|_| Gossiper { mean_gap: 50 }).collect();
     let config = EngineConfig {
         reach_decay: Some(100.0),
         top_k: Some(8),
         ..EngineConfig::default()
     };
-    Engine::new(line_backend(n), behaviors, SinrParams::default(), config, 7)
-        .expect("engine builds")
+    Engine::new(backend, behaviors, SinrParams::default(), config, 7).expect("engine builds")
+}
+
+/// The full temporal channel (mobility + shadowing + fading) over the
+/// lazy line — the time-varying counterpart of [`line_backend`].
+fn temporal_backend(n: usize, block_len: u64) -> TemporalAdapter {
+    TemporalAdapter::new(
+        TemporalChannel::new(line_backend(n), line_points(n, 1.0), 2.0, block_len)
+            .with_mobility(MobilityConfig {
+                model: MobilityModel::RandomWaypoint {
+                    speed: 0.5,
+                    pause: 1,
+                },
+                seed: 5,
+            })
+            .with_shadowing(ShadowingConfig {
+                sigma_db: 4.0,
+                corr_dist: 40.0,
+                time_corr: 0.7,
+                seed: 6,
+            })
+            .with_fading(FadingConfig { seed: 7 }),
+    )
 }
 
 /// Events per second on a lazy backend, 10k and 100k nodes.
@@ -67,6 +96,30 @@ fn bench_events_per_sec(c: &mut Criterion) {
                 engine.run_until(200)
             });
         });
+    }
+    group.finish();
+}
+
+/// Events per second under a temporal channel, by coherence-block
+/// length: the cost of realism, and how block length amortizes it.
+fn bench_temporal_events_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_events_temporal");
+    group.sample_size(10);
+    let n = 10_000;
+    for &block in &[1u64, 16, 64] {
+        let mut probe = engine_over(temporal_backend(n, block), n);
+        let events = probe.run_until(200).events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new("run_200_ticks_block", block),
+            &block,
+            |b, &block| {
+                b.iter(|| {
+                    let mut engine = engine_over(temporal_backend(n, block), n);
+                    engine.run_until(200)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -101,5 +154,10 @@ fn bench_memory_proxy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_events_per_sec, bench_memory_proxy);
+criterion_group!(
+    benches,
+    bench_events_per_sec,
+    bench_temporal_events_per_sec,
+    bench_memory_proxy
+);
 criterion_main!(benches);

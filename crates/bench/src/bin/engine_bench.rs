@@ -1,0 +1,142 @@
+//! The engine throughput bench behind CI's `BENCH_engine.json` artifact:
+//! events/sec at 10k nodes on the static lazy backend versus the full
+//! temporal channel (mobility + shadowing + block fading), one JSON
+//! document per run so the perf trajectory accumulates across commits.
+//!
+//! ```text
+//! cargo run --release -p decay-bench --bin engine_bench -- --quick --out BENCH_engine.json
+//! ```
+//!
+//! `--quick` shortens the measured horizon (the CI setting); omit it for
+//! a steadier local measurement. The workload is the same gossip traffic
+//! the criterion bench `benches/engine.rs` drives, so the two numbers
+//! are comparable.
+
+use std::time::Instant;
+
+use decay_channel::{
+    FadingConfig, MobilityConfig, MobilityModel, ShadowingConfig, TemporalAdapter, TemporalChannel,
+};
+use decay_core::json::{int, num, obj, s, JsonValue};
+use decay_engine::{DecayBackend, Engine, EngineConfig, EventBehavior, LazyBackend, NodeCtx};
+use decay_sinr::SinrParams;
+use decay_spaces::line_points;
+use rand::Rng;
+
+#[derive(Clone)]
+struct Gossiper {
+    mean_gap: u64,
+}
+
+impl EventBehavior for Gossiper {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.listen();
+        let gap = 1 + ctx.rng.gen_range(0..self.mean_gap.max(1) * 2);
+        ctx.wake_in(gap);
+    }
+    fn on_wake(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.transmit(1.0, ctx.node.index() as u64);
+        ctx.listen();
+        let gap = 1 + ctx.rng.gen_range(0..self.mean_gap.max(1) * 2);
+        ctx.wake_in(gap);
+    }
+}
+
+fn lazy_line(n: usize) -> LazyBackend {
+    let last = n - 1;
+    LazyBackend::from_fn(n, |i, j| ((i as f64) - (j as f64)).abs().powi(2)).with_neighbor_hint(
+        move |i, reach| {
+            let w = reach.sqrt().ceil() as usize;
+            (i.saturating_sub(w)..=(i + w).min(last)).collect()
+        },
+    )
+}
+
+fn temporal(n: usize, block_len: u64) -> TemporalAdapter {
+    TemporalAdapter::new(
+        TemporalChannel::new(lazy_line(n), line_points(n, 1.0), 2.0, block_len)
+            .with_mobility(MobilityConfig {
+                model: MobilityModel::RandomWaypoint {
+                    speed: 0.5,
+                    pause: 1,
+                },
+                seed: 5,
+            })
+            .with_shadowing(ShadowingConfig {
+                sigma_db: 4.0,
+                corr_dist: 40.0,
+                time_corr: 0.7,
+                seed: 6,
+            })
+            .with_fading(FadingConfig { seed: 7 }),
+    )
+}
+
+fn measure(backend: impl DecayBackend + 'static, n: usize, horizon: u64) -> (u64, u64, f64) {
+    let behaviors = (0..n).map(|_| Gossiper { mean_gap: 50 }).collect();
+    let config = EngineConfig {
+        reach_decay: Some(100.0),
+        top_k: Some(8),
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::new(backend, behaviors, SinrParams::default(), config, 7).expect("engine builds");
+    let start = Instant::now();
+    engine.run_until(horizon);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = engine.stats();
+    (stats.events, stats.deliveries, stats.events as f64 / secs)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let n = 10_000;
+    let horizon = if quick { 120 } else { 400 };
+    let mut rows: Vec<JsonValue> = Vec::new();
+    let mut push = |backend: &str, block: Option<u64>, m: (u64, u64, f64)| {
+        let mut pairs = vec![("backend", s(backend))];
+        if let Some(b) = block {
+            pairs.push(("block", int(b)));
+        }
+        pairs.extend([
+            ("events", int(m.0)),
+            ("deliveries", int(m.1)),
+            ("events_per_sec", num(m.2.round())),
+        ]);
+        rows.push(obj(pairs));
+        eprintln!(
+            "{backend}{}: {} events, {:.0} events/sec",
+            block.map(|b| format!(" (block {b})")).unwrap_or_default(),
+            m.0,
+            m.2
+        );
+    };
+
+    push("static", None, measure(lazy_line(n), n, horizon));
+    for block in [1u64, 16, 64] {
+        push(
+            "temporal",
+            Some(block),
+            measure(temporal(n, block), n, horizon),
+        );
+    }
+
+    let doc = obj(vec![
+        ("bench", s("engine")),
+        ("nodes", int(n as u64)),
+        ("horizon", int(horizon)),
+        ("quick", JsonValue::Bool(quick)),
+        ("rows", JsonValue::Array(rows)),
+    ]);
+    std::fs::write(&out, doc.pretty())?;
+    eprintln!("written {out}");
+    Ok(())
+}

@@ -3,6 +3,7 @@
 //! index and EXPERIMENTS.md for recorded outcomes.
 
 mod capacity;
+mod channel;
 mod engine;
 mod extensions;
 mod extensions2;
@@ -220,6 +221,11 @@ pub fn all() -> Vec<Experiment> {
             title: "declarative scenario sweep (PowerRAFT-style specs)",
             run: scenario::e37_scenario_sweep,
         },
+        Experiment {
+            id: "E38",
+            title: "temporal channels vs coherence-block length",
+            run: channel::e38_channel_throughput,
+        },
     ]
 }
 
@@ -235,7 +241,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all();
-        assert_eq!(exps.len(), 37);
+        assert_eq!(exps.len(), 38);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

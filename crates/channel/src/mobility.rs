@@ -1,0 +1,417 @@
+//! Deterministic-seeded mobility models over `decay-spaces` point sets.
+//!
+//! Positions update once per coherence block. Each model is driven
+//! entirely by the random-access draws in [`crate::draw`], so the walk is
+//! a pure function of `(seed, block history)`: two engines with the same
+//! configuration — or one engine restored from a checkpoint — see
+//! bit-identical trajectories. State (current position, current waypoint
+//! leg) is still *sequential*: block `b` follows from block `b - 1`. The
+//! owning [`crate::TemporalChannel`] advances a cached state forward and
+//! rebuilds from block 0 on the rare backward query, trading a recompute
+//! for never having to serialize mobility state.
+
+use decay_spaces::{distance, Point};
+
+use crate::draw::{mix, unit};
+
+/// Stream tags separating the draw families.
+const STREAM_TARGET: u64 = 1;
+const STREAM_HEADING: u64 = 2;
+const STREAM_LENGTH: u64 = 3;
+const STREAM_JITTER: u64 = 4;
+
+/// Which mobility model moves the deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityModel {
+    /// Random waypoint: each node walks toward a uniformly drawn target
+    /// at `speed` units per block, pauses `pause` blocks on arrival, then
+    /// draws the next target.
+    RandomWaypoint {
+        /// Distance covered per coherence block.
+        speed: f64,
+        /// Blocks to rest at each waypoint.
+        pause: u64,
+    },
+    /// Lévy walk: every block each node takes an independent step with
+    /// uniform heading and Pareto-distributed length
+    /// `scale · u^(-1/exponent)` truncated at `cap`, reflecting off the
+    /// deployment bounding box — heavy-tailed hops between local
+    /// dwelling, the classic human/animal mobility shape.
+    LevyWalk {
+        /// Scale (minimum) step length per block.
+        scale: f64,
+        /// Pareto tail exponent (smaller = heavier tail).
+        exponent: f64,
+        /// Truncation cap on one block's step length.
+        cap: f64,
+    },
+    /// Reference-point group mobility: nodes are partitioned into
+    /// `groups` contiguous index ranges; each group's reference point
+    /// does a random-waypoint walk at `speed`, and members keep their
+    /// deployment offset from the group centroid plus a per-block jitter
+    /// uniform in `[-spread, spread]` per axis.
+    Group {
+        /// Number of groups (contiguous index partition).
+        groups: usize,
+        /// Reference-point speed per block.
+        speed: f64,
+        /// Member jitter amplitude around the moving reference.
+        spread: f64,
+    },
+}
+
+/// A mobility model bound to a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilityConfig {
+    /// The movement model.
+    pub model: MobilityModel,
+    /// Seed for every draw the model makes.
+    pub seed: u64,
+}
+
+/// One independent walker (a node, or a group reference point).
+#[derive(Debug, Clone)]
+struct Walker {
+    pos: Point,
+    target: Point,
+    pause_left: u64,
+    leg: u64,
+}
+
+/// Positions of every node at one coherence block.
+#[derive(Debug, Clone)]
+pub(crate) struct MobilityState {
+    pub block: u64,
+    pub pos: Vec<Point>,
+    walkers: Vec<Walker>,
+}
+
+/// The model plus the immutable deployment facts it moves over.
+#[derive(Debug, Clone)]
+pub(crate) struct MobilityEngine {
+    config: MobilityConfig,
+    initial: Vec<Point>,
+    lo: Point,
+    hi: Point,
+    /// Group index per node (Group model; empty otherwise).
+    group_of: Vec<usize>,
+    /// Initial centroid per group (Group model; empty otherwise).
+    centroids: Vec<Point>,
+}
+
+/// Reflects `x` into `[lo, hi]` (identity for degenerate ranges).
+fn reflect(x: f64, lo: f64, hi: f64) -> f64 {
+    let w = hi - lo;
+    if w <= 0.0 {
+        return lo;
+    }
+    let mut y = (x - lo).rem_euclid(2.0 * w);
+    if y > w {
+        y = 2.0 * w - y;
+    }
+    lo + y
+}
+
+impl MobilityEngine {
+    /// Binds the model to a deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty deployment or a `Group` model with zero
+    /// groups.
+    pub(crate) fn new(config: MobilityConfig, initial: Vec<Point>) -> Self {
+        assert!(!initial.is_empty(), "mobility needs at least one node");
+        let n = initial.len();
+        let lo = (
+            initial.iter().map(|p| p.0).fold(f64::INFINITY, f64::min),
+            initial.iter().map(|p| p.1).fold(f64::INFINITY, f64::min),
+        );
+        let hi = (
+            initial
+                .iter()
+                .map(|p| p.0)
+                .fold(f64::NEG_INFINITY, f64::max),
+            initial
+                .iter()
+                .map(|p| p.1)
+                .fold(f64::NEG_INFINITY, f64::max),
+        );
+        let (group_of, centroids) = match config.model {
+            MobilityModel::Group { groups, .. } => {
+                assert!(groups > 0, "group mobility needs at least one group");
+                let groups = groups.min(n);
+                let group_of: Vec<usize> = (0..n).map(|i| i * groups / n).collect();
+                let mut sums = vec![(0.0, 0.0, 0usize); groups];
+                for (i, p) in initial.iter().enumerate() {
+                    let g = group_of[i];
+                    sums[g].0 += p.0;
+                    sums[g].1 += p.1;
+                    sums[g].2 += 1;
+                }
+                let centroids = sums
+                    .into_iter()
+                    .map(|(x, y, c)| (x / c.max(1) as f64, y / c.max(1) as f64))
+                    .collect();
+                (group_of, centroids)
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        MobilityEngine {
+            config,
+            initial,
+            lo,
+            hi,
+            group_of,
+            centroids,
+        }
+    }
+
+    /// A uniformly drawn waypoint for walker `w`'s `leg`-th leg.
+    fn draw_target(&self, w: usize, leg: u64) -> Point {
+        let seed = self.config.seed;
+        let ux = unit(mix(&[seed, STREAM_TARGET, w as u64, leg, 0]));
+        let uy = unit(mix(&[seed, STREAM_TARGET, w as u64, leg, 1]));
+        (
+            self.lo.0 + ux * (self.hi.0 - self.lo.0),
+            self.lo.1 + uy * (self.hi.1 - self.lo.1),
+        )
+    }
+
+    /// The state at block 0: everything exactly at the deployment.
+    pub(crate) fn initial_state(&self) -> MobilityState {
+        let walker_starts: Vec<Point> = match self.config.model {
+            MobilityModel::Group { .. } => self.centroids.clone(),
+            _ => self.initial.clone(),
+        };
+        let walkers = walker_starts
+            .into_iter()
+            .enumerate()
+            .map(|(w, pos)| Walker {
+                pos,
+                target: self.draw_target(w, 0),
+                pause_left: 0,
+                leg: 0,
+            })
+            .collect();
+        MobilityState {
+            block: 0,
+            pos: self.initial.clone(),
+            walkers,
+        }
+    }
+
+    /// Advances the state one coherence block.
+    pub(crate) fn advance(&self, state: &mut MobilityState) {
+        let next = state.block + 1;
+        match self.config.model {
+            MobilityModel::RandomWaypoint { speed, pause } => {
+                for (w, walker) in state.walkers.iter_mut().enumerate() {
+                    step_waypoint(self, w, walker, speed, pause);
+                }
+                for (i, p) in state.pos.iter_mut().enumerate() {
+                    *p = state.walkers[i].pos;
+                }
+            }
+            MobilityModel::LevyWalk {
+                scale,
+                exponent,
+                cap,
+            } => {
+                let seed = self.config.seed;
+                for (w, walker) in state.walkers.iter_mut().enumerate() {
+                    let heading =
+                        std::f64::consts::TAU * unit(mix(&[seed, STREAM_HEADING, w as u64, next]));
+                    // 1 - u is in (0, 1], so the Pareto draw is finite.
+                    let u = unit(mix(&[seed, STREAM_LENGTH, w as u64, next]));
+                    let len = (scale * (1.0 - u).powf(-1.0 / exponent)).min(cap);
+                    walker.pos = (
+                        reflect(walker.pos.0 + len * heading.cos(), self.lo.0, self.hi.0),
+                        reflect(walker.pos.1 + len * heading.sin(), self.lo.1, self.hi.1),
+                    );
+                }
+                for (i, p) in state.pos.iter_mut().enumerate() {
+                    *p = state.walkers[i].pos;
+                }
+            }
+            MobilityModel::Group { speed, spread, .. } => {
+                let seed = self.config.seed;
+                for (w, walker) in state.walkers.iter_mut().enumerate() {
+                    step_waypoint(self, w, walker, speed, 0);
+                }
+                for (i, p) in state.pos.iter_mut().enumerate() {
+                    let g = self.group_of[i];
+                    let center = state.walkers[g].pos;
+                    let centroid = self.centroids[g];
+                    let jx =
+                        spread * (2.0 * unit(mix(&[seed, STREAM_JITTER, i as u64, next, 0])) - 1.0);
+                    let jy =
+                        spread * (2.0 * unit(mix(&[seed, STREAM_JITTER, i as u64, next, 1])) - 1.0);
+                    *p = (
+                        self.initial[i].0 + (center.0 - centroid.0) + jx,
+                        self.initial[i].1 + (center.1 - centroid.1) + jy,
+                    );
+                }
+            }
+        }
+        state.block = next;
+    }
+}
+
+/// One random-waypoint block step for a single walker.
+fn step_waypoint(engine: &MobilityEngine, w: usize, walker: &mut Walker, speed: f64, pause: u64) {
+    if walker.pause_left > 0 {
+        walker.pause_left -= 1;
+        return;
+    }
+    let d = distance(walker.pos, walker.target);
+    if d <= speed {
+        walker.pos = walker.target;
+        walker.pause_left = pause;
+        walker.leg += 1;
+        walker.target = engine.draw_target(w, walker.leg);
+    } else if d > 0.0 {
+        let f = speed / d;
+        walker.pos = (
+            walker.pos.0 + f * (walker.target.0 - walker.pos.0),
+            walker.pos.1 + f * (walker.target.1 - walker.pos.1),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| (i as f64, 0.0)).collect()
+    }
+
+    fn advance_to(engine: &MobilityEngine, block: u64) -> MobilityState {
+        let mut s = engine.initial_state();
+        while s.block < block {
+            engine.advance(&mut s);
+        }
+        s
+    }
+
+    #[test]
+    fn block_zero_is_exactly_the_deployment() {
+        for model in [
+            MobilityModel::RandomWaypoint {
+                speed: 0.5,
+                pause: 1,
+            },
+            MobilityModel::LevyWalk {
+                scale: 0.2,
+                exponent: 1.5,
+                cap: 3.0,
+            },
+            MobilityModel::Group {
+                groups: 3,
+                speed: 0.5,
+                spread: 0.2,
+            },
+        ] {
+            let pts = line(9);
+            let engine = MobilityEngine::new(MobilityConfig { model, seed: 7 }, pts.clone());
+            let s = engine.initial_state();
+            for (a, b) in s.pos.iter().zip(&pts) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn trajectories_are_deterministic_and_seed_sensitive() {
+        let model = MobilityModel::RandomWaypoint {
+            speed: 0.7,
+            pause: 0,
+        };
+        let a = MobilityEngine::new(MobilityConfig { model, seed: 7 }, line(8));
+        let b = MobilityEngine::new(MobilityConfig { model, seed: 7 }, line(8));
+        let c = MobilityEngine::new(MobilityConfig { model, seed: 8 }, line(8));
+        let (sa, sb, sc) = (advance_to(&a, 20), advance_to(&b, 20), advance_to(&c, 20));
+        assert_eq!(format!("{:?}", sa.pos), format!("{:?}", sb.pos));
+        assert_ne!(format!("{:?}", sa.pos), format!("{:?}", sc.pos));
+    }
+
+    #[test]
+    fn waypoint_stays_inside_the_bounding_box_and_moves() {
+        let engine = MobilityEngine::new(
+            MobilityConfig {
+                model: MobilityModel::RandomWaypoint {
+                    speed: 0.9,
+                    pause: 1,
+                },
+                seed: 3,
+            },
+            line(12),
+        );
+        let s = advance_to(&engine, 40);
+        let moved = s
+            .pos
+            .iter()
+            .zip(line(12))
+            .any(|(p, q)| distance(*p, q) > 0.5);
+        assert!(moved, "nobody moved after 40 blocks");
+        for p in &s.pos {
+            assert!((0.0..=11.0).contains(&p.0), "x out of box: {}", p.0);
+            assert_eq!(p.1, 0.0, "degenerate axis must stay pinned");
+        }
+    }
+
+    #[test]
+    fn levy_reflects_into_the_box() {
+        let engine = MobilityEngine::new(
+            MobilityConfig {
+                model: MobilityModel::LevyWalk {
+                    scale: 0.5,
+                    exponent: 1.2,
+                    cap: 50.0,
+                },
+                seed: 11,
+            },
+            line(6),
+        );
+        let s = advance_to(&engine, 60);
+        for p in &s.pos {
+            assert!((0.0..=5.0).contains(&p.0), "x escaped: {}", p.0);
+        }
+    }
+
+    #[test]
+    fn group_members_follow_their_reference_point() {
+        let pts: Vec<Point> = (0..8)
+            .map(|i| ((i % 4) as f64, (i / 4) as f64 * 8.0))
+            .collect();
+        let engine = MobilityEngine::new(
+            MobilityConfig {
+                model: MobilityModel::Group {
+                    groups: 2,
+                    speed: 0.6,
+                    spread: 0.1,
+                },
+                seed: 5,
+            },
+            pts,
+        );
+        let s = advance_to(&engine, 30);
+        // Within a group, pairwise offsets stay near their deployment
+        // values (reference translation + bounded jitter), so spread
+        // within the group is far below the inter-group scale.
+        for g in 0..2 {
+            let members: Vec<Point> = (0..8)
+                .filter(|i| engine.group_of[*i] == g)
+                .map(|i| s.pos[i])
+                .collect();
+            for w in members.windows(2) {
+                assert!(
+                    distance(w[0], w[1]) < 4.0,
+                    "group {g} scattered: {:?}",
+                    members
+                );
+            }
+        }
+    }
+}

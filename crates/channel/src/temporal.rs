@@ -1,0 +1,238 @@
+//! The temporal backend abstraction and its bridge into the engine.
+//!
+//! A [`TemporalBackend`] is a gain field quantized in time: decays are
+//! constant within one *coherence block* of `block_len` ticks and may
+//! change arbitrarily between blocks. The block structure is what keeps
+//! the engine's hot path `O(active · k)`: reach candidate sets are only
+//! recomputed when the block index changes, and within a block every
+//! evaluation is as cheap as a static backend's.
+//!
+//! [`TemporalAdapter`] implements [`decay_engine::DecayBackend`] on top,
+//! overriding the tick-aware methods (`decay_at`,
+//! `potential_receivers_at`, `channel_signature`) so an unmodified
+//! [`decay_engine::Engine`] runs time-varying channels. The adapter's
+//! *static* view (`decay`, `potential_receivers`) is the block-0 field —
+//! what deployment-time computations (broadcast neighborhoods, link
+//! viability) see.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use decay_core::NodeId;
+use decay_engine::{DecayBackend, Tick};
+
+use crate::draw::mix;
+
+/// A deterministic gain field quantized into coherence blocks.
+///
+/// Implementations must be pure: `decay_in_block(b, p, q)` is a function
+/// of `(b, p, q)` and the construction parameters alone, returning
+/// finite, strictly positive values off the diagonal and 0 on it — the
+/// [`decay_core::DecaySpace`] contract per block. Purity is what lets
+/// checkpoints carry only a [`Self::signature`] instead of channel
+/// state: a rebuilt channel with the same parameters replays the same
+/// field.
+pub trait TemporalBackend: Send + Sync {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Whether the field has no nodes (never true for valid channels;
+    /// for API completeness).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coherence block length in ticks (≥ 1).
+    fn block_len(&self) -> Tick;
+
+    /// The decay of `(from, to)` during coherence block `block`.
+    fn decay_in_block(&self, block: u64, from: NodeId, to: NodeId) -> f64;
+
+    /// A non-zero fingerprint of the channel's configuration, recorded in
+    /// engine checkpoints (format v3) and verified on restore.
+    fn signature(&self) -> u64;
+}
+
+/// Folds key words into a non-zero channel signature (0 is reserved for
+/// static backends).
+pub(crate) fn signature_of(words: &[u64]) -> u64 {
+    mix(words).max(1)
+}
+
+/// Cached reach candidate lists for the current coherence block.
+struct ReachCache {
+    block: u64,
+    /// `(from, reach bits)` → candidates, valid for `block` only.
+    lists: HashMap<(usize, u64), Vec<NodeId>>,
+}
+
+/// Adapts a [`TemporalBackend`] to the engine's [`DecayBackend`].
+///
+/// Reach sets are exact per block (a full scan against the instantaneous
+/// field — no structural hint survives mobility) but cached for the
+/// block's duration, so the scan cost amortizes over `block_len` ticks
+/// of transmissions.
+pub struct TemporalAdapter {
+    inner: Box<dyn TemporalBackend>,
+    cache: Mutex<ReachCache>,
+}
+
+impl TemporalAdapter {
+    /// Wraps a temporal backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend declares a zero block length.
+    pub fn new(inner: impl TemporalBackend + 'static) -> Self {
+        assert!(inner.block_len() >= 1, "coherence block must be >= 1 tick");
+        TemporalAdapter {
+            inner: Box::new(inner),
+            cache: Mutex::new(ReachCache {
+                block: 0,
+                lists: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The wrapped temporal backend.
+    pub fn inner(&self) -> &dyn TemporalBackend {
+        &*self.inner
+    }
+
+    /// The coherence block covering `tick`.
+    pub fn block_of(&self, tick: Tick) -> u64 {
+        tick / self.inner.block_len()
+    }
+
+    fn receivers_in_block(&self, block: u64, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        let n = self.inner.len();
+        let Some(r) = reach else {
+            return (0..n)
+                .filter(|&j| j != from.index())
+                .map(NodeId::new)
+                .collect();
+        };
+        let mut cache = self.cache.lock().expect("reach cache poisoned");
+        if cache.block != block {
+            cache.lists.clear();
+            cache.block = block;
+        }
+        cache
+            .lists
+            .entry((from.index(), r.to_bits()))
+            .or_insert_with(|| {
+                (0..n)
+                    .filter(|&j| j != from.index())
+                    .map(NodeId::new)
+                    .filter(|&to| self.inner.decay_in_block(block, from, to) <= r)
+                    .collect()
+            })
+            .clone()
+    }
+}
+
+impl fmt::Debug for TemporalAdapter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TemporalAdapter")
+            .field("n", &self.inner.len())
+            .field("block_len", &self.inner.block_len())
+            .field("signature", &self.inner.signature())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecayBackend for TemporalAdapter {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// The block-0 field (the deployment-time static view).
+    fn decay(&self, from: NodeId, to: NodeId) -> f64 {
+        self.inner.decay_in_block(0, from, to)
+    }
+
+    fn decay_at(&self, tick: Tick, from: NodeId, to: NodeId) -> f64 {
+        self.inner.decay_in_block(self.block_of(tick), from, to)
+    }
+
+    fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        self.receivers_in_block(0, from, reach)
+    }
+
+    fn potential_receivers_at(&self, tick: Tick, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        self.receivers_in_block(self.block_of(tick), from, reach)
+    }
+
+    fn channel_signature(&self) -> u64 {
+        self.inner.signature()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy field: decay |i - j|² scaled by (1 + block).
+    struct Pulse {
+        n: usize,
+    }
+
+    impl TemporalBackend for Pulse {
+        fn len(&self) -> usize {
+            self.n
+        }
+        fn block_len(&self) -> Tick {
+            4
+        }
+        fn decay_in_block(&self, block: u64, from: NodeId, to: NodeId) -> f64 {
+            if from == to {
+                return 0.0;
+            }
+            let d = (from.index() as f64 - to.index() as f64).abs();
+            d * d * (1.0 + block as f64)
+        }
+        fn signature(&self) -> u64 {
+            signature_of(&[0xD0, self.n as u64])
+        }
+    }
+
+    #[test]
+    fn adapter_maps_ticks_to_blocks() {
+        let a = TemporalAdapter::new(Pulse { n: 8 });
+        let (x, y) = (NodeId::new(1), NodeId::new(3));
+        assert_eq!(a.decay_at(0, x, y), 4.0);
+        assert_eq!(a.decay_at(3, x, y), 4.0, "same block");
+        assert_eq!(a.decay_at(4, x, y), 8.0, "next block");
+        assert_eq!(a.decay(x, y), 4.0, "static view is block 0");
+        assert_eq!(a.channel_signature(), Pulse { n: 8 }.signature());
+        assert_ne!(a.channel_signature(), 0);
+    }
+
+    #[test]
+    fn reach_sets_track_the_block() {
+        let a = TemporalAdapter::new(Pulse { n: 10 });
+        let at0 = a.potential_receivers_at(0, NodeId::new(5), Some(4.0));
+        // Block 0: d² ≤ 4 ⇒ distance ≤ 2.
+        assert_eq!(
+            at0,
+            vec![3, 4, 6, 7]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
+        );
+        // Block 3: 4·d² ≤ 4 ⇒ distance ≤ 1 — the field tightened.
+        let at12 = a.potential_receivers_at(12, NodeId::new(5), Some(4.0));
+        assert_eq!(
+            at12,
+            vec![4, 6].into_iter().map(NodeId::new).collect::<Vec<_>>()
+        );
+        // Cached answer is identical on a repeat query.
+        assert_eq!(
+            a.potential_receivers_at(13, NodeId::new(5), Some(4.0)),
+            at12
+        );
+        // No reach = everyone else, any block.
+        assert_eq!(a.potential_receivers_at(12, NodeId::new(5), None).len(), 9);
+    }
+}

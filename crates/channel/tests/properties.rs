@@ -1,0 +1,218 @@
+//! Integration properties: an unmodified `decay-engine` running over
+//! temporal channels keeps every determinism guarantee the static
+//! backends have — bit-identical reruns, checkpoint/resume invariance
+//! (now with channel-signature verification), and bit-identical gain
+//! replay through the JSON trace format.
+
+use decay_channel::{
+    FadingConfig, GainTrace, MetricityMonitor, MobilityConfig, MobilityModel, ShadowingConfig,
+    TemporalAdapter, TemporalChannel, TraceChannel,
+};
+use decay_core::NodeId;
+use decay_engine::{
+    Checkpoint, DecayBackend, Engine, EngineConfig, EngineError, EventBehavior, LazyBackend,
+    NodeCtx,
+};
+use decay_sinr::SinrParams;
+use decay_spaces::line_points;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Gossip behavior: listen, transmit at geometric intervals.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Gossiper {
+    heard: u64,
+}
+
+impl decay_engine::Codec for Gossiper {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.heard.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, decay_engine::CodecError> {
+        Ok(Gossiper {
+            heard: u64::decode(input)?,
+        })
+    }
+}
+
+impl EventBehavior for Gossiper {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.listen();
+        let gap = 1 + ctx.rng.gen_range(0..6u64);
+        ctx.wake_in(gap);
+    }
+    fn on_wake(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.transmit(1.0, ctx.node.index() as u64);
+        ctx.listen();
+        let gap = 1 + ctx.rng.gen_range(0..6u64);
+        ctx.wake_in(gap);
+    }
+    fn on_receive(&mut self, _ctx: &mut NodeCtx<'_>, _from: NodeId, _msg: u64, _p: f64) {
+        self.heard += 1;
+    }
+}
+
+const N: usize = 14;
+
+fn base() -> LazyBackend {
+    LazyBackend::from_fn(N, |i, j| ((i as f64) - (j as f64)).abs().powi(2))
+}
+
+/// A channel with every generative layer on, parameterized by seed.
+fn stormy_channel(seed: u64, block_len: u64) -> TemporalAdapter {
+    TemporalAdapter::new(
+        TemporalChannel::new(base(), line_points(N, 1.0), 2.0, block_len)
+            .with_mobility(MobilityConfig {
+                model: MobilityModel::RandomWaypoint {
+                    speed: 0.5,
+                    pause: 1,
+                },
+                seed,
+            })
+            .with_shadowing(ShadowingConfig {
+                sigma_db: 4.0,
+                corr_dist: 3.0,
+                time_corr: 0.7,
+                seed: seed ^ 0xA5,
+            })
+            .with_fading(FadingConfig { seed: seed ^ 0x5A }),
+    )
+}
+
+fn engine_over(backend: impl DecayBackend + 'static, seed: u64) -> Engine<Gossiper> {
+    let behaviors = (0..N).map(|_| Gossiper { heard: 0 }).collect();
+    let config = EngineConfig {
+        reach_decay: Some(36.0),
+        top_k: Some(5),
+        record_trace: false,
+        ..EngineConfig::default()
+    };
+    Engine::new(backend, behaviors, SinrParams::default(), config, seed).expect("engine builds")
+}
+
+#[test]
+fn temporal_runs_are_deterministic_and_channel_sensitive() {
+    let run = |ch_seed: u64| {
+        let mut e = engine_over(stormy_channel(ch_seed, 8), 7);
+        e.run_until(300);
+        (e.trace_hash(), e.stats())
+    };
+    let (h1, s1) = run(1);
+    let (h2, s2) = run(1);
+    let (h3, _) = run(2);
+    assert_eq!(h1, h2, "same channel seed, same trace");
+    assert_eq!(s1, s2);
+    assert_ne!(h1, h3, "channel seed must shape the trace");
+    assert!(s1.deliveries > 0, "no traffic simulated");
+}
+
+#[test]
+fn bare_temporal_channel_matches_the_static_backend() {
+    let mut plain = engine_over(base(), 7);
+    let bare = TemporalAdapter::new(TemporalChannel::new(base(), line_points(N, 1.0), 2.0, 8));
+    let mut wrapped = engine_over(bare, 7);
+    plain.run_until(300);
+    wrapped.run_until(300);
+    assert_eq!(plain.trace_hash(), wrapped.trace_hash());
+    assert_eq!(plain.stats(), wrapped.stats());
+}
+
+#[test]
+fn trace_export_replays_bit_identically_through_json() {
+    // Capture the generative channel's gain field...
+    let channel = TemporalChannel::new(base(), line_points(N, 1.0), 2.0, 8)
+        .with_mobility(MobilityConfig {
+            model: MobilityModel::LevyWalk {
+                scale: 0.3,
+                exponent: 1.4,
+                cap: 2.5,
+            },
+            seed: 3,
+        })
+        .with_fading(FadingConfig { seed: 11 });
+    let horizon = 300u64;
+    let trace = GainTrace::capture(&channel, horizon / 8 + 1);
+    let json = trace.to_json_string();
+
+    // ...run the original, then replay the shipped JSON.
+    let mut original = engine_over(TemporalAdapter::new(channel), 7);
+    original.run_until(horizon);
+    let replayed_trace = GainTrace::from_json_str(&json).expect("trace parses");
+    let mut replay = engine_over(TemporalAdapter::new(TraceChannel::new(replayed_trace)), 7);
+    replay.run_until(horizon);
+    assert_eq!(
+        original.trace_hash(),
+        replay.trace_hash(),
+        "replayed gains must reproduce the event trace bit for bit"
+    );
+    assert_eq!(original.stats(), replay.stats());
+}
+
+#[test]
+fn restore_rejects_a_different_channel() {
+    let mut engine = engine_over(stormy_channel(1, 8), 7);
+    engine.run_until(100);
+    let bytes = engine.checkpoint().to_bytes();
+    let snap: Checkpoint<Gossiper> = Checkpoint::from_bytes(&bytes).expect("decodes");
+    assert_ne!(snap.channel_signature(), 0);
+
+    // Wrong channel seed: refused.
+    let err = Engine::restore(stormy_channel(2, 8), snap.clone()).unwrap_err();
+    assert!(matches!(err, EngineError::ChannelMismatch { .. }), "{err}");
+    assert!(err.to_string().contains("signature"));
+    // Static backend: refused too.
+    assert!(Engine::restore(base(), snap.clone()).is_err());
+    // The right channel: accepted.
+    assert!(Engine::restore(stormy_channel(1, 8), snap).is_ok());
+}
+
+#[test]
+fn monitor_sees_drift_under_a_temporal_channel() {
+    let static_backend = base();
+    let drifting = stormy_channel(5, 4);
+    let mut static_mon = MetricityMonitor::new(20, N);
+    let mut drift_mon = MetricityMonitor::new(20, N);
+    for tick in (0..=200).step_by(20) {
+        static_mon.record(tick, &static_backend);
+        drift_mon.record(tick, &drifting);
+    }
+    let flat: Vec<f64> = static_mon.samples().iter().map(|s| s.zeta).collect();
+    let moving: Vec<f64> = drift_mon.samples().iter().map(|s| s.zeta).collect();
+    assert!(
+        flat.windows(2).all(|w| w[0] == w[1]),
+        "static ζ must be flat"
+    );
+    assert!(
+        moving.windows(2).any(|w| w[0] != w[1]),
+        "temporal ζ(t) never moved: {moving:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint/resume at an arbitrary split under a full generative
+    /// channel reproduces the uninterrupted run bit for bit — without
+    /// serializing any channel state (the rebuilt channel re-derives it).
+    #[test]
+    fn resume_is_invariant_under_temporal_channels(
+        ch_seed in 0u64..500,
+        run_seed in 0u64..500,
+        block_len in 1u64..20,
+        split in 1u64..300,
+    ) {
+        let mut full = engine_over(stormy_channel(ch_seed, block_len), run_seed);
+        full.run_until(300);
+
+        let mut first = engine_over(stormy_channel(ch_seed, block_len), run_seed);
+        first.run_until(split);
+        let bytes = first.checkpoint().to_bytes();
+        let snap: Checkpoint<Gossiper> = Checkpoint::from_bytes(&bytes).expect("decodes");
+        let mut resumed = Engine::restore(stormy_channel(ch_seed, block_len), snap)
+            .expect("matching channel restores");
+        resumed.run_until(300);
+
+        prop_assert_eq!(full.trace_hash(), resumed.trace_hash(), "split {}", split);
+        prop_assert_eq!(full.stats(), resumed.stats());
+    }
+}

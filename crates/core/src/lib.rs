@@ -58,6 +58,7 @@ mod error;
 mod fading;
 mod growth;
 mod independence;
+pub mod json;
 mod metricity;
 mod quasi;
 mod separation;

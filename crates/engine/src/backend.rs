@@ -23,12 +23,25 @@ use std::sync::{Arc, Mutex};
 
 use decay_core::{DecaySpace, NodeId};
 
+use crate::event::Tick;
+
 /// Read access to a (possibly never materialized) decay space.
 ///
 /// Implementations must be deterministic: `decay(p, q)` must always
 /// return the same value for the same pair, and must satisfy the decay
 /// space contract of [`decay_core::DecaySpace`] — finite, strictly
 /// positive off the diagonal, zero on it.
+///
+/// # Time
+///
+/// A backend may be *temporal*: [`Self::decay_at`] takes the current
+/// tick, and the engine routes every hot-path decay evaluation through
+/// it. Static backends (everything in this module) ignore the tick via
+/// the default implementations, so a frozen gain matrix stays exactly as
+/// cheap as before; `decay-channel` supplies time-varying implementations
+/// (mobility, shadowing, fading, trace replay) that override them.
+/// Temporal implementations must still be deterministic *per tick*:
+/// `decay_at(t, p, q)` is a pure function of `(t, p, q)`.
 pub trait DecayBackend: Send + Sync {
     /// Number of nodes in the space.
     fn len(&self) -> usize;
@@ -40,6 +53,14 @@ pub trait DecayBackend: Send + Sync {
 
     /// The decay `f(from, to)`.
     fn decay(&self, from: NodeId, to: NodeId) -> f64;
+
+    /// The decay `f_t(from, to)` at tick `tick`. Static backends ignore
+    /// the tick; temporal backends (see `decay-channel`) evaluate the
+    /// instantaneous gain field.
+    fn decay_at(&self, tick: Tick, from: NodeId, to: NodeId) -> f64 {
+        let _ = tick;
+        self.decay(from, to)
+    }
 
     /// Nodes a transmission from `from` could plausibly reach: every
     /// `z ≠ from` with `decay(from, z) ≤ reach`, or every other node when
@@ -59,22 +80,61 @@ pub trait DecayBackend: Send + Sync {
             })
             .collect()
     }
+
+    /// Reach candidates at tick `tick`, mirroring [`Self::decay_at`].
+    /// Static backends delegate to [`Self::potential_receivers`];
+    /// temporal backends recompute the set per coherence block.
+    fn potential_receivers_at(&self, tick: Tick, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        let _ = tick;
+        self.potential_receivers(from, reach)
+    }
+
+    /// A fingerprint of the backend's *channel* configuration: 0 for
+    /// every static backend, a hash of the channel parameters for
+    /// temporal ones. Checkpoints record it (format v3) and
+    /// [`crate::Engine::restore`] refuses a backend whose signature does
+    /// not match — catching the silent bug of resuming a run under a
+    /// different channel than it was snapshotted under.
+    fn channel_signature(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed backends forward, so heterogeneous call sites (a scenario spec
 /// choosing its backend at runtime) can hand the engine a
 /// `Box<dyn DecayBackend>` directly.
+///
+/// Every method — including the default-overridable ones — forwards to
+/// the inner implementation, so boxing can never silently discard a
+/// specialized override (a temporal `decay_at`, a structured
+/// `potential_receivers`, a channel signature).
 impl<T: DecayBackend + ?Sized> DecayBackend for Box<T> {
     fn len(&self) -> usize {
         (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
     }
 
     fn decay(&self, from: NodeId, to: NodeId) -> f64 {
         (**self).decay(from, to)
     }
 
+    fn decay_at(&self, tick: Tick, from: NodeId, to: NodeId) -> f64 {
+        (**self).decay_at(tick, from, to)
+    }
+
     fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
         (**self).potential_receivers(from, reach)
+    }
+
+    fn potential_receivers_at(&self, tick: Tick, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        (**self).potential_receivers_at(tick, from, reach)
+    }
+
+    fn channel_signature(&self) -> u64 {
+        (**self).channel_signature()
     }
 }
 
@@ -452,6 +512,82 @@ mod tests {
         assert!(tiled.resident_tiles() <= 4);
         assert!(tiled.tiles_computed() >= 25);
         assert!(tiled.resident_bytes() > 0);
+    }
+
+    /// A backend overriding every default-overridable method, to pin the
+    /// boxed-forwarding contract.
+    struct Specialized;
+
+    impl DecayBackend for Specialized {
+        fn len(&self) -> usize {
+            3
+        }
+        fn is_empty(&self) -> bool {
+            true // deliberately inconsistent with len(): detects defaulting
+        }
+        fn decay(&self, _from: NodeId, _to: NodeId) -> f64 {
+            1.0
+        }
+        fn decay_at(&self, tick: Tick, _from: NodeId, _to: NodeId) -> f64 {
+            (tick + 2) as f64
+        }
+        fn potential_receivers(&self, _from: NodeId, _reach: Option<f64>) -> Vec<NodeId> {
+            vec![NodeId::new(2)]
+        }
+        fn potential_receivers_at(
+            &self,
+            tick: Tick,
+            _from: NodeId,
+            _reach: Option<f64>,
+        ) -> Vec<NodeId> {
+            vec![NodeId::new(tick as usize)]
+        }
+        fn channel_signature(&self) -> u64 {
+            0xABCD
+        }
+    }
+
+    #[test]
+    fn boxing_preserves_every_override() {
+        let boxed: Box<dyn DecayBackend> = Box::new(Specialized);
+        assert_eq!(boxed.len(), 3);
+        assert!(boxed.is_empty(), "is_empty override lost through Box");
+        assert_eq!(boxed.decay(NodeId::new(0), NodeId::new(1)), 1.0);
+        assert_eq!(
+            boxed.decay_at(5, NodeId::new(0), NodeId::new(1)),
+            7.0,
+            "decay_at override lost through Box"
+        );
+        assert_eq!(
+            boxed.potential_receivers(NodeId::new(0), None),
+            vec![NodeId::new(2)]
+        );
+        assert_eq!(
+            boxed.potential_receivers_at(1, NodeId::new(0), None),
+            vec![NodeId::new(1)],
+            "potential_receivers_at override lost through Box"
+        );
+        assert_eq!(boxed.channel_signature(), 0xABCD);
+        // Double boxing forwards too.
+        let doubly: Box<Box<dyn DecayBackend>> = Box::new(boxed);
+        assert_eq!(doubly.channel_signature(), 0xABCD);
+        assert_eq!(doubly.decay_at(0, NodeId::new(0), NodeId::new(1)), 2.0);
+    }
+
+    #[test]
+    fn static_backends_ignore_the_tick() {
+        let b = LazyBackend::from_fn(10, line_fn);
+        for tick in [0, 7, 1_000_000] {
+            assert_eq!(
+                b.decay_at(tick, NodeId::new(2), NodeId::new(9)),
+                b.decay(NodeId::new(2), NodeId::new(9))
+            );
+            assert_eq!(
+                b.potential_receivers_at(tick, NodeId::new(5), Some(4.0)),
+                b.potential_receivers(NodeId::new(5), Some(4.0))
+            );
+        }
+        assert_eq!(b.channel_signature(), 0, "static backends have sig 0");
     }
 
     #[test]

@@ -381,6 +381,15 @@ pub enum EngineError {
         /// What was wrong.
         reason: String,
     },
+    /// The backend supplied to [`Engine::restore`] declares a different
+    /// channel configuration than the one the checkpoint was taken under
+    /// (see [`DecayBackend::channel_signature`]).
+    ChannelMismatch {
+        /// The signature recorded in the checkpoint.
+        expected: u64,
+        /// The signature of the supplied backend.
+        found: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -391,6 +400,11 @@ impl fmt::Display for EngineError {
                 "expected {nodes} behaviors for {nodes} nodes, got {behaviors}"
             ),
             EngineError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+            EngineError::ChannelMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under channel signature {expected:#x}, \
+                 but the supplied backend declares {found:#x}"
+            ),
         }
     }
 }
@@ -414,6 +428,9 @@ impl std::error::Error for EngineError {}
 pub struct Checkpoint<B> {
     /// Snapshot format version.
     pub version: u32,
+    /// The channel signature of the backend the snapshot was taken over
+    /// (0 for static backends); [`Engine::restore`] verifies it.
+    channel: u64,
     now: Tick,
     seq: u64,
     queue: Vec<QueuedEvent>,
@@ -434,7 +451,9 @@ pub struct Checkpoint<B> {
     config: EngineConfig,
 }
 
-const CHECKPOINT_VERSION: u32 = 2;
+/// Format history: v1 had no `sent` tick in deliveries, v2 added it,
+/// v3 added the channel signature (temporal backends).
+const CHECKPOINT_VERSION: u32 = 3;
 
 /// Magic bytes opening a serialized checkpoint.
 const CHECKPOINT_MAGIC: u32 = 0xDECA_E001;
@@ -616,6 +635,7 @@ impl<B: Codec> Codec for Checkpoint<B> {
     fn encode(&self, out: &mut Vec<u8>) {
         CHECKPOINT_MAGIC.encode(out);
         self.version.encode(out);
+        self.channel.encode(out);
         self.now.encode(out);
         self.seq.encode(out);
         self.queue.encode(out);
@@ -646,6 +666,7 @@ impl<B: Codec> Codec for Checkpoint<B> {
         }
         Ok(Checkpoint {
             version,
+            channel: u64::decode(input)?,
             now: Tick::decode(input)?,
             seq: u64::decode(input)?,
             queue: Codec::decode(input)?,
@@ -665,6 +686,14 @@ impl<B: Codec> Codec for Checkpoint<B> {
             params: Codec::decode(input)?,
             config: Codec::decode(input)?,
         })
+    }
+}
+
+impl<B> Checkpoint<B> {
+    /// The channel signature recorded when the snapshot was taken (0 for
+    /// static backends).
+    pub fn channel_signature(&self) -> u64 {
+        self.channel
     }
 }
 
@@ -797,13 +826,14 @@ impl<B: EventBehavior> Engine<B> {
     }
 
     /// Restores an engine from a checkpoint; the backend must describe
-    /// the same space the checkpoint was taken over (same node count at
-    /// minimum — decay values are the caller's responsibility, since
-    /// backends are not serializable).
+    /// the same space the checkpoint was taken over (same node count and
+    /// channel signature at minimum — decay values are the caller's
+    /// responsibility, since backends are not serializable).
     ///
     /// # Errors
     ///
-    /// Returns an error if the backend's node count does not match.
+    /// Returns an error if the backend's node count or channel signature
+    /// does not match the checkpoint.
     pub fn restore(
         backend: impl DecayBackend + 'static,
         checkpoint: Checkpoint<B>,
@@ -812,6 +842,12 @@ impl<B: EventBehavior> Engine<B> {
             return Err(EngineError::BehaviorCountMismatch {
                 nodes: backend.len(),
                 behaviors: checkpoint.modes.len(),
+            });
+        }
+        if backend.channel_signature() != checkpoint.channel {
+            return Err(EngineError::ChannelMismatch {
+                expected: checkpoint.channel,
+                found: backend.channel_signature(),
             });
         }
         Ok(Engine {
@@ -848,6 +884,7 @@ impl<B: EventBehavior> Engine<B> {
         queue.sort();
         Checkpoint {
             version: CHECKPOINT_VERSION,
+            channel: self.backend.channel_signature(),
             now: self.now,
             seq: self.seq,
             queue,
@@ -1130,7 +1167,10 @@ impl<B: EventBehavior> Engine<B> {
             // follow this order.
             let mut pairs: Vec<(NodeId, usize)> = Vec::new();
             for (k, &(t, _, _)) in txs.iter().enumerate() {
-                for v in self.backend.potential_receivers(t, self.config.reach_decay) {
+                for v in self
+                    .backend
+                    .potential_receivers_at(self.now, t, self.config.reach_decay)
+                {
                     pairs.push((v, k));
                 }
             }
@@ -1168,7 +1208,7 @@ impl<B: EventBehavior> Engine<B> {
                         // slot simulator.
                         ReceptionModel::Rayleigh => -(1.0 - self.fading_rng.gen::<f64>()).ln(),
                     };
-                    rx.push((k, fade * power / self.backend.decay(t, v)));
+                    rx.push((k, fade * power / self.backend.decay_at(self.now, t, v)));
                 }
                 // Top-k affectance pruning: keep only the k strongest
                 // signals in the SINR denominator. Stable sort keeps the

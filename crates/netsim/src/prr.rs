@@ -153,20 +153,53 @@ pub struct PrrTracker {
     successes: Vec<u64>,
     /// Total deliveries folded in.
     deliveries: u64,
+    /// Sliding window length in slots (0 = windowing disabled).
+    window: usize,
+    /// Retained recent slots, oldest first, for windowed queries.
+    recent: std::collections::VecDeque<WindowSlot>,
+}
+
+/// One retained slot of the sliding window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct WindowSlot {
+    slot: usize,
+    transmitters: Vec<NodeId>,
+    deliveries: Vec<(NodeId, NodeId)>,
 }
 
 impl PrrTracker {
-    /// A tracker over `n` nodes with no traffic recorded yet.
+    /// A tracker over `n` nodes with no traffic recorded yet (lifetime
+    /// statistics only; see [`PrrTracker::with_window`]).
     pub fn new(n: usize) -> Self {
         PrrTracker {
             n,
             attempts: vec![0; n],
             successes: vec![0; n * n],
             deliveries: 0,
+            window: 0,
+            recent: std::collections::VecDeque::new(),
         }
     }
 
-    /// Folds one slot's outcome into the statistics.
+    /// A tracker that additionally keeps the last `window` slots of
+    /// traffic for windowed PRR queries — the view that shows PRR
+    /// *drift* under time-varying channels, where the lifetime average
+    /// flattens every fade and mobility swing into one number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(n: usize, window: usize) -> Self {
+        assert!(window > 0, "sliding window needs at least one slot");
+        PrrTracker {
+            window,
+            ..PrrTracker::new(n)
+        }
+    }
+
+    /// Folds one slot's outcome into the statistics (and the sliding
+    /// window, when one is configured — slots older than `window` slots
+    /// before the report's slot are evicted).
     ///
     /// # Panics
     ///
@@ -179,6 +212,76 @@ impl PrrTracker {
             self.successes[d.from.index() * self.n + d.to.index()] += 1;
             self.deliveries += 1;
         }
+        if self.window > 0 {
+            self.recent.push_back(WindowSlot {
+                slot: report.slot,
+                transmitters: report.transmitters.clone(),
+                deliveries: report.deliveries.iter().map(|d| (d.from, d.to)).collect(),
+            });
+            let horizon = report.slot.saturating_sub(self.window - 1);
+            while self.recent.front().is_some_and(|s| s.slot < horizon) {
+                self.recent.pop_front();
+            }
+        }
+    }
+
+    /// The sliding window length in slots (0 when windowing is off).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Attempts by `from` within the sliding window.
+    pub fn windowed_attempts(&self, from: NodeId) -> u64 {
+        self.recent
+            .iter()
+            .flat_map(|s| &s.transmitters)
+            .filter(|&&t| t == from)
+            .count() as u64
+    }
+
+    /// The packet reception rate of the ordered pair over the sliding
+    /// window only: recent captures over recent attempts (0 when `from`
+    /// has not transmitted within the window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker was built without a window
+    /// ([`PrrTracker::new`]).
+    pub fn windowed_rate(&self, from: NodeId, to: NodeId) -> f64 {
+        assert!(self.window > 0, "tracker was built without a window");
+        let attempts = self.windowed_attempts(from);
+        if attempts == 0 {
+            return 0.0;
+        }
+        let successes = self
+            .recent
+            .iter()
+            .flat_map(|s| &s.deliveries)
+            .filter(|&&(f, t)| f == from && t == to)
+            .count() as u64;
+        successes as f64 / attempts as f64
+    }
+
+    /// Network-wide PRR over the sliding window: delivered
+    /// (transmission, potential-receiver) opportunities over all of
+    /// them, counting only retained slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker was built without a window.
+    pub fn windowed_overall(&self) -> f64 {
+        assert!(self.window > 0, "tracker was built without a window");
+        let attempts: u64 = self
+            .recent
+            .iter()
+            .map(|s| s.transmitters.len() as u64)
+            .sum();
+        let opportunities = attempts * (self.n as u64).saturating_sub(1);
+        if opportunities == 0 {
+            return 0.0;
+        }
+        let delivered: u64 = self.recent.iter().map(|s| s.deliveries.len() as u64).sum();
+        delivered as f64 / opportunities as f64
     }
 
     /// Number of nodes tracked.
@@ -460,6 +563,117 @@ mod tests {
             }
         }
         assert_eq!(tracker.overall(), 1.0);
+    }
+
+    /// Hand-built slot reports: node 0 transmits every slot; `delivered`
+    /// controls whether node 1 captures it.
+    fn synthetic_report(slot: usize, delivered: bool) -> crate::SlotReport {
+        crate::SlotReport {
+            slot,
+            transmitters: vec![NodeId::new(0)],
+            deliveries: if delivered {
+                vec![crate::Delivery {
+                    to: NodeId::new(1),
+                    from: NodeId::new(0),
+                    message: 7,
+                }]
+            } else {
+                vec![]
+            },
+            downed: vec![],
+        }
+    }
+
+    #[test]
+    fn windowed_rate_tracks_drift_the_lifetime_average_hides() {
+        // A channel that works for 50 slots, then fades out completely:
+        // exactly the regime time-varying channels produce.
+        let (from, to) = (NodeId::new(0), NodeId::new(1));
+        let mut tracker = PrrTracker::with_window(2, 20);
+        for slot in 0..50 {
+            tracker.record(&synthetic_report(slot, true));
+        }
+        assert_eq!(tracker.windowed_rate(from, to), 1.0);
+        for slot in 50..100 {
+            tracker.record(&synthetic_report(slot, false));
+        }
+        // Lifetime average still says "half works"...
+        assert_eq!(tracker.rate(from, to), 0.5);
+        // ...while the window has seen the fade.
+        assert_eq!(tracker.windowed_rate(from, to), 0.0);
+        assert_eq!(tracker.windowed_overall(), 0.0);
+        assert_eq!(tracker.windowed_attempts(from), 20);
+        assert_eq!(tracker.window(), 20);
+
+        // Partial recovery shows up at window resolution.
+        for slot in 100..110 {
+            tracker.record(&synthetic_report(slot, true));
+        }
+        assert_eq!(tracker.windowed_rate(from, to), 0.5, "10 of last 20");
+        assert_eq!(tracker.rate(from, to), 60.0 / 110.0);
+    }
+
+    #[test]
+    fn window_eviction_follows_the_report_slot() {
+        let mut tracker = PrrTracker::with_window(3, 8);
+        tracker.record(&synthetic_report(0, true));
+        // A jump in slot numbers (paused simulation, sparse recording)
+        // evicts everything older than the window.
+        tracker.record(&synthetic_report(100, false));
+        assert_eq!(tracker.windowed_attempts(NodeId::new(0)), 1);
+        assert_eq!(tracker.windowed_rate(NodeId::new(0), NodeId::new(1)), 0.0);
+        // Lifetime stats keep the full history.
+        assert_eq!(tracker.attempts(NodeId::new(0)), 2);
+        assert_eq!(tracker.rate(NodeId::new(0), NodeId::new(1)), 0.5);
+    }
+
+    #[test]
+    fn windowed_queries_are_empty_safe() {
+        let tracker = PrrTracker::with_window(4, 5);
+        assert_eq!(tracker.windowed_overall(), 0.0);
+        assert_eq!(tracker.windowed_rate(NodeId::new(0), NodeId::new(1)), 0.0);
+        assert_eq!(tracker.windowed_attempts(NodeId::new(2)), 0);
+        // Lifetime-only trackers report window 0.
+        assert_eq!(PrrTracker::new(4).window(), 0);
+    }
+
+    #[test]
+    fn windowed_tracker_agrees_with_lifetime_inside_one_window() {
+        // While total traffic fits in the window, both views agree.
+        struct RoundRobin;
+        impl NodeBehavior for RoundRobin {
+            fn on_slot(&mut self, ctx: &mut SlotContext<'_>) -> Action {
+                if ctx.slot % ctx.nodes == ctx.node.index() {
+                    Action::Transmit {
+                        power: 1.0,
+                        message: 0,
+                    }
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+        let n = 4;
+        let mut sim = Simulator::new(
+            line(n, 2.0),
+            (0..n).map(|_| RoundRobin).collect(),
+            SinrParams::default(),
+            1,
+        )
+        .unwrap();
+        let mut tracker = PrrTracker::with_window(n, 100);
+        for _ in 0..3 * n {
+            tracker.record(&sim.step());
+        }
+        for tx in 0..n {
+            for rx in 0..n {
+                if tx != rx {
+                    let (a, b) = (NodeId::new(tx), NodeId::new(rx));
+                    assert_eq!(tracker.windowed_rate(a, b), tracker.rate(a, b));
+                }
+            }
+        }
+        assert_eq!(tracker.windowed_overall(), tracker.overall());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Compiling a [`ChannelSpec`] into a running temporal backend.
+//!
+//! The static backend the [`crate::BackendSpec`] builds stays the base
+//! field; the channel block layers mobility/shadowing/fading on top (or
+//! replaces everything with an imported gain trace) and wraps the result
+//! in a [`TemporalAdapter`] so the engine drives it through the ordinary
+//! [`DecayBackend`] interface. Because the base decays are bit-identical
+//! across dense/lazy/tiled backends and every layer is a pure function
+//! of the coherence block, the composite field — and the resulting trace
+//! digest — stays backend-independent, which is exactly what the
+//! conformance suite checks.
+
+use decay_channel::{
+    FadingConfig, MetricityMonitor, MobilityConfig, MobilityModel, ShadowingConfig,
+    TemporalAdapter, TemporalChannel, TraceChannel,
+};
+use decay_engine::DecayBackend;
+
+use crate::spec::{ChannelSpec, MobilitySpec, TopologySpec};
+
+impl MobilitySpec {
+    fn to_config(self) -> MobilityConfig {
+        match self {
+            MobilitySpec::Waypoint { speed, pause, seed } => MobilityConfig {
+                model: MobilityModel::RandomWaypoint { speed, pause },
+                seed,
+            },
+            MobilitySpec::Levy {
+                scale,
+                exponent,
+                cap,
+                seed,
+            } => MobilityConfig {
+                model: MobilityModel::LevyWalk {
+                    scale,
+                    exponent,
+                    cap,
+                },
+                seed,
+            },
+            MobilitySpec::Group {
+                groups,
+                speed,
+                spread,
+                seed,
+            } => MobilityConfig {
+                model: MobilityModel::Group {
+                    groups,
+                    speed,
+                    spread,
+                },
+                seed,
+            },
+        }
+    }
+}
+
+impl ChannelSpec {
+    /// Wraps the static backend `base` builds in the temporal channel
+    /// this spec describes. `base` is a builder rather than a built
+    /// backend because a trace channel replays verbatim and never
+    /// consults the static field — building it (a dense `n × n`
+    /// materialization, say) would be pure waste on every run and every
+    /// checkpoint restore.
+    pub fn wrap(
+        &self,
+        topology: &TopologySpec,
+        base: impl FnOnce() -> Box<dyn DecayBackend>,
+    ) -> Box<dyn DecayBackend> {
+        if let Some(trace) = &self.trace {
+            return Box::new(TemporalAdapter::new(TraceChannel::new(trace.clone())));
+        }
+        let mut channel =
+            TemporalChannel::new(base(), topology.points(), topology.alpha(), self.block);
+        if let Some(m) = self.mobility {
+            channel = channel.with_mobility(m.to_config());
+        }
+        if let Some(sh) = self.shadowing {
+            channel = channel.with_shadowing(ShadowingConfig {
+                sigma_db: sh.sigma_db,
+                corr_dist: sh.corr_dist,
+                time_corr: sh.time_corr,
+                seed: sh.seed,
+            });
+        }
+        if let Some(f) = self.fading {
+            channel = channel.with_fading(FadingConfig { seed: f.seed });
+        }
+        Box::new(TemporalAdapter::new(channel))
+    }
+
+    /// The metricity monitor this spec asks for, if any.
+    pub fn build_monitor(&self) -> Option<MetricityMonitor> {
+        self.monitor
+            .map(|m| MetricityMonitor::new(m.interval, m.max_nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FadingSpec, MonitorSpec, ShadowingSpec};
+    use crate::BackendSpec;
+    use decay_core::NodeId;
+
+    fn line_topology() -> TopologySpec {
+        TopologySpec::Line {
+            n: 10,
+            spacing: 1.0,
+            alpha: 2.0,
+        }
+    }
+
+    fn full_channel() -> ChannelSpec {
+        ChannelSpec {
+            block: 4,
+            mobility: Some(MobilitySpec::Waypoint {
+                speed: 0.3,
+                pause: 1,
+                seed: 5,
+            }),
+            shadowing: Some(ShadowingSpec {
+                sigma_db: 4.0,
+                corr_dist: 2.0,
+                time_corr: 0.6,
+                seed: 6,
+            }),
+            fading: Some(FadingSpec { seed: 7 }),
+            trace: None,
+            monitor: Some(MonitorSpec {
+                interval: 16,
+                max_nodes: 10,
+            }),
+        }
+    }
+
+    #[test]
+    fn wrapped_field_is_identical_across_base_backends() {
+        let topology = line_topology();
+        let spec = full_channel();
+        let dense = spec.wrap(&topology, || BackendSpec::Dense.build(&topology));
+        let lazy = spec.wrap(&topology, || BackendSpec::Lazy.build(&topology));
+        let tiled = spec.wrap(&topology, || {
+            BackendSpec::Tiled {
+                tile_size: 4,
+                max_tiles: 2,
+            }
+            .build(&topology)
+        });
+        for tick in [0u64, 5, 23, 100] {
+            for i in 0..10 {
+                for j in 0..10 {
+                    let (p, q) = (NodeId::new(i), NodeId::new(j));
+                    let d = dense.decay_at(tick, p, q);
+                    assert_eq!(d.to_bits(), lazy.decay_at(tick, p, q).to_bits());
+                    assert_eq!(d.to_bits(), tiled.decay_at(tick, p, q).to_bits());
+                }
+            }
+        }
+        assert_eq!(dense.channel_signature(), lazy.channel_signature());
+        assert_ne!(dense.channel_signature(), 0);
+    }
+
+    #[test]
+    fn monitor_compiles_only_when_requested() {
+        assert!(full_channel().build_monitor().is_some());
+        let mut bare = full_channel();
+        bare.monitor = None;
+        assert!(bare.build_monitor().is_none());
+    }
+}

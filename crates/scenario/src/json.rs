@@ -1,509 +1,9 @@
-//! A dependency-free JSON reader/writer for scenario specs.
+//! The hand-rolled JSON reader/writer, re-exported from
+//! [`decay_core::json`].
 //!
-//! The workspace's `serde` is an offline stand-in that cannot actually
-//! serialize (see `vendor/serde`), but human-readable spec files are the
-//! point of this crate — a scenario *is* a JSON document checked into the
-//! repository. This module supplies the round trip by hand: a small
-//! recursive-descent parser into [`JsonValue`] and a deterministic
-//! pretty-printer whose output is byte-stable (object keys keep their
-//! insertion order), so re-serializing a spec never produces spurious
-//! diffs.
+//! The module originally lived here; it moved down to `decay-core` so
+//! `decay-channel`'s gain-trace importer/exporter can share the same
+//! parser and byte-stable printer. This shim keeps the established
+//! `decay_scenario::json` paths working.
 
-use std::fmt;
-
-/// Maximum nesting depth accepted by the parser (a spec is ~3 deep; the
-/// limit only guards against stack exhaustion on malformed input).
-const MAX_DEPTH: usize = 64;
-
-/// A parsed JSON document.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object; pairs keep insertion order so output is stable.
-    Object(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Looks up a key in an object; `None` for other variants or missing
-    /// keys.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a float, if it is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonValue::Number(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The value as a non-negative integer, if it is a whole number that
-    /// fits.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::Number(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2f64.powi(53) => {
-                Some(*x as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The value as a bool, if it is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            JsonValue::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The value as a string slice, if it is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice, if it is an array.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Array(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// The value's object entries, if it is an object.
-    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
-        match self {
-            JsonValue::Object(pairs) => Some(pairs),
-            _ => None,
-        }
-    }
-
-    /// Renders the value as pretty-printed JSON (2-space indent,
-    /// trailing newline).
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Number(x) => write_number(out, *x),
-            JsonValue::String(s) => write_string(out, s),
-            JsonValue::Array(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            JsonValue::Object(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_string(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_number(out: &mut String, x: f64) {
-    if !x.is_finite() {
-        // JSON has no infinities/NaN; specs never contain them (validated
-        // upstream), but stay well-formed regardless.
-        out.push_str("null");
-    } else if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
-        out.push_str(&format!("{}", x as i64));
-    } else {
-        // `{:?}` is the shortest representation that round-trips.
-        out.push_str(&format!("{x:?}"));
-    }
-}
-
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// A parse failure, with the byte offset it occurred at.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset into the input.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-/// Parses one JSON document, rejecting trailing garbage.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] (with byte offset) on malformed input.
-pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let value = p.value(0)?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing characters after document"));
-    }
-    Ok(value)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, msg: impl Into<String>) -> JsonError {
-        JsonError {
-            offset: self.pos,
-            message: msg.into(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
-        }
-        match self.peek() {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(JsonValue::String(self.string()?)),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(format!("expected '{word}'")))
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.err(format!("invalid number '{text}'")))
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let code = self.hex4()?;
-                            // Surrogate pairs are rejected rather than
-                            // combined: spec files are ASCII in practice.
-                            let c = char::from_u32(u32::from(code))
-                                .ok_or_else(|| self.err("invalid \\u escape"))?;
-                            out.push(c);
-                            continue;
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
-                Some(_) => {
-                    // Copy one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u16, JsonError> {
-        if self.pos + 4 > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| self.err("invalid \\u escape"))?;
-        let code =
-            u16::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
-        self.pos += 4;
-        Ok(code)
-    }
-
-    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
-        let mut pairs: Vec<(String, JsonValue)> = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Object(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            if pairs.iter().any(|(k, _)| *k == key) {
-                return Err(self.err(format!("duplicate key \"{key}\"")));
-            }
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value(depth + 1)?;
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(pairs));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-/// Convenience constructors used by the spec serializers.
-pub(crate) fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
-    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
-
-pub(crate) fn num(x: f64) -> JsonValue {
-    JsonValue::Number(x)
-}
-
-pub(crate) fn int(x: u64) -> JsonValue {
-    JsonValue::Number(x as f64)
-}
-
-pub(crate) fn s(x: &str) -> JsonValue {
-    JsonValue::String(x.to_string())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn documents_round_trip() {
-        let text = r#"{
-  "name": "demo",
-  "seed": 7,
-  "nested": {
-    "xs": [1, 2.5, -3e-2],
-    "flag": true,
-    "nothing": null
-  },
-  "quote": "a\"b\\c\nd"
-}"#;
-        let v = parse(text).unwrap();
-        let printed = v.pretty();
-        let again = parse(&printed).unwrap();
-        assert_eq!(v, again);
-        assert_eq!(again.pretty(), printed, "printing is a fixed point");
-    }
-
-    #[test]
-    fn accessors() {
-        let v = parse(r#"{"a": 3, "b": "x", "c": [1], "d": true, "e": 2.5}"#).unwrap();
-        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
-        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
-        assert_eq!(v.get("c").unwrap().as_array().unwrap().len(), 1);
-        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
-        assert_eq!(v.get("e").unwrap().as_f64(), Some(2.5));
-        assert_eq!(v.get("e").unwrap().as_u64(), None, "2.5 is not integral");
-        assert!(v.get("missing").is_none());
-        assert_eq!(v.entries().unwrap().len(), 5);
-    }
-
-    #[test]
-    fn malformed_inputs_are_rejected_with_offsets() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\" 1}",
-            "{\"a\": 1} trailing",
-            "\"unterminated",
-            "01a",
-            "{\"a\": 1, \"a\": 2}",
-            "\"bad \\q escape\"",
-        ] {
-            let err = parse(bad).expect_err(bad);
-            assert!(!err.to_string().is_empty());
-        }
-    }
-
-    #[test]
-    fn deep_nesting_is_bounded() {
-        let mut text = String::new();
-        for _ in 0..100 {
-            text.push('[');
-        }
-        for _ in 0..100 {
-            text.push(']');
-        }
-        assert!(parse(&text).is_err());
-    }
-
-    #[test]
-    fn integers_print_without_fraction() {
-        assert_eq!(JsonValue::Number(3.0).pretty(), "3\n");
-        assert_eq!(JsonValue::Number(0.25).pretty(), "0.25\n");
-        assert_eq!(JsonValue::Number(-2.0).pretty(), "-2\n");
-    }
-
-    #[test]
-    fn unicode_escapes_decode() {
-        let v = parse("\"\\u0041\\u00e9 é\"").unwrap();
-        assert_eq!(v.as_str(), Some("Aé é"));
-    }
-}
+pub use decay_core::json::*;

@@ -33,16 +33,33 @@
 //!   "jamming": { "kind": "periodic", "period": 7 },
 //!   "latency": { "kind": "jittered", "base": 1, "jitter": 3 },
 //!   "reach_decay": 64.0,
-//!   "top_k": 8
+//!   "top_k": 8,
+//!   "channel": {
+//!     "block": 16,
+//!     "mobility": { "kind": "waypoint", "speed": 0.4, "pause": 1, "seed": 9 },
+//!     "shadowing": { "sigma_db": 3.0, "corr_dist": 3.0, "time_corr": 0.7, "seed": 4 },
+//!     "fading": { "kind": "rayleigh", "seed": 11 },
+//!     "monitor": { "interval": 64, "max_nodes": 18 }
+//!   }
 //! }
 //! ```
 //!
 //! `check_interval`, `backend`, `reception`, `churn`, `faults`,
-//! `jamming`, `latency`, `reach_decay`, and `top_k` are optional (the
-//! defaults are lazy backend, threshold reception, no dynamics, exact
-//! resolution). Protocols: `broadcast` (complete when every
-//! decay-neighborhood heard its owner), `contention` (one packet per
-//! link), `announce` (free-running traffic for the whole horizon).
+//! `jamming`, `latency`, `reach_decay`, `top_k`, and `channel` are
+//! optional (the defaults are lazy backend, threshold reception, no
+//! dynamics, exact resolution, and a frozen gain matrix). Protocols:
+//! `broadcast` (complete when every decay-neighborhood heard its owner),
+//! `contention` (one packet per link), `announce` (free-running traffic
+//! for the whole horizon).
+//!
+//! The `channel` block makes the gain matrix *time-varying* (see
+//! `decay-channel`): decays hold for `block` ticks and drift between
+//! blocks under `mobility` (`waypoint` | `levy` | `group`), spatially
+//! correlated log-normal `shadowing`, and block-`rayleigh` `fading` —
+//! or replay an imported gain `trace` verbatim. A `monitor` samples the
+//! metricity trajectory `ζ(t)`/`φ(t)` of the instantaneous matrix into
+//! the metrics report, on the runner's pause grid so sampling can never
+//! perturb the digest.
 //!
 //! # Example
 //!
@@ -67,6 +84,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod channel;
 pub mod golden;
 pub mod json;
 mod metrics;
@@ -74,9 +92,11 @@ mod runner;
 mod spec;
 mod topology;
 
+pub use decay_channel::ZetaSample;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{MetricsCollector, MetricsReport, BUCKET_LABELS, LATENCY_BUCKETS};
 pub use runner::{ScenarioError, ScenarioReport, ScenarioRunner, TraceDigest};
 pub use spec::{
-    BackendSpec, FaultSpec, LinkSpec, ProtocolSpec, ScenarioSpec, SinrSpec, SpecError, TopologySpec,
+    BackendSpec, ChannelSpec, FadingSpec, FaultSpec, LinkSpec, MobilitySpec, MonitorSpec,
+    ProtocolSpec, ScenarioSpec, ShadowingSpec, SinrSpec, SpecError, TopologySpec,
 };

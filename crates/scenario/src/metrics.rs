@@ -10,6 +10,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use decay_channel::ZetaSample;
 use decay_engine::{DeliveryRecord, EngineStats, Tick};
 use serde::{Deserialize, Serialize};
 
@@ -77,7 +78,9 @@ impl MetricsCollector {
     /// ratio computed by the runner (coverage for broadcast, delivered
     /// links for contention, in-flight survival for announce);
     /// `completed_at` the tick the protocol's goal was reached, if it
-    /// was; `wall` the measured wall-clock time of the run.
+    /// was; `wall` the measured wall-clock time of the run;
+    /// `zeta_series` the sampled metricity trajectory (empty when no
+    /// monitor ran).
     pub fn finish(
         self,
         stats: EngineStats,
@@ -85,11 +88,13 @@ impl MetricsCollector {
         prr: f64,
         completed_at: Option<Tick>,
         wall: Duration,
+        zeta_series: Vec<ZetaSample>,
     ) -> MetricsReport {
         MetricsReport {
             horizon,
             completed_at,
             prr,
+            zeta_series,
             latency_hist: self.hist,
             mean_latency: if self.observed == 0 {
                 0.0
@@ -118,6 +123,9 @@ pub struct MetricsReport {
     pub completed_at: Option<Tick>,
     /// Protocol-level packet reception ratio in `[0, 1]`.
     pub prr: f64,
+    /// The sampled `ζ(t)`/`φ(t)` metricity trajectory (empty unless the
+    /// spec's channel block enables a monitor).
+    pub zeta_series: Vec<ZetaSample>,
     /// Delivery-latency histogram over [`BUCKET_LABELS`] buckets.
     pub latency_hist: [u64; LATENCY_BUCKETS],
     /// Mean delivery latency in ticks.
@@ -140,10 +148,29 @@ impl MetricsReport {
             Some(t) => int(t),
             None => JsonValue::Null,
         };
-        obj(vec![
+        let mut pairs = vec![
             ("horizon", int(self.horizon)),
             ("completed_at", opt_tick(self.completed_at)),
             ("prr", num(self.prr)),
+        ];
+        if !self.zeta_series.is_empty() {
+            pairs.push((
+                "zeta_series",
+                JsonValue::Array(
+                    self.zeta_series
+                        .iter()
+                        .map(|z| {
+                            obj(vec![
+                                ("tick", int(z.tick)),
+                                ("zeta", num(z.zeta)),
+                                ("phi", num(z.phi)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        pairs.extend(vec![
             (
                 "latency_hist",
                 JsonValue::Array(self.latency_hist.iter().map(|&c| int(c)).collect()),
@@ -165,7 +192,8 @@ impl MetricsReport {
                     ("churn_joins", int(self.stats.churn_joins)),
                 ]),
             ),
-        ])
+        ]);
+        obj(pairs)
     }
 }
 
@@ -196,6 +224,18 @@ impl fmt::Display for MetricsReport {
                 f,
                 "churn: {} leaves, {} rejoins",
                 self.stats.churn_leaves, self.stats.churn_joins
+            )?;
+        }
+        if !self.zeta_series.is_empty() {
+            let zetas: Vec<f64> = self.zeta_series.iter().map(|z| z.zeta).collect();
+            let min = zetas.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = zetas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = zetas.iter().sum::<f64>() / zetas.len() as f64;
+            writeln!(
+                f,
+                "metricity ζ(t): min {min:.3}, mean {mean:.3}, max {max:.3} \
+                 over {} samples",
+                zetas.len()
             )?;
         }
         writeln!(
@@ -233,6 +273,7 @@ mod tests {
             1.0,
             None,
             Duration::from_millis(10),
+            Vec::new(),
         );
         assert_eq!(report.latency_hist[0], 1, "latency 0");
         assert_eq!(report.latency_hist[1], 1, "latency 1");
@@ -254,15 +295,51 @@ mod tests {
             deliveries: 2,
             ..EngineStats::default()
         };
-        let report = c.finish(stats, 50, 0.5, Some(40), Duration::from_millis(5));
+        let report = c.finish(
+            stats,
+            50,
+            0.5,
+            Some(40),
+            Duration::from_millis(5),
+            vec![
+                ZetaSample {
+                    tick: 0,
+                    zeta: 2.0,
+                    phi: 1.5,
+                },
+                ZetaSample {
+                    tick: 32,
+                    zeta: 2.75,
+                    phi: 1.75,
+                },
+            ],
+        );
         let text = report.to_string();
         assert!(text.contains("completed at tick 40"));
         assert!(text.contains("prr: 0.5000"));
+        assert!(text.contains("metricity ζ(t): min 2.000, mean 2.375, max 2.750"));
         let json = report.to_json().pretty();
         assert!(json.contains("\"completed_at\": 40"));
         assert!(json.contains("\"prr\": 0.5"));
+        assert!(json.contains("\"zeta_series\""));
+        assert!(json.contains("\"zeta\": 2.75"));
         // JSON parses back cleanly.
         crate::json::parse(&json).unwrap();
+    }
+
+    #[test]
+    fn empty_zeta_series_is_omitted_from_json() {
+        let report = MetricsCollector::new().finish(
+            EngineStats::default(),
+            10,
+            0.0,
+            None,
+            Duration::from_secs(0),
+            Vec::new(),
+        );
+        let json = report.to_json().pretty();
+        assert!(!json.contains("zeta_series"), "{json}");
+        assert!(!report.to_string().contains("metricity"));
     }
 
     #[test]
@@ -273,6 +350,7 @@ mod tests {
             0.0,
             None,
             Duration::from_secs(0),
+            Vec::new(),
         );
         assert_eq!(report.mean_latency, 0.0);
         assert!(report.first_delivery.is_none());

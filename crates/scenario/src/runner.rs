@@ -17,6 +17,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Instant;
 
+use decay_channel::MetricityMonitor;
 use decay_core::NodeId;
 use decay_distributed::{build_contention_engine, ContentionNode, EventBroadcaster};
 use decay_engine::{
@@ -269,7 +270,17 @@ impl ScenarioRunner {
         resume_at: Option<Tick>,
     ) -> Result<ScenarioReport, ScenarioError> {
         let spec = &self.spec;
-        let build = || backend.build(&spec.topology);
+        // The static field the BackendSpec realizes, wrapped in the
+        // temporal channel when the spec declares one. Rebuilding (for
+        // checkpoint restore) reconstructs the same channel — layers are
+        // pure functions of their config, and the engine verifies the
+        // channel signature on restore.
+        let build = || -> Box<dyn DecayBackend> {
+            match &spec.channel {
+                Some(channel) => channel.wrap(&spec.topology, || backend.build(&spec.topology)),
+                None => backend.build(&spec.topology),
+            }
+        };
         match &spec.protocol {
             ProtocolSpec::Broadcast {
                 neighborhood_decay,
@@ -406,6 +417,14 @@ impl ScenarioRunner {
         let ci = spec.check_interval;
         let mut resume_at = resume_at.filter(|&t| t > 0 && t < horizon);
         let mut collector = MetricsCollector::new();
+        // ζ(t) sampling happens only on the pause grid (the monitor
+        // interval is a validated multiple of check_interval), so the
+        // series — like the digest — cannot depend on backend choice or
+        // on an extra checkpoint pause.
+        let mut monitor = spec.channel.as_ref().and_then(|c| c.build_monitor());
+        if let Some(m) = &mut monitor {
+            m.record(engine.now(), engine.backend());
+        }
         let wall_start = Instant::now();
         let mut completed_at = None;
         let mut checkpointed = None;
@@ -419,6 +438,11 @@ impl ScenarioRunner {
                 if split > now && split <= grid_next {
                     engine.run_until(split);
                     collector.observe_all(&engine.drain_trace());
+                    if let Some(m) = &mut monitor {
+                        // A no-op off the monitor grid; an on-grid split
+                        // is a tick the uninterrupted run samples too.
+                        m.record(engine.now(), engine.backend());
+                    }
                     // Completion is only ever checked on the grid — the
                     // extra pause at an off-grid split is invisible, so
                     // the uninterrupted and resumed runs stop at
@@ -441,6 +465,9 @@ impl ScenarioRunner {
             }
             engine.run_until(grid_next);
             collector.observe_all(&engine.drain_trace());
+            if let Some(m) = &mut monitor {
+                m.record(engine.now(), engine.backend());
+            }
             if done(&engine) {
                 completed_at = Some(engine.now());
                 break;
@@ -454,6 +481,9 @@ impl ScenarioRunner {
             prr(&engine),
             completed_at,
             wall_start.elapsed(),
+            monitor
+                .map(MetricityMonitor::into_samples)
+                .unwrap_or_default(),
         );
         Ok(ScenarioReport {
             digest: TraceDigest {

@@ -16,6 +16,7 @@
 
 use std::fmt;
 
+use decay_channel::GainTrace;
 use decay_core::NodeId;
 use decay_distributed::ContentionStrategy;
 use decay_engine::{ChurnConfig, EngineConfig, JamSchedule, LatencyModel, Tick};
@@ -176,6 +177,99 @@ pub enum ProtocolSpec {
     },
 }
 
+/// The mobility layer of a temporal channel (see
+/// [`decay_channel::MobilityModel`]). Distances are in deployment units,
+/// speeds in units per coherence block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MobilitySpec {
+    /// Random waypoint: walk to a uniform target, pause, repeat.
+    Waypoint {
+        /// Distance covered per coherence block.
+        speed: f64,
+        /// Blocks to rest at each waypoint.
+        pause: u64,
+        /// Trajectory seed (independent of the run seed).
+        seed: u64,
+    },
+    /// Lévy walk: heavy-tailed per-block hops reflecting off the
+    /// deployment bounding box.
+    Levy {
+        /// Scale (minimum) step length per block.
+        scale: f64,
+        /// Pareto tail exponent.
+        exponent: f64,
+        /// Truncation cap on one block's step.
+        cap: f64,
+        /// Trajectory seed.
+        seed: u64,
+    },
+    /// Reference-point group mobility over contiguous index groups.
+    Group {
+        /// Number of groups.
+        groups: usize,
+        /// Reference-point speed per block.
+        speed: f64,
+        /// Member jitter amplitude around the moving reference.
+        spread: f64,
+        /// Trajectory seed.
+        seed: u64,
+    },
+}
+
+/// Spatially correlated log-normal shadowing (see
+/// [`decay_channel::ShadowingConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingSpec {
+    /// Per-link shadowing standard deviation in dB.
+    pub sigma_db: f64,
+    /// Gudmundson decorrelation distance.
+    pub corr_dist: f64,
+    /// AR(1) coefficient across coherence blocks, in `[0, 1)`.
+    pub time_corr: f64,
+    /// Field seed.
+    pub seed: u64,
+}
+
+/// Block Rayleigh fading (see [`decay_channel::FadingConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FadingSpec {
+    /// Draw seed.
+    pub seed: u64,
+}
+
+/// Metricity monitoring: sample `ζ(t)`/`φ(t)` of the instantaneous gain
+/// matrix into the metrics report (see
+/// [`decay_channel::MetricityMonitor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorSpec {
+    /// Sampling interval in ticks; must be a multiple of the spec's
+    /// `check_interval` (samples are taken on the runner's pause grid,
+    /// which is what keeps them invisible to the engine).
+    pub interval: Tick,
+    /// Maximum nodes in the sampled submatrix, in `[3, 64]`.
+    pub max_nodes: usize,
+}
+
+/// The temporal-channel block: coherence-block structure plus the
+/// layers riding on the static backend. With a `trace`, the measured
+/// gain matrices replace the generative layers entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Coherence block length in ticks.
+    pub block: Tick,
+    /// Mobility layer, if any.
+    pub mobility: Option<MobilitySpec>,
+    /// Shadowing layer, if any.
+    pub shadowing: Option<ShadowingSpec>,
+    /// Block Rayleigh fading layer, if any.
+    pub fading: Option<FadingSpec>,
+    /// An imported gain trace replayed verbatim (mutually exclusive
+    /// with the generative layers).
+    pub trace: Option<GainTrace>,
+    /// Metricity monitoring, if any.
+    pub monitor: Option<MonitorSpec>,
+}
+
 /// A complete declarative scenario. See the crate docs for the JSON
 /// format and `scenarios/` for shipped examples.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -213,6 +307,9 @@ pub struct ScenarioSpec {
     pub reach_decay: Option<f64>,
     /// Top-k affectance pruning (`None` = exact interference sums).
     pub top_k: Option<usize>,
+    /// The temporal channel, if any (`None` = the classic frozen
+    /// snapshot).
+    pub channel: Option<ChannelSpec>,
 }
 
 /// A spec that failed validation or decoding.
@@ -678,6 +775,190 @@ fn latency_from_json(v: &JsonValue, path: &str) -> Result<LatencyModel, SpecErro
     }
 }
 
+impl MobilitySpec {
+    fn to_json(self) -> JsonValue {
+        match self {
+            MobilitySpec::Waypoint { speed, pause, seed } => obj(vec![
+                ("kind", s("waypoint")),
+                ("speed", num(speed)),
+                ("pause", int(pause)),
+                ("seed", int(seed)),
+            ]),
+            MobilitySpec::Levy {
+                scale,
+                exponent,
+                cap,
+                seed,
+            } => obj(vec![
+                ("kind", s("levy")),
+                ("scale", num(scale)),
+                ("exponent", num(exponent)),
+                ("cap", num(cap)),
+                ("seed", int(seed)),
+            ]),
+            MobilitySpec::Group {
+                groups,
+                speed,
+                spread,
+                seed,
+            } => obj(vec![
+                ("kind", s("group")),
+                ("groups", int(groups as u64)),
+                ("speed", num(speed)),
+                ("spread", num(spread)),
+                ("seed", int(seed)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &JsonValue, path: &str) -> Result<Self, SpecError> {
+        match get_kind(v, path)? {
+            "waypoint" => {
+                reject_unknown(v, path, &["kind", "speed", "pause", "seed"])?;
+                Ok(MobilitySpec::Waypoint {
+                    speed: get_f64(v, path, "speed")?,
+                    pause: get_u64(v, path, "pause")?,
+                    seed: get_u64(v, path, "seed")?,
+                })
+            }
+            "levy" => {
+                reject_unknown(v, path, &["kind", "scale", "exponent", "cap", "seed"])?;
+                Ok(MobilitySpec::Levy {
+                    scale: get_f64(v, path, "scale")?,
+                    exponent: get_f64(v, path, "exponent")?,
+                    cap: get_f64(v, path, "cap")?,
+                    seed: get_u64(v, path, "seed")?,
+                })
+            }
+            "group" => {
+                reject_unknown(v, path, &["kind", "groups", "speed", "spread", "seed"])?;
+                Ok(MobilitySpec::Group {
+                    groups: get_usize(v, path, "groups")?,
+                    speed: get_f64(v, path, "speed")?,
+                    spread: get_f64(v, path, "spread")?,
+                    seed: get_u64(v, path, "seed")?,
+                })
+            }
+            other => Err(SpecError::new(
+                join(path, "kind"),
+                format!("unknown mobility \"{other}\" (waypoint|levy|group)"),
+            )),
+        }
+    }
+}
+
+impl ChannelSpec {
+    fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![("block", int(self.block))];
+        if let Some(m) = self.mobility {
+            pairs.push(("mobility", m.to_json()));
+        }
+        if let Some(sh) = self.shadowing {
+            pairs.push((
+                "shadowing",
+                obj(vec![
+                    ("sigma_db", num(sh.sigma_db)),
+                    ("corr_dist", num(sh.corr_dist)),
+                    ("time_corr", num(sh.time_corr)),
+                    ("seed", int(sh.seed)),
+                ]),
+            ));
+        }
+        if let Some(f) = self.fading {
+            pairs.push((
+                "fading",
+                obj(vec![("kind", s("rayleigh")), ("seed", int(f.seed))]),
+            ));
+        }
+        if let Some(trace) = &self.trace {
+            pairs.push(("trace", trace.to_json()));
+        }
+        if let Some(m) = self.monitor {
+            pairs.push((
+                "monitor",
+                obj(vec![
+                    ("interval", int(m.interval)),
+                    ("max_nodes", int(m.max_nodes as u64)),
+                ]),
+            ));
+        }
+        obj(pairs)
+    }
+
+    fn from_json(v: &JsonValue, path: &str) -> Result<Self, SpecError> {
+        reject_unknown(
+            v,
+            path,
+            &[
+                "block",
+                "mobility",
+                "shadowing",
+                "fading",
+                "trace",
+                "monitor",
+            ],
+        )?;
+        Ok(ChannelSpec {
+            block: get_u64(v, path, "block")?,
+            mobility: match v.get("mobility") {
+                None | Some(JsonValue::Null) => None,
+                Some(m) => Some(MobilitySpec::from_json(m, &join(path, "mobility"))?),
+            },
+            shadowing: match v.get("shadowing") {
+                None | Some(JsonValue::Null) => None,
+                Some(sv) => {
+                    let sp = join(path, "shadowing");
+                    reject_unknown(sv, &sp, &["sigma_db", "corr_dist", "time_corr", "seed"])?;
+                    Some(ShadowingSpec {
+                        sigma_db: get_f64(sv, &sp, "sigma_db")?,
+                        corr_dist: get_f64(sv, &sp, "corr_dist")?,
+                        time_corr: get_f64(sv, &sp, "time_corr")?,
+                        seed: get_u64(sv, &sp, "seed")?,
+                    })
+                }
+            },
+            fading: match v.get("fading") {
+                None | Some(JsonValue::Null) => None,
+                Some(fv) => {
+                    let fp = join(path, "fading");
+                    match get_kind(fv, &fp)? {
+                        "rayleigh" => {
+                            reject_unknown(fv, &fp, &["kind", "seed"])?;
+                            Some(FadingSpec {
+                                seed: get_u64(fv, &fp, "seed")?,
+                            })
+                        }
+                        other => {
+                            return Err(SpecError::new(
+                                join(&fp, "kind"),
+                                format!("unknown fading \"{other}\" (rayleigh)"),
+                            ))
+                        }
+                    }
+                }
+            },
+            trace: match v.get("trace") {
+                None | Some(JsonValue::Null) => None,
+                Some(tv) => Some(
+                    GainTrace::from_json(tv)
+                        .map_err(|e| SpecError::new(join(path, "trace"), e.to_string()))?,
+                ),
+            },
+            monitor: match v.get("monitor") {
+                None | Some(JsonValue::Null) => None,
+                Some(mv) => {
+                    let mp = join(path, "monitor");
+                    reject_unknown(mv, &mp, &["interval", "max_nodes"])?;
+                    Some(MonitorSpec {
+                        interval: get_u64(mv, &mp, "interval")?,
+                        max_nodes: get_usize(mv, &mp, "max_nodes")?,
+                    })
+                }
+            },
+        })
+    }
+}
+
 const SPEC_FIELDS: &[&str] = &[
     "name",
     "seed",
@@ -694,6 +975,7 @@ const SPEC_FIELDS: &[&str] = &[
     "latency",
     "reach_decay",
     "top_k",
+    "channel",
 ];
 
 impl ScenarioSpec {
@@ -757,6 +1039,9 @@ impl ScenarioSpec {
         }
         if let Some(k) = self.top_k {
             pairs.push(("top_k", int(k as u64)));
+        }
+        if let Some(channel) = &self.channel {
+            pairs.push(("channel", channel.to_json()));
         }
         obj(pairs)
     }
@@ -863,6 +1148,10 @@ impl ScenarioSpec {
                         .and_then(|k| usize::try_from(k).ok())
                         .ok_or_else(|| SpecError::new("top_k", "expected an integer"))?,
                 ),
+            },
+            channel: match v.get("channel") {
+                None | Some(JsonValue::Null) => None,
+                Some(cv) => Some(ChannelSpec::from_json(cv, "channel")?),
             },
         };
         spec.validate()?;
@@ -1165,6 +1454,112 @@ impl ScenarioSpec {
         if self.top_k == Some(0) {
             return bad("top_k", "must keep at least one signal");
         }
+        if let Some(channel) = &self.channel {
+            if channel.block == 0 || channel.block > MAX_JSON_INT {
+                return bad("channel.block", "must be in [1, 2^53] ticks");
+            }
+            if channel.trace.is_some()
+                && (channel.mobility.is_some()
+                    || channel.shadowing.is_some()
+                    || channel.fading.is_some())
+            {
+                return bad(
+                    "channel.trace",
+                    "a gain trace replays verbatim and excludes the generative layers",
+                );
+            }
+            match &channel.mobility {
+                Some(MobilitySpec::Waypoint { speed, pause, seed }) => {
+                    if !(speed.is_finite() && *speed >= 0.0) {
+                        return bad("channel.mobility.speed", "must be non-negative and finite");
+                    }
+                    if *pause > MAX_JSON_INT || *seed > MAX_JSON_INT {
+                        return bad("channel.mobility", "integers must fit in 2^53");
+                    }
+                }
+                Some(MobilitySpec::Levy {
+                    scale,
+                    exponent,
+                    cap,
+                    seed,
+                }) => {
+                    if !(positive(*scale) && positive(*exponent) && positive(*cap)) || cap < scale {
+                        return bad(
+                            "channel.mobility",
+                            "need scale > 0, exponent > 0, cap >= scale, all finite",
+                        );
+                    }
+                    if *seed > MAX_JSON_INT {
+                        return bad("channel.mobility.seed", "must fit in 2^53");
+                    }
+                }
+                Some(MobilitySpec::Group {
+                    groups,
+                    speed,
+                    spread,
+                    seed,
+                }) => {
+                    if *groups == 0 || *groups > n {
+                        return bad("channel.mobility.groups", "must be in [1, node count]");
+                    }
+                    let ok = |x: f64| x.is_finite() && x >= 0.0;
+                    if !ok(*speed) || !ok(*spread) {
+                        return bad(
+                            "channel.mobility",
+                            "speed and spread must be non-negative and finite",
+                        );
+                    }
+                    if *seed > MAX_JSON_INT {
+                        return bad("channel.mobility.seed", "must fit in 2^53");
+                    }
+                }
+                None => {}
+            }
+            if let Some(sh) = &channel.shadowing {
+                if !(sh.sigma_db.is_finite() && sh.sigma_db >= 0.0) {
+                    return bad(
+                        "channel.shadowing.sigma_db",
+                        "must be non-negative and finite",
+                    );
+                }
+                if !positive(sh.corr_dist) {
+                    return bad("channel.shadowing.corr_dist", "must be positive and finite");
+                }
+                if !(0.0..1.0).contains(&sh.time_corr) {
+                    return bad("channel.shadowing.time_corr", "must be in [0, 1)");
+                }
+                if sh.seed > MAX_JSON_INT {
+                    return bad("channel.shadowing.seed", "must fit in 2^53");
+                }
+            }
+            if let Some(f) = &channel.fading {
+                if f.seed > MAX_JSON_INT {
+                    return bad("channel.fading.seed", "must fit in 2^53");
+                }
+            }
+            if let Some(trace) = &channel.trace {
+                if trace.nodes() != n {
+                    return bad("channel.trace", "trace node count must match the topology");
+                }
+                if trace.block_len() != channel.block {
+                    return bad("channel.trace", "trace block_len must equal channel.block");
+                }
+            }
+            if let Some(m) = &channel.monitor {
+                if m.interval == 0
+                    || m.interval > MAX_JSON_INT
+                    || !m.interval.is_multiple_of(self.check_interval)
+                {
+                    return bad(
+                        "channel.monitor.interval",
+                        "must be a positive multiple of check_interval (in [1, 2^53])",
+                    );
+                }
+                if !(3..=64).contains(&m.max_nodes) {
+                    return bad("channel.monitor.max_nodes", "must be in [3, 64]");
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -1209,6 +1604,26 @@ mod tests {
             latency: LatencyModel::Jittered { base: 1, jitter: 3 },
             reach_decay: Some(64.0),
             top_k: Some(8),
+            channel: Some(ChannelSpec {
+                block: 8,
+                mobility: Some(MobilitySpec::Waypoint {
+                    speed: 0.25,
+                    pause: 1,
+                    seed: 21,
+                }),
+                shadowing: Some(ShadowingSpec {
+                    sigma_db: 3.0,
+                    corr_dist: 2.0,
+                    time_corr: 0.5,
+                    seed: 22,
+                }),
+                fading: Some(FadingSpec { seed: 23 }),
+                trace: None,
+                monitor: Some(MonitorSpec {
+                    interval: 64,
+                    max_nodes: 12,
+                }),
+            }),
         }
     }
 
@@ -1285,6 +1700,98 @@ mod tests {
             alpha: 2.0,
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn channel_blocks_are_validated() {
+        let base = demo_spec();
+        let channel = |f: &dyn Fn(&mut ChannelSpec)| {
+            let mut spec = base.clone();
+            let c = spec.channel.as_mut().unwrap();
+            f(c);
+            spec
+        };
+
+        // Zero coherence block.
+        assert!(channel(&|c| c.block = 0).validate().is_err());
+        // Monitor off the check-interval grid (demo check_interval: 32).
+        assert!(channel(&|c| c.monitor.as_mut().unwrap().interval = 48)
+            .validate()
+            .is_err());
+        // Monitor submatrix out of range.
+        assert!(channel(&|c| c.monitor.as_mut().unwrap().max_nodes = 2)
+            .validate()
+            .is_err());
+        // Negative mobility speed.
+        assert!(channel(&|c| {
+            c.mobility = Some(MobilitySpec::Waypoint {
+                speed: -1.0,
+                pause: 0,
+                seed: 1,
+            })
+        })
+        .validate()
+        .is_err());
+        // Lévy cap below scale.
+        assert!(channel(&|c| {
+            c.mobility = Some(MobilitySpec::Levy {
+                scale: 2.0,
+                exponent: 1.5,
+                cap: 1.0,
+                seed: 1,
+            })
+        })
+        .validate()
+        .is_err());
+        // More groups than nodes (demo topology has 16).
+        assert!(channel(&|c| {
+            c.mobility = Some(MobilitySpec::Group {
+                groups: 99,
+                speed: 0.2,
+                spread: 0.1,
+                seed: 1,
+            })
+        })
+        .validate()
+        .is_err());
+        // Shadowing time correlation at 1 (must be < 1).
+        assert!(channel(&|c| c.shadowing.as_mut().unwrap().time_corr = 1.0)
+            .validate()
+            .is_err());
+        // A trace alongside generative layers.
+        let trace = decay_channel::GainTrace::from_frames(
+            16,
+            8,
+            vec![decay_channel::GainFrame {
+                block: 0,
+                gains: (0..256)
+                    .map(|k| if k / 16 == k % 16 { 0.0 } else { 1.0 })
+                    .collect(),
+            }],
+        )
+        .unwrap();
+        let t = trace.clone();
+        assert!(channel(&|c| c.trace = Some(t.clone())).validate().is_err());
+        // A trace alone, matching n and block: valid.
+        let t = trace.clone();
+        let ok = channel(&|c| {
+            c.mobility = None;
+            c.shadowing = None;
+            c.fading = None;
+            c.trace = Some(t.clone());
+        });
+        ok.validate().unwrap();
+        // Trace block_len must equal channel.block.
+        let t = trace;
+        assert!(channel(&|c| {
+            c.mobility = None;
+            c.shadowing = None;
+            c.fading = None;
+            c.block = 4;
+            c.trace = Some(t.clone());
+        })
+        .validate()
+        .is_err());
     }
 
     #[test]

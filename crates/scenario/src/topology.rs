@@ -164,6 +164,7 @@ mod tests {
             latency: LatencyModel::Immediate,
             reach_decay: None,
             top_k: None,
+            channel: None,
         }
     }
 

@@ -10,7 +10,8 @@ use decay_distributed::ContentionStrategy;
 use decay_engine::{ChurnConfig, JamSchedule, LatencyModel};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
-    BackendSpec, ProtocolSpec, ScenarioRunner, ScenarioSpec, SinrSpec, TopologySpec,
+    BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec, ScenarioRunner,
+    ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -25,6 +26,7 @@ struct Knobs {
     jam: u8,
     latency: u8,
     pruned: bool,
+    channel: u8,
 }
 
 /// Builds a varied but valid spec from integer knobs.
@@ -38,6 +40,7 @@ fn spec_from_knobs(knobs: Knobs) -> ScenarioSpec {
         jam,
         latency,
         pruned,
+        channel,
     } = knobs;
     let topology = match topo % 4 {
         0 => TopologySpec::Line {
@@ -92,6 +95,31 @@ fn spec_from_knobs(knobs: Knobs) -> ScenarioSpec {
     } else {
         (None, None)
     };
+    // Temporal channels: the block-boundary reach recomputation and the
+    // multiplicative layers must be backend-invariant too.
+    let channel = match channel % 4 {
+        0 => None,
+        variant => Some(ChannelSpec {
+            block: 4,
+            mobility: (variant != 2).then_some(MobilitySpec::Waypoint {
+                speed: 0.3,
+                pause: 1,
+                seed: 31,
+            }),
+            shadowing: (variant >= 2).then_some(ShadowingSpec {
+                sigma_db: 3.0,
+                corr_dist: 2.5,
+                time_corr: 0.6,
+                seed: 32,
+            }),
+            fading: (variant >= 2).then_some(FadingSpec { seed: 33 }),
+            trace: None,
+            monitor: Some(MonitorSpec {
+                interval: 64,
+                max_nodes: 8,
+            }),
+        }),
+    };
     ScenarioSpec {
         name: "conformance".to_string(),
         seed,
@@ -127,6 +155,7 @@ fn spec_from_knobs(knobs: Knobs) -> ScenarioSpec {
         },
         reach_decay,
         top_k,
+        channel,
     }
 }
 
@@ -134,7 +163,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Dense, lazy, and tiled backends produce bit-identical digests for
-    /// the same spec, across topologies, protocols, and dynamics.
+    /// the same spec, across topologies, protocols, dynamics, and
+    /// temporal channels — and when a metricity monitor runs, the ζ(t)
+    /// series is backend-invariant too.
     #[test]
     fn backends_yield_identical_digests(
         topo in 0u8..4,
@@ -145,6 +176,7 @@ proptest! {
         jam in 0u8..3,
         latency in 0u8..3,
         pruned in 0u8..2,
+        channel in 0u8..4,
     ) {
         let spec = spec_from_knobs(Knobs {
             topo,
@@ -155,6 +187,7 @@ proptest! {
             jam,
             latency,
             pruned: pruned == 1,
+            channel,
         });
         let runner = ScenarioRunner::new(spec).unwrap();
         let dense = runner.run_on(BackendSpec::Dense).unwrap();
@@ -164,6 +197,14 @@ proptest! {
             .unwrap();
         prop_assert_eq!(&dense.digest, &lazy.digest, "dense vs lazy");
         prop_assert_eq!(&dense.digest, &tiled.digest, "dense vs tiled");
+        prop_assert_eq!(&dense.metrics.zeta_series, &lazy.metrics.zeta_series);
+        prop_assert_eq!(&dense.metrics.zeta_series, &tiled.metrics.zeta_series);
+        if channel % 4 != 0 {
+            prop_assert!(
+                !dense.metrics.zeta_series.is_empty(),
+                "monitored channel produced no ζ(t) samples"
+            );
+        }
         // Deterministic in the spec: a second run reproduces exactly.
         let again = runner.run_on(BackendSpec::Dense).unwrap();
         prop_assert_eq!(&dense.digest, &again.digest, "rerun");
@@ -187,6 +228,7 @@ fn seeds_differentiate_digests() {
             jam: 0,
             latency: 0,
             pruned: false,
+            channel: 0,
         });
         ScenarioRunner::new(spec).unwrap().run().unwrap().digest
     };

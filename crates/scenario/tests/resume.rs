@@ -8,12 +8,15 @@ use decay_distributed::ContentionStrategy;
 use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, Tick};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
-    BackendSpec, FaultSpec, ProtocolSpec, ScenarioRunner, ScenarioSpec, SinrSpec, TopologySpec,
+    BackendSpec, ChannelSpec, FadingSpec, FaultSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
+    ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
 };
 use proptest::prelude::*;
 
 /// The combined-dynamics scenario: churn + periodic jamming + jittered
-/// latency + a scheduled outage, on a lazy line backend.
+/// latency + a scheduled outage + a full temporal channel (mobility,
+/// shadowing, block fading, metricity monitoring), on a lazy line
+/// backend.
 fn stormy_spec(protocol: u8, seed: u64) -> ScenarioSpec {
     ScenarioSpec {
         name: "stormy".to_string(),
@@ -60,6 +63,27 @@ fn stormy_spec(protocol: u8, seed: u64) -> ScenarioSpec {
         latency: LatencyModel::Jittered { base: 1, jitter: 4 },
         reach_decay: Some(100.0),
         top_k: Some(6),
+        channel: Some(ChannelSpec {
+            block: 8,
+            mobility: Some(MobilitySpec::Levy {
+                scale: 0.2,
+                exponent: 1.4,
+                cap: 2.0,
+                seed: 41,
+            }),
+            shadowing: Some(ShadowingSpec {
+                sigma_db: 3.5,
+                corr_dist: 3.0,
+                time_corr: 0.7,
+                seed: 42,
+            }),
+            fading: Some(FadingSpec { seed: 43 }),
+            trace: None,
+            monitor: Some(MonitorSpec {
+                interval: 32,
+                max_nodes: 12,
+            }),
+        }),
     }
 }
 
@@ -90,6 +114,13 @@ proptest! {
             uninterrupted.metrics.completed_at,
             resumed.metrics.completed_at
         );
+        // The ζ(t) series samples only on the pause grid, so the extra
+        // checkpoint pause cannot add, drop, or perturb a sample.
+        prop_assert_eq!(
+            &uninterrupted.metrics.zeta_series,
+            &resumed.metrics.zeta_series
+        );
+        prop_assert!(!uninterrupted.metrics.zeta_series.is_empty());
     }
 }
 

@@ -2,24 +2,52 @@
 //!
 //! ```text
 //! cargo run --release --example scenario_run                           # shipped demo spec
-//! cargo run --release --example scenario_run -- scenarios/ring_announce_rayleigh.json
+//! cargo run --release --example scenario_run -- scenarios/drift_mobility_storm.json
 //! cargo run --release --example scenario_run -- my_spec.json --json    # machine-readable report
+//! cargo run --release --example scenario_run -- my_spec.json --metrics-json out.json
 //! ```
 //!
 //! The same spec produces a bit-identical trace digest on every decay
 //! backend and across checkpoint/resume cycles — this driver prints the
-//! digest so you can pin it (see `tests/golden/`).
+//! digest so you can pin it (see `tests/golden/`). `--metrics-json
+//! <path>` additionally writes the full JSON metrics report (latency
+//! histogram, PRR, ζ(t) series for monitored channels, counters) to a
+//! file for downstream tooling.
 
 use beyond_geometry::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let as_json = args.iter().any(|a| a == "--json");
-    let path = args
+    let metrics_path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "scenarios/line_broadcast_storm.json".to_string());
+        .position(|a| a == "--metrics-json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or("--metrics-json needs a file path argument")
+        })
+        .transpose()?;
+    let path = {
+        let mut positional = Vec::new();
+        let mut skip_next = false;
+        for a in &args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a == "--metrics-json" {
+                skip_next = true;
+            } else if !a.starts_with("--") {
+                positional.push(a.clone());
+            }
+        }
+        positional
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| "scenarios/line_broadcast_storm.json".to_string())
+    };
 
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read spec {path}: {e}"))?;
@@ -32,6 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", report.to_json().pretty());
     } else {
         println!("{report}");
+    }
+    if let Some(out) = metrics_path {
+        std::fs::write(&out, report.metrics.to_json().pretty())
+            .map_err(|e| format!("cannot write metrics to {out}: {e}"))?;
+        println!("\nmetrics report written to {out}");
     }
 
     // The reproducibility contract in action: re-running on a different

@@ -19,6 +19,7 @@
 //! | [`capacity`] | Algorithm 1, greedy baselines, exact optimum, amicability, scheduling |
 //! | [`netsim`] | slot-synchronous SINR network simulator |
 //! | [`engine`] | discrete-event engine: lazy million-node backends, churn, checkpointing |
+//! | [`channel`] | time-varying gain fields: mobility, shadowing, fading, trace replay, ζ(t) monitoring |
 //! | [`distributed`] | regret capacity game, randomized local broadcast (slot + event-driven) |
 //! | [`scenario`] | declarative JSON scenario specs, metrics, golden-trace digests |
 //!
@@ -34,6 +35,7 @@
 //! ```
 
 pub use decay_capacity as capacity;
+pub use decay_channel as channel;
 pub use decay_core as core;
 pub use decay_distributed as distributed;
 pub use decay_engine as engine;
@@ -50,6 +52,10 @@ pub mod prelude {
         max_feasible_subset, max_weight_feasible_subset, online_capacity, run_auction,
         schedule_aggregation, schedule_by_capacity, weighted_greedy, ArrivalOrder, AuctionConfig,
         CapacityResult, OnlineRule, EXACT_CAPACITY_LIMIT, EXACT_WEIGHTED_LIMIT,
+    };
+    pub use decay_channel::{
+        FadingConfig, GainTrace, MetricityMonitor, MobilityConfig, MobilityModel, ShadowingConfig,
+        TemporalAdapter, TemporalBackend, TemporalChannel, TraceChannel, ZetaSample,
     };
     pub use decay_core::{
         assouad_dimension_fit, fading_parameter, independence_dimension, metricity, phi_metricity,
@@ -72,8 +78,8 @@ pub mod prelude {
         PrrTracker, ReceptionModel, Simulator, SlotContext,
     };
     pub use decay_scenario::{
-        BackendSpec, MetricsReport, ProtocolSpec, ScenarioReport, ScenarioRunner, ScenarioSpec,
-        TopologySpec, TraceDigest,
+        BackendSpec, ChannelSpec, MetricsReport, MobilitySpec, MonitorSpec, ProtocolSpec,
+        ScenarioReport, ScenarioRunner, ScenarioSpec, TopologySpec, TraceDigest,
     };
     pub use decay_sinr::{
         inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,
