@@ -64,6 +64,7 @@ fn engine_over(backend: impl DecayBackend + 'static, n: usize) -> Engine<Gossipe
 fn temporal_backend(n: usize, block_len: u64) -> TemporalAdapter {
     TemporalAdapter::new(
         TemporalChannel::new(line_backend(n), line_points(n, 1.0), 2.0, block_len)
+            .with_geometric_hints()
             .with_mobility(MobilityConfig {
                 model: MobilityModel::RandomWaypoint {
                     speed: 0.5,

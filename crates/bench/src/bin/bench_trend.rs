@@ -1,0 +1,146 @@
+//! Compares two `BENCH_engine.json` documents and flags events/sec
+//! regressions — the perf-trajectory guard behind CI's bench-trend
+//! step.
+//!
+//! ```text
+//! cargo run --release -p decay-bench --bin bench_trend -- \
+//!     --baseline previous/BENCH_engine.json --current BENCH_engine.json \
+//!     [--threshold 20] [--strict]
+//! ```
+//!
+//! Rows are matched by `(backend, block)`. A row whose `events_per_sec`
+//! fell more than `threshold` percent below the baseline is reported as
+//! a regression with a GitHub Actions `::warning::` annotation (or
+//! `::error::` plus a non-zero exit under `--strict` — quick-mode CI
+//! measurements on shared runners are noisy, so the default annotates
+//! instead of failing). New or vanished rows are informational.
+
+use std::process::ExitCode;
+
+use decay_core::json::{parse, JsonValue};
+
+/// One comparable measurement row.
+struct Row {
+    key: String,
+    events_per_sec: f64,
+}
+
+fn rows_of(doc: &JsonValue, path: &str) -> Result<Vec<Row>, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{path}: no rows array"))?;
+    rows.iter()
+        .map(|r| {
+            let backend = r
+                .get("backend")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{path}: row without backend"))?;
+            let key = match r.get("block").and_then(JsonValue::as_u64) {
+                Some(b) => format!("{backend} (block {b})"),
+                None => backend.to_string(),
+            };
+            let events_per_sec = r
+                .get("events_per_sec")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{path}: row {key} without events_per_sec"))?;
+            Ok(Row {
+                key,
+                events_per_sec,
+            })
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    rows_of(&doc, path)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(baseline_path) = flag("--baseline") else {
+        eprintln!(
+            "usage: bench_trend --baseline <json> --current <json> [--threshold <pct>] [--strict]"
+        );
+        return ExitCode::from(2);
+    };
+    let Some(current_path) = flag("--current") else {
+        eprintln!(
+            "usage: bench_trend --baseline <json> --current <json> [--threshold <pct>] [--strict]"
+        );
+        return ExitCode::from(2);
+    };
+    let threshold: f64 = flag("--threshold")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(20.0);
+    let strict = args.iter().any(|a| a == "--strict");
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0u32;
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "row", "baseline", "current", "delta"
+    );
+    for row in &current {
+        match baseline.iter().find(|b| b.key == row.key) {
+            None => println!(
+                "{:<28} {:>14} {:>14.0} {:>9}",
+                row.key, "(new)", row.events_per_sec, "-"
+            ),
+            Some(base) => {
+                let delta = (row.events_per_sec - base.events_per_sec)
+                    / base.events_per_sec.max(1e-9)
+                    * 100.0;
+                println!(
+                    "{:<28} {:>14.0} {:>14.0} {:>+8.1}%",
+                    row.key, base.events_per_sec, row.events_per_sec, delta
+                );
+                if delta < -threshold {
+                    regressions += 1;
+                    let kind = if strict { "error" } else { "warning" };
+                    println!(
+                        "::{kind}::engine bench regression: {} fell {:.1}% \
+                         ({:.0} -> {:.0} events/sec, threshold {:.0}%)",
+                        row.key, -delta, base.events_per_sec, row.events_per_sec, threshold
+                    );
+                }
+            }
+        }
+    }
+    for base in &baseline {
+        if !current.iter().any(|r| r.key == base.key) {
+            println!(
+                "{:<28} {:>14.0} {:>14} {:>9}",
+                base.key, base.events_per_sec, "(gone)", "-"
+            );
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_trend: {regressions} row(s) regressed more than {threshold:.0}% \
+             (strict: {strict})"
+        );
+        if strict {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        eprintln!("bench_trend: no regressions beyond {threshold:.0}%");
+    }
+    ExitCode::SUCCESS
+}

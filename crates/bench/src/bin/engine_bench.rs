@@ -55,6 +55,7 @@ fn lazy_line(n: usize) -> LazyBackend {
 fn temporal(n: usize, block_len: u64) -> TemporalAdapter {
     TemporalAdapter::new(
         TemporalChannel::new(lazy_line(n), line_points(n, 1.0), 2.0, block_len)
+            .with_geometric_hints()
             .with_mobility(MobilityConfig {
                 model: MobilityModel::RandomWaypoint {
                     speed: 0.5,

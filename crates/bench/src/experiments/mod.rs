@@ -226,6 +226,11 @@ pub fn all() -> Vec<Experiment> {
             title: "temporal channels vs coherence-block length",
             run: channel::e38_channel_throughput,
         },
+        Experiment {
+            id: "E39",
+            title: "structured reach-hint window sweep",
+            run: channel::e39_hint_window,
+        },
     ]
 }
 
@@ -241,7 +246,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all();
-        assert_eq!(exps.len(), 38);
+        assert_eq!(exps.len(), 39);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

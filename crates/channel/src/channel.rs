@@ -38,6 +38,13 @@ use crate::temporal::{signature_of, TemporalBackend};
 const MIN_DECAY: f64 = 1e-300;
 const MAX_DECAY: f64 = 1e300;
 
+/// Safety margin applied to hint-widening thresholds, absorbing the
+/// floating-point slop between `f0 · (db/d0)^α` and the exact `db^α`
+/// (and any `pow` monotonicity wobble). Hints may over-approximate
+/// freely — candidates are re-filtered against the exact field — so the
+/// margin costs a few extra candidates, never correctness.
+const HINT_MARGIN: f64 = 1.05;
+
 /// Per-block derived state shared by the layers.
 struct Epoch {
     block: u64,
@@ -45,6 +52,14 @@ struct Epoch {
     mob: Option<MobilityState>,
     /// Per-node shadowing field values (empty when shadowing is off).
     shadow: Vec<f64>,
+    /// Largest displacement of any node from its deployment position
+    /// this block (0 when mobility is off) — the measured counterpart
+    /// of [`MobilityModel::max_displacement`], used to widen reach
+    /// windows exactly as far as the deployment actually drifted.
+    max_disp: f64,
+    /// Minimum shadowing field value this block (+∞ when shadowing is
+    /// off), anchoring the sound floor on any link's shadow factor.
+    shadow_min: f64,
 }
 
 /// A time-varying gain field over a static base backend. Construct with
@@ -61,6 +76,9 @@ pub struct TemporalChannel {
     fading: Option<FadingConfig>,
     mobility: Option<MobilityEngine>,
     shadowing: Option<ShadowField>,
+    /// Whether the base backend is the geometric field of the
+    /// deployment (see [`TemporalChannel::with_geometric_hints`]).
+    geometric: bool,
     epoch: Mutex<Epoch>,
 }
 
@@ -101,12 +119,52 @@ impl TemporalChannel {
             fading: None,
             mobility: None,
             shadowing: None,
+            geometric: false,
             epoch: Mutex::new(Epoch {
                 block: 0,
                 ready: false,
                 mob: None,
                 shadow: Vec::new(),
+                max_disp: 0.0,
+                shadow_min: f64::INFINITY,
             }),
+        }
+    }
+
+    /// Declares that the base backend realizes the *geometric* field of
+    /// the deployment — `base.decay(i, j) = dist(points[i], points[j])^alpha`
+    /// — enabling structured reach hints: instead of scanning all `n`
+    /// nodes per (block, source), the per-block reach scan queries the
+    /// base topology's hint window, widened conservatively for every
+    /// attached layer (mobility displacement, the block's shadowing
+    /// floor, the fading clamp). Hints over-approximate and candidates
+    /// are re-filtered against the exact instantaneous field, so they
+    /// change cost, never values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spot check finds a base decay that is not the
+    /// geometric decay of the deployment (the declaration would be
+    /// unsound: a too-narrow window silently loses deliveries).
+    #[must_use]
+    pub fn with_geometric_hints(self) -> Self {
+        let n = self.initial.len();
+        for k in 0..n.min(8) {
+            let (i, j) = (k, (k + n / 2 + 1) % n);
+            if i == j {
+                continue;
+            }
+            let expect = distance(self.initial[i], self.initial[j]).powf(self.alpha);
+            let got = self.base.decay(NodeId::new(i), NodeId::new(j));
+            assert!(
+                (got - expect).abs() <= expect.abs() * 1e-9,
+                "with_geometric_hints: base decay ({i}, {j}) = {got} is not the \
+                 geometric {expect} of the deployment"
+            );
+        }
+        TemporalChannel {
+            geometric: true,
+            ..self
         }
     }
 
@@ -177,9 +235,42 @@ impl TemporalChannel {
             };
             epoch.shadow = values;
         }
+        epoch.max_disp = epoch.mob.as_ref().map_or(0.0, |s| {
+            s.pos
+                .iter()
+                .zip(&self.initial)
+                .map(|(p, q)| distance(*p, *q))
+                .fold(0.0, f64::max)
+        });
+        epoch.shadow_min = epoch.shadow.iter().copied().fold(f64::INFINITY, f64::min);
         epoch.block = block;
         epoch.ready = true;
         epoch
+    }
+
+    /// One composite decay evaluation under an already-locked epoch
+    /// (`None` when neither mobility nor shadowing is attached). Shared
+    /// by the per-pair and batched-row paths so both produce identical
+    /// bits: same factors, same order.
+    fn decay_with(&self, epoch: Option<&Epoch>, block: u64, from: NodeId, to: NodeId) -> f64 {
+        let mut d = self.base.decay(from, to);
+        if let Some(epoch) = epoch {
+            if self.mobility.is_some() {
+                let pos = &epoch.mob.as_ref().expect("mobility state present").pos;
+                let d0 = distance(self.initial[from.index()], self.initial[to.index()]);
+                // Clamp relative to the deployment separation so nodes
+                // drifting onto each other never zero a decay.
+                let db = distance(pos[from.index()], pos[to.index()]).max(d0 * 1e-6);
+                d *= (db / d0).powf(self.alpha);
+            }
+            if let Some(field) = &self.shadowing {
+                d *= field.link_factor(epoch.shadow[from.index()], epoch.shadow[to.index()]);
+            }
+        }
+        if let Some(fade) = &self.fading {
+            d *= fade.decay_factor(block, from, to);
+        }
+        d.clamp(MIN_DECAY, MAX_DECAY)
     }
 }
 
@@ -209,25 +300,71 @@ impl TemporalBackend for TemporalChannel {
         if from == to {
             return 0.0;
         }
-        let mut d = self.base.decay(from, to);
         if self.mobility.is_some() || self.shadowing.is_some() {
             let epoch = self.epoch_at(block);
-            if self.mobility.is_some() {
-                let pos = &epoch.mob.as_ref().expect("mobility state present").pos;
-                let d0 = distance(self.initial[from.index()], self.initial[to.index()]);
-                // Clamp relative to the deployment separation so nodes
-                // drifting onto each other never zero a decay.
-                let db = distance(pos[from.index()], pos[to.index()]).max(d0 * 1e-6);
-                d *= (db / d0).powf(self.alpha);
-            }
+            self.decay_with(Some(&epoch), block, from, to)
+        } else {
+            self.decay_with(None, block, from, to)
+        }
+    }
+
+    fn decay_row_in_block(&self, block: u64, from: NodeId, targets: &[NodeId]) -> Vec<f64> {
+        // One epoch solve (mobility positions, shadowing node values)
+        // for the whole row, instead of one lock + lookup per pair.
+        let epoch =
+            (self.mobility.is_some() || self.shadowing.is_some()).then(|| self.epoch_at(block));
+        targets
+            .iter()
+            .map(|&to| {
+                if from == to {
+                    0.0
+                } else {
+                    self.decay_with(epoch.as_deref(), block, from, to)
+                }
+            })
+            .collect()
+    }
+
+    fn reach_candidates(&self, block: u64, from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+        if !self.geometric {
+            return None;
+        }
+        // Budget in the decay domain: with a geometric base the base
+        // decay times the mobility modulation is (up to rounding,
+        // absorbed by HINT_MARGIN) the instantaneous distance raised to
+        // α, so a node is in reach only when `db^α · S · F ≤ reach`.
+        // Bounding the shadow factor below by the block's floor and the
+        // fade factor below by the clamp gives
+        // `db^α ≤ reach / (S_floor · F_floor)`.
+        let mut budget = reach;
+        if self.fading.is_some() {
+            budget *= crate::fading::MAX_GAIN;
+        }
+        let mut widen = 0.0;
+        if self.mobility.is_some() || self.shadowing.is_some() {
+            let epoch = self.epoch_at(block);
             if let Some(field) = &self.shadowing {
-                d *= field.link_factor(epoch.shadow[from.index()], epoch.shadow[to.index()]);
+                budget /= field.link_factor_floor(epoch.shadow[from.index()], epoch.shadow_min);
             }
+            // Both endpoints drifted at most this far from deployment,
+            // and never farther than the model's structural bound.
+            let measured = epoch.max_disp;
+            let model = self
+                .mobility_config
+                .map_or(0.0, |m| m.model.max_displacement(block));
+            widen = 2.0 * measured.min(model);
         }
-        if let Some(fade) = &self.fading {
-            d *= fade.decay_factor(block, from, to);
+        // Back to the deployment's decay domain: `d0 ≤ db + widen`.
+        let dist = budget.powf(1.0 / self.alpha) * HINT_MARGIN + widen;
+        let widened = dist.powf(self.alpha) * HINT_MARGIN;
+        if !widened.is_finite() {
+            return None;
         }
-        d.clamp(MIN_DECAY, MAX_DECAY)
+        Some(
+            self.base
+                .hint_candidates(from, widened)
+                .unwrap_or_else(|| self.base.potential_receivers(from, Some(widened))),
+        )
     }
 
     fn signature(&self) -> u64 {

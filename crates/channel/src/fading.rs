@@ -18,9 +18,12 @@ use crate::draw::{mix, unit};
 const STREAM_FADE: u64 = 23;
 
 /// Power-gain clamp: a fade can bury a link ~90 dB or boost it ~10× but
-/// never drives a decay to 0 or ∞.
+/// never drives a decay to 0 or ∞. `MAX_GAIN` doubles as the sound
+/// reach-widening slack for structured hints: a fade divides a decay by
+/// at most `MAX_GAIN`, so a node outside `reach · MAX_GAIN` of the
+/// unfaded field can never fade into reach.
 const MIN_GAIN: f64 = 1e-9;
-const MAX_GAIN: f64 = 1e1;
+pub(crate) const MAX_GAIN: f64 = 1e1;
 
 /// Block Rayleigh fading parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

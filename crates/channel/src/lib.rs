@@ -14,8 +14,14 @@
 //! * [`TemporalBackend`] — a gain field quantized into *coherence
 //!   blocks*: constant within a block, free to change between blocks.
 //!   The block structure keeps the engine's `O(active · k)` hot path:
-//!   reach sets are recomputed only at block boundaries
-//!   ([`TemporalAdapter`] caches them per block).
+//!   reach sets are recomputed only at block boundaries.
+//!   [`TemporalAdapter`] caches them in immutable per-block snapshots
+//!   published through a lock-free [`decay_core::EpochCell`] (block-0
+//!   static view pinned separately, per-source dense rows built by one
+//!   batched [`TemporalBackend::decay_row_in_block`] call), and
+//!   [`TemporalChannel::with_geometric_hints`] shrinks each per-block
+//!   scan from `n` nodes to a conservatively widened window of the base
+//!   topology's hint.
 //! * [`TemporalChannel`] — mobility ([`MobilityModel::RandomWaypoint`],
 //!   [`MobilityModel::LevyWalk`], [`MobilityModel::Group`] over
 //!   `decay-spaces` point sets), Gudmundson-style spatially correlated
@@ -88,5 +94,5 @@ pub use fading::FadingConfig;
 pub use mobility::{MobilityConfig, MobilityModel};
 pub use monitor::{sample, MetricityMonitor, ZetaSample};
 pub use shadowing::ShadowingConfig;
-pub use temporal::{TemporalAdapter, TemporalBackend};
+pub use temporal::{ScanStats, TemporalAdapter, TemporalBackend};
 pub use trace::{GainFrame, GainTrace, TraceChannel, TraceError};

@@ -60,6 +60,30 @@ pub enum MobilityModel {
     },
 }
 
+impl MobilityModel {
+    /// An upper bound on any node's displacement from its deployment
+    /// position after `blocks` coherence blocks, in deployment distance
+    /// units. The bound is structural (speed caps and jitter amplitudes,
+    /// no draws), so it holds for every seed — which is what lets a
+    /// reach scan widen the base topology's hint window conservatively
+    /// (`reach + 2 · max_displacement`) instead of scanning all `n`
+    /// nodes.
+    pub fn max_displacement(&self, blocks: u64) -> f64 {
+        let blocks = blocks as f64;
+        match *self {
+            // A walker covers at most `speed` per block.
+            MobilityModel::RandomWaypoint { speed, .. } => speed * blocks,
+            // One step per block, truncated at `cap`.
+            MobilityModel::LevyWalk { cap, .. } => cap * blocks,
+            // The reference point walks at `speed`; members add a
+            // per-axis jitter of at most `spread` on top.
+            MobilityModel::Group { speed, spread, .. } => {
+                speed * blocks + spread * std::f64::consts::SQRT_2
+            }
+        }
+    }
+}
+
 /// A mobility model bound to a seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MobilityConfig {
@@ -377,6 +401,52 @@ mod tests {
         let s = advance_to(&engine, 60);
         for p in &s.pos {
             assert!((0.0..=5.0).contains(&p.0), "x escaped: {}", p.0);
+        }
+    }
+
+    #[test]
+    fn max_displacement_bounds_actual_trajectories() {
+        for (model, seeds) in [
+            (
+                MobilityModel::RandomWaypoint {
+                    speed: 0.8,
+                    pause: 0,
+                },
+                0u64..6,
+            ),
+            (
+                MobilityModel::LevyWalk {
+                    scale: 0.4,
+                    exponent: 1.3,
+                    cap: 1.5,
+                },
+                0..6,
+            ),
+            (
+                MobilityModel::Group {
+                    groups: 3,
+                    speed: 0.6,
+                    spread: 0.3,
+                },
+                0..6,
+            ),
+        ] {
+            for seed in seeds {
+                let pts = line(11);
+                let engine = MobilityEngine::new(MobilityConfig { model, seed }, pts.clone());
+                let mut s = engine.initial_state();
+                for block in 1..=25u64 {
+                    engine.advance(&mut s);
+                    let bound = model.max_displacement(block);
+                    for (p, q) in s.pos.iter().zip(&pts) {
+                        let d = distance(*p, *q);
+                        assert!(
+                            d <= bound + 1e-9,
+                            "{model:?} seed {seed} block {block}: moved {d} > bound {bound}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -92,9 +92,20 @@ impl MetricityMonitor {
 
 /// Samples `ζ`/`φ` of `backend`'s instantaneous matrix at `tick` over an
 /// evenly spaced subset of at most `max_nodes` nodes.
+///
+/// Backends with fewer than 3 nodes admit no triple, so no triangle
+/// inequality binds: the sample degenerates to `ζ = φ = 0` instead of
+/// panicking (which monitoring a 1- or 2-node space once did).
 pub fn sample(tick: Tick, backend: &dyn DecayBackend, max_nodes: usize) -> ZetaSample {
     let n = backend.len();
     let k = n.min(max_nodes);
+    if k < 3 {
+        return ZetaSample {
+            tick,
+            zeta: 0.0,
+            phi: 0.0,
+        };
+    }
     let idx: Vec<usize> = (0..k).map(|t| t * n / k).collect();
     let space = DecaySpace::from_fn(k, |a, b| {
         backend.decay_at(tick, NodeId::new(idx[a]), NodeId::new(idx[b]))
@@ -142,6 +153,22 @@ mod tests {
         assert_eq!(mon.samples().len(), 2);
         assert_eq!(mon.samples()[1].tick, 8);
         assert_eq!(mon.clone().into_samples().len(), 2);
+    }
+
+    #[test]
+    fn tiny_backends_sample_degenerately_instead_of_panicking() {
+        for n in [1usize, 2] {
+            let backend = geometric_line(n, 2.0);
+            let s = sample(5, &backend, 16);
+            assert_eq!(s.tick, 5);
+            assert_eq!(s.zeta, 0.0, "n = {n}: no triple binds");
+            assert_eq!(s.phi, 0.0, "n = {n}: no triple binds");
+            // The monitor path folds the degenerate sample too.
+            let mut mon = MetricityMonitor::new(1, 16);
+            mon.record(0, &backend);
+            assert_eq!(mon.samples().len(), 1);
+            assert_eq!(mon.samples()[0].zeta, 0.0);
+        }
     }
 
     #[test]

@@ -189,6 +189,18 @@ impl ShadowField {
         let x_db = self.config.sigma_db * (fi + fj) * std::f64::consts::FRAC_1_SQRT_2;
         10f64.powf(x_db / 10.0)
     }
+
+    /// A sound lower bound on [`Self::link_factor`] between a node with
+    /// field value `fi` and *any* partner this block, given the block's
+    /// minimum field value `f_min`: the factor is monotone in the
+    /// partner's field value, so evaluating at the minimum bounds every
+    /// pair, with a small margin shaved off against `pow` rounding.
+    /// Structured reach hints divide the reach budget by this floor —
+    /// the deeper the block's shadowing dips, the wider the candidate
+    /// window must open.
+    pub(crate) fn link_factor_floor(&self, fi: f64, f_min: f64) -> f64 {
+        self.link_factor(fi, f_min) * 0.999
+    }
 }
 
 #[cfg(test)]

@@ -14,12 +14,28 @@
 //! *static* view (`decay`, `potential_receivers`) is the block-0 field —
 //! what deployment-time computations (broadcast neighborhoods, link
 //! viability) see.
+//!
+//! # Epoch snapshots
+//!
+//! Per-block state lives in immutable [`BlockSnapshot`]s published
+//! through a lock-free [`decay_core::EpochCell`], not behind a mutex:
+//! the block-0 snapshot is pinned for the adapter's lifetime and the
+//! current block's snapshot is swapped in at block boundaries, so
+//! interleaved static-view and tick-aware queries (monitor sampling,
+//! deployment-time neighborhood checks mid-run) can never invalidate
+//! each other's cache — the thrash that once forced an `O(n)` rescan
+//! per call. Within a snapshot, each touched source gets one immutable
+//! row: a dense decay cache over the source's candidate window, built
+//! by a single batched [`TemporalBackend::decay_row_in_block`] call
+//! (one epoch solve per row, not per pair) and shared by reach queries
+//! and hot-path `decay_at` lookups alike, so the backend evaluates at
+//! most once per (block, pair).
 
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use decay_core::NodeId;
+use decay_core::{EpochCell, NodeId};
 use decay_engine::{DecayBackend, Tick};
 
 use crate::draw::mix;
@@ -49,6 +65,30 @@ pub trait TemporalBackend: Send + Sync {
     /// The decay of `(from, to)` during coherence block `block`.
     fn decay_in_block(&self, block: u64, from: NodeId, to: NodeId) -> f64;
 
+    /// The decays from `from` to each of `targets` during `block`, in
+    /// order. Must agree bit-for-bit with per-pair
+    /// [`Self::decay_in_block`] calls; the point of the method is
+    /// *cost* — implementations with per-block derived state (mobility
+    /// positions, shadowing fields) resolve it once for the whole row
+    /// instead of once per pair. The default delegates pair by pair.
+    fn decay_row_in_block(&self, block: u64, from: NodeId, targets: &[NodeId]) -> Vec<f64> {
+        targets
+            .iter()
+            .map(|&to| self.decay_in_block(block, from, to))
+            .collect()
+    }
+
+    /// A conservative candidate-receiver window for a reach scan: every
+    /// node whose decay from `from` during `block` can possibly be
+    /// `≤ reach` must appear (supersets, duplicates, and `from` itself
+    /// are fine — callers re-filter against the exact field). `None`
+    /// means no structural bound exists and the caller must scan all
+    /// `n` nodes. The default declines.
+    fn reach_candidates(&self, block: u64, from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+        let _ = (block, from, reach);
+        None
+    }
+
     /// A non-zero fingerprint of the channel's configuration, recorded in
     /// engine checkpoints (format v3) and verified on restore.
     fn signature(&self) -> u64;
@@ -60,22 +100,110 @@ pub(crate) fn signature_of(words: &[u64]) -> u64 {
     mix(words).max(1)
 }
 
-/// Cached reach candidate lists for the current coherence block.
-struct ReachCache {
+/// Reach-scan counters for one [`TemporalAdapter`] (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Reach scans performed (row builds plus uncached wide-reach
+    /// scans) — at most one per (block, source) on the cached path.
+    pub scans: u64,
+    /// Total candidate pairs evaluated across those scans. Dividing by
+    /// `scans` gives the effective candidate-window width; without
+    /// structured hints it is `n`.
+    pub pairs: u64,
+}
+
+/// One source's immutable per-block row cache.
+struct SourceRow {
+    /// Sorted candidate ids the row covers; `None` means every node
+    /// (a dense row indexed by node).
+    candidates: Option<Vec<NodeId>>,
+    /// The largest reach the candidate window is valid for (`∞` for
+    /// dense rows); queries beyond it bypass the row.
+    window_reach: f64,
+    /// Decays aligned with `candidates` (dense rows: indexed by node).
+    decays: Vec<f64>,
+    /// The first exact reach list materialized from this row, keyed by
+    /// the reach bits (runs overwhelmingly use one reach value; other
+    /// reaches re-filter `decays` without re-evaluating the field).
+    list: OnceLock<(u64, Vec<NodeId>)>,
+}
+
+impl SourceRow {
+    /// The cached decay for `to`, if the row covers it.
+    fn lookup(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        match &self.candidates {
+            None => self.decays.get(to.index()).copied(),
+            Some(c) => {
+                if from == to {
+                    return Some(0.0);
+                }
+                c.binary_search(&to).ok().map(|k| self.decays[k])
+            }
+        }
+    }
+
+    /// The exact receiver list for `reach`, filtered from the cached
+    /// decays (ascending node order, matching a brute-force scan).
+    fn filter(&self, from: NodeId, reach: f64) -> Vec<NodeId> {
+        match &self.candidates {
+            None => (0..self.decays.len())
+                .filter(|&j| j != from.index() && self.decays[j] <= reach)
+                .map(NodeId::new)
+                .collect(),
+            Some(c) => c
+                .iter()
+                .zip(&self.decays)
+                .filter(|&(_, &d)| d <= reach)
+                .map(|(&v, _)| v)
+                .collect(),
+        }
+    }
+}
+
+/// The immutable per-block snapshot: one lazily built [`SourceRow`] per
+/// touched source. Snapshots are never mutated after a row is built —
+/// rows fill in exactly once through their `OnceLock` — so readers need
+/// no synchronization beyond the `EpochCell` load that handed them the
+/// snapshot.
+struct BlockSnapshot {
     block: u64,
-    /// `(from, reach bits)` → candidates, valid for `block` only.
-    lists: HashMap<(usize, u64), Vec<NodeId>>,
+    rows: Box<[OnceLock<Box<SourceRow>>]>,
+}
+
+impl BlockSnapshot {
+    fn empty(block: u64, n: usize) -> Self {
+        BlockSnapshot {
+            block,
+            rows: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
 }
 
 /// Adapts a [`TemporalBackend`] to the engine's [`DecayBackend`].
 ///
-/// Reach sets are exact per block (a full scan against the instantaneous
-/// field — no structural hint survives mobility) but cached for the
-/// block's duration, so the scan cost amortizes over `block_len` ticks
-/// of transmissions.
+/// Reach sets are exact per block — a scan against the instantaneous
+/// field over the backend's candidate window
+/// ([`TemporalBackend::reach_candidates`], all `n` nodes when the
+/// backend has no structural hint) — and cached in the block's
+/// snapshot, so the scan cost amortizes over `block_len` ticks of
+/// transmissions. The block-0 snapshot (the static deployment view) is
+/// pinned independently of the current block's, so interleaving
+/// `potential_receivers` with `potential_receivers_at` never thrashes
+/// either cache.
 pub struct TemporalAdapter {
     inner: Box<dyn TemporalBackend>,
-    cache: Mutex<ReachCache>,
+    n: usize,
+    /// The pinned block-0 snapshot backing the static view.
+    block0: Arc<BlockSnapshot>,
+    /// The current block's snapshot, swapped at block boundaries.
+    current: EpochCell<BlockSnapshot>,
+    /// All node ids in order, built once — unbounded-reach
+    /// (`reach: None`) lists are sliced out of it per call (two
+    /// memcpys around the source) instead of re-filtering `0..n`, and
+    /// it is block-independent so it lives beside the snapshots.
+    all_nodes: OnceLock<Vec<NodeId>>,
+    scans: AtomicU64,
+    pairs: AtomicU64,
 }
 
 impl TemporalAdapter {
@@ -86,12 +214,16 @@ impl TemporalAdapter {
     /// Panics if the backend declares a zero block length.
     pub fn new(inner: impl TemporalBackend + 'static) -> Self {
         assert!(inner.block_len() >= 1, "coherence block must be >= 1 tick");
+        let n = inner.len();
+        let block0 = Arc::new(BlockSnapshot::empty(0, n));
         TemporalAdapter {
             inner: Box::new(inner),
-            cache: Mutex::new(ReachCache {
-                block: 0,
-                lists: HashMap::new(),
-            }),
+            n,
+            current: EpochCell::new(Arc::clone(&block0)),
+            block0,
+            all_nodes: OnceLock::new(),
+            scans: AtomicU64::new(0),
+            pairs: AtomicU64::new(0),
         }
     }
 
@@ -105,30 +237,104 @@ impl TemporalAdapter {
         tick / self.inner.block_len()
     }
 
-    fn receivers_in_block(&self, block: u64, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
-        let n = self.inner.len();
-        let Some(r) = reach else {
-            return (0..n)
-                .filter(|&j| j != from.index())
-                .map(NodeId::new)
-                .collect();
-        };
-        let mut cache = self.cache.lock().expect("reach cache poisoned");
-        if cache.block != block {
-            cache.lists.clear();
-            cache.block = block;
+    /// Cumulative reach-scan counters (diagnostic; see E39).
+    pub fn scan_stats(&self) -> ScanStats {
+        ScanStats {
+            scans: self.scans.load(Ordering::Relaxed),
+            pairs: self.pairs.load(Ordering::Relaxed),
         }
-        cache
-            .lists
-            .entry((from.index(), r.to_bits()))
-            .or_insert_with(|| {
-                (0..n)
-                    .filter(|&j| j != from.index())
-                    .map(NodeId::new)
-                    .filter(|&to| self.inner.decay_in_block(block, from, to) <= r)
-                    .collect()
-            })
-            .clone()
+    }
+
+    /// The snapshot for `block`, publishing a fresh one if the current
+    /// block moved on. Block 0 is pinned and never republished.
+    fn snapshot(&self, block: u64) -> Arc<BlockSnapshot> {
+        if block == 0 {
+            return Arc::clone(&self.block0);
+        }
+        let current = self.current.load();
+        if current.block == block {
+            return current;
+        }
+        let n = self.n;
+        self.current
+            .update_if(|cur| (cur.block != block).then(|| Arc::new(BlockSnapshot::empty(block, n))))
+    }
+
+    /// Evaluates one candidate window against the instantaneous field.
+    fn scan(&self, block: u64, from: NodeId, reach: f64) -> SourceRow {
+        let (candidates, window_reach) = match self.inner.reach_candidates(block, from, reach) {
+            None => (None, f64::INFINITY),
+            Some(mut c) => {
+                c.retain(|&v| v != from && v.index() < self.n);
+                c.sort_unstable();
+                c.dedup();
+                (Some(c), reach)
+            }
+        };
+        let decays = match &candidates {
+            None => {
+                let all: Vec<NodeId> = (0..self.n).map(NodeId::new).collect();
+                self.inner.decay_row_in_block(block, from, &all)
+            }
+            Some(c) => self.inner.decay_row_in_block(block, from, c),
+        };
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.pairs.fetch_add(decays.len() as u64, Ordering::Relaxed);
+        SourceRow {
+            candidates,
+            window_reach,
+            decays,
+            list: OnceLock::new(),
+        }
+    }
+
+    /// The row for (`snapshot.block`, `from`), built on first touch;
+    /// `None` when the existing row's window is too narrow for `reach`
+    /// (the caller falls back to an uncached exact scan).
+    fn row<'a>(
+        &self,
+        snapshot: &'a BlockSnapshot,
+        from: NodeId,
+        reach: f64,
+    ) -> Option<&'a SourceRow> {
+        let cell = &snapshot.rows[from.index()];
+        let row = match cell.get() {
+            Some(row) => row,
+            None => cell.get_or_init(|| Box::new(self.scan(snapshot.block, from, reach))),
+        };
+        (reach <= row.window_reach).then_some(&**row)
+    }
+
+    fn receivers_in_block(&self, block: u64, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
+        let Some(r) = reach else {
+            // Everyone but the source: slice the shared id list around
+            // `from` (the trait returns an owned `Vec`, so one `O(n)`
+            // allocation is unavoidable — but not an `O(n)` filter, and
+            // not `O(n)` retained memory per source).
+            let all = self
+                .all_nodes
+                .get_or_init(|| (0..self.n).map(NodeId::new).collect());
+            let mut out = Vec::with_capacity(self.n.saturating_sub(1));
+            out.extend_from_slice(&all[..from.index()]);
+            out.extend_from_slice(&all[from.index() + 1..]);
+            return out;
+        };
+        let snapshot = self.snapshot(block);
+        match self.row(&snapshot, from, r) {
+            Some(row) => {
+                if let Some((bits, list)) = row.list.get() {
+                    if *bits == r.to_bits() {
+                        return list.clone();
+                    }
+                }
+                let list = row.filter(from, r);
+                let _ = row.list.set((r.to_bits(), list.clone()));
+                list
+            }
+            // The cached row was built for a narrower reach: answer
+            // exactly without disturbing it.
+            None => self.scan(block, from, r).filter(from, r),
+        }
     }
 }
 
@@ -138,6 +344,7 @@ impl fmt::Debug for TemporalAdapter {
             .field("n", &self.inner.len())
             .field("block_len", &self.inner.block_len())
             .field("signature", &self.inner.signature())
+            .field("scan_stats", &self.scan_stats())
             .finish_non_exhaustive()
     }
 }
@@ -149,11 +356,32 @@ impl DecayBackend for TemporalAdapter {
 
     /// The block-0 field (the deployment-time static view).
     fn decay(&self, from: NodeId, to: NodeId) -> f64 {
+        if let Some(row) = self.block0.rows[from.index()].get() {
+            if let Some(d) = row.lookup(from, to) {
+                return d;
+            }
+        }
         self.inner.decay_in_block(0, from, to)
     }
 
     fn decay_at(&self, tick: Tick, from: NodeId, to: NodeId) -> f64 {
-        self.inner.decay_in_block(self.block_of(tick), from, to)
+        let block = self.block_of(tick);
+        if block == 0 {
+            return self.decay(from, to);
+        }
+        // Serve from the current snapshot's row when it covers the
+        // pair; never publish from this path (a stale-block probe — a
+        // monitor replaying history — must not evict the current
+        // block's rows).
+        let current = self.current.load();
+        if current.block == block {
+            if let Some(row) = current.rows[from.index()].get() {
+                if let Some(d) = row.lookup(from, to) {
+                    return d;
+                }
+            }
+        }
+        self.inner.decay_in_block(block, from, to)
     }
 
     fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
@@ -172,6 +400,8 @@ impl DecayBackend for TemporalAdapter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
 
     /// A toy field: decay |i - j|² scaled by (1 + block).
     struct Pulse {
@@ -194,6 +424,51 @@ mod tests {
         }
         fn signature(&self) -> u64 {
             signature_of(&[0xD0, self.n as u64])
+        }
+    }
+
+    /// Evaluation counts per (block, from, to).
+    type CallLedger = Arc<Mutex<HashMap<(u64, usize, usize), u64>>>;
+
+    /// `Pulse` with an evaluation ledger: how often each (block, pair)
+    /// was evaluated. The ledger is shared so the test keeps a handle
+    /// after the backend moves into the adapter.
+    struct CountingPulse {
+        inner: Pulse,
+        calls: CallLedger,
+    }
+
+    impl CountingPulse {
+        fn new(n: usize) -> (Self, CallLedger) {
+            let calls = Arc::new(Mutex::new(HashMap::new()));
+            (
+                CountingPulse {
+                    inner: Pulse { n },
+                    calls: Arc::clone(&calls),
+                },
+                calls,
+            )
+        }
+    }
+
+    impl TemporalBackend for CountingPulse {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn block_len(&self) -> Tick {
+            self.inner.block_len()
+        }
+        fn decay_in_block(&self, block: u64, from: NodeId, to: NodeId) -> f64 {
+            *self
+                .calls
+                .lock()
+                .unwrap()
+                .entry((block, from.index(), to.index()))
+                .or_insert(0) += 1;
+            self.inner.decay_in_block(block, from, to)
+        }
+        fn signature(&self) -> u64 {
+            self.inner.signature()
         }
     }
 
@@ -234,5 +509,108 @@ mod tests {
         );
         // No reach = everyone else, any block.
         assert_eq!(a.potential_receivers_at(12, NodeId::new(5), None).len(), 9);
+    }
+
+    /// The PR-4 regression: interleaved block-0 (static view) and
+    /// block-N (tick-aware) reach queries once shared a single-slot
+    /// cache, so each call cleared the other's entries and forced a
+    /// fresh `O(n)` scan. With pinned per-block snapshots the backend
+    /// is consulted at most once per (block, pair), however the calls
+    /// interleave.
+    #[test]
+    fn interleaved_static_and_tick_queries_never_thrash() {
+        let (backend, ledger) = CountingPulse::new(12);
+        let a = TemporalAdapter::new(backend);
+        let reach = Some(9.0);
+        // Engine-shaped access: ticks advance monotonically (revisiting
+        // a long-gone block legitimately rebuilds its snapshot), with a
+        // static-view query — the deployment-time check that used to
+        // clear the shared cache — wedged between every pair of
+        // tick-aware queries.
+        for tick in [4, 5, 8, 9, 12, 13, 40, 41] {
+            for src in [0usize, 3, 7] {
+                let from = NodeId::new(src);
+                let at = a.potential_receivers_at(tick, from, reach);
+                let fixed = a.potential_receivers(from, reach);
+                assert_eq!(
+                    at,
+                    a.potential_receivers_at(tick, from, reach),
+                    "tick {tick} src {src}"
+                );
+                assert_eq!(fixed, a.potential_receivers(from, reach));
+            }
+        }
+        let calls = ledger.lock().unwrap();
+        assert!(!calls.is_empty());
+        for (&(block, i, j), &count) in calls.iter() {
+            assert_eq!(
+                count, 1,
+                "decay_in_block({block}, {i}, {j}) evaluated {count} times"
+            );
+        }
+        // Block 0 (the static view) plus blocks 1, 2, 3, 10 (ticks 4–41
+        // at block_len 4) all appear.
+        let blocks: std::collections::HashSet<u64> = calls.keys().map(|&(b, _, _)| b).collect();
+        assert!(blocks.contains(&0), "static view evaluated block 0");
+        assert!(blocks.len() >= 4, "tick-aware queries spanned blocks");
+    }
+
+    /// Unbounded-reach (`reach: None`) lists were rebuilt (an `O(n)`
+    /// allocation) on every call; they are now cached per source.
+    #[test]
+    fn unbounded_reach_lists_are_cached() {
+        let a = TemporalAdapter::new(Pulse { n: 64 });
+        let from = NodeId::new(9);
+        let first = a.potential_receivers_at(0, from, None);
+        assert_eq!(first.len(), 63);
+        // Same list from any block — and no field evaluations at all.
+        assert_eq!(a.potential_receivers_at(400, from, None), first);
+        assert_eq!(a.potential_receivers(from, None), first);
+        assert_eq!(a.scan_stats().scans, 0, "reach: None never scans the field");
+    }
+
+    /// A wider reach than the cached row's window answers exactly
+    /// without evicting the narrow row.
+    #[test]
+    fn wider_reach_bypasses_but_keeps_the_row() {
+        struct Windowed;
+        impl TemporalBackend for Windowed {
+            fn len(&self) -> usize {
+                10
+            }
+            fn block_len(&self) -> Tick {
+                1
+            }
+            fn decay_in_block(&self, block: u64, from: NodeId, to: NodeId) -> f64 {
+                Pulse { n: 10 }.decay_in_block(block, from, to)
+            }
+            fn reach_candidates(&self, _b: u64, from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+                let w = reach.sqrt().ceil() as usize + 1;
+                Some(
+                    (from.index().saturating_sub(w)..=(from.index() + w).min(9))
+                        .map(NodeId::new)
+                        .collect(),
+                )
+            }
+            fn signature(&self) -> u64 {
+                signature_of(&[0xF1])
+            }
+        }
+        let a = TemporalAdapter::new(Windowed);
+        let from = NodeId::new(5);
+        // Block 2 scales decays by 3: reach 3 ⇒ distance ≤ 1.
+        let narrow = a.potential_receivers_at(2, from, Some(3.0));
+        assert_eq!(narrow, vec![NodeId::new(4), NodeId::new(6)]);
+        // Reach 27 ⇒ distance ≤ 3, wider than the cached row's window.
+        let wide = a.potential_receivers_at(2, from, Some(27.0));
+        assert_eq!(
+            wide,
+            vec![2, 3, 4, 6, 7, 8]
+                .into_iter()
+                .map(NodeId::new)
+                .collect::<Vec<_>>()
+        );
+        // The narrow row still answers its own reach from cache.
+        assert_eq!(a.potential_receivers_at(2, from, Some(3.0)), narrow);
     }
 }

@@ -10,11 +10,11 @@ use decay_channel::{
 };
 use decay_core::NodeId;
 use decay_engine::{
-    Checkpoint, DecayBackend, Engine, EngineConfig, EngineError, EventBehavior, LazyBackend,
-    NodeCtx,
+    Checkpoint, DecayBackend, DenseBackend, Engine, EngineConfig, EngineError, EventBehavior,
+    LazyBackend, NodeCtx, TiledBackend,
 };
 use decay_sinr::SinrParams;
-use decay_spaces::line_points;
+use decay_spaces::{distance, geometric_space, line_points};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -62,6 +62,7 @@ fn base() -> LazyBackend {
 fn stormy_channel(seed: u64, block_len: u64) -> TemporalAdapter {
     TemporalAdapter::new(
         TemporalChannel::new(base(), line_points(N, 1.0), 2.0, block_len)
+            .with_geometric_hints()
             .with_mobility(MobilityConfig {
                 model: MobilityModel::RandomWaypoint {
                     speed: 0.5,
@@ -188,8 +189,98 @@ fn monitor_sees_drift_under_a_temporal_channel() {
     );
 }
 
+/// One of the three static bases realizing the geometric line field
+/// (bit-identical across the three — the standing cross-backend
+/// invariant).
+fn geometric_base(kind: usize) -> Box<dyn DecayBackend> {
+    let pts = line_points(N, 1.0);
+    let f = move |i: usize, j: usize| distance(pts[i], pts[j]).powf(2.0);
+    match kind {
+        0 => Box::new(DenseBackend::new(
+            geometric_space(&line_points(N, 1.0), 2.0).expect("distinct points"),
+        )),
+        1 => {
+            let last = N - 1;
+            Box::new(
+                LazyBackend::from_fn(N, f).with_neighbor_hint(move |i, reach| {
+                    let w = reach.sqrt().ceil() as usize;
+                    (i.saturating_sub(w)..=(i + w).min(last)).collect()
+                }),
+            )
+        }
+        _ => Box::new(TiledBackend::from_fn(N, 4, 3, f)),
+    }
+}
+
+/// A channel over `geometric_base(kind)` with the layer subset `mask`
+/// (bit 0 mobility, bit 1 shadowing, bit 2 fading) and structured
+/// reach hints enabled.
+fn hinted_channel(kind: usize, seed: u64, mask: u8, block_len: u64) -> TemporalAdapter {
+    let mut ch = TemporalChannel::new(geometric_base(kind), line_points(N, 1.0), 2.0, block_len)
+        .with_geometric_hints();
+    if mask & 1 != 0 {
+        ch = ch.with_mobility(MobilityConfig {
+            model: MobilityModel::RandomWaypoint {
+                speed: 0.5,
+                pause: 1,
+            },
+            seed,
+        });
+    }
+    if mask & 2 != 0 {
+        ch = ch.with_shadowing(ShadowingConfig {
+            sigma_db: 4.0,
+            corr_dist: 3.0,
+            time_corr: 0.7,
+            seed: seed ^ 0xA5,
+        });
+    }
+    if mask & 4 != 0 {
+        ch = ch.with_fading(FadingConfig { seed: seed ^ 0x5A });
+    }
+    TemporalAdapter::new(ch)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The snapshot path (hint-widened candidate windows, cached rows,
+    /// pinned block-0 snapshot) answers every reach query exactly as a
+    /// brute-force per-block scan does — across random interleavings of
+    /// blocks, sources, and reach values (including `None`), under
+    /// every layer subset, on all three static bases.
+    #[test]
+    fn snapshot_reach_sets_equal_brute_force_scans(
+        seed in 0u64..300,
+        mask in 0u8..8,
+        block_len in 1u64..6,
+        // Reach index 4 encodes `None` (the vendored proptest stand-in
+        // has no `option::of`).
+        queries in prop::collection::vec((0u64..10, 0usize..N, 0usize..5), 24),
+    ) {
+        let reaches = [4.0, 9.0, 36.0, 1e6];
+        for kind in 0..3 {
+            let adapter = hinted_channel(kind, seed, mask, block_len);
+            for &(block, src, reach_idx) in &queries {
+                let from = NodeId::new(src);
+                let reach = (reach_idx < 4).then(|| reaches[reach_idx]);
+                let got = adapter.potential_receivers_at(block * block_len, from, reach);
+                let want: Vec<NodeId> = (0..N)
+                    .filter(|&j| j != src)
+                    .map(NodeId::new)
+                    .filter(|&to| match reach {
+                        None => true,
+                        Some(r) => adapter.inner().decay_in_block(block, from, to) <= r,
+                    })
+                    .collect();
+                prop_assert_eq!(
+                    got, want,
+                    "base {} mask {} block {} src {} reach {:?}",
+                    kind, mask, block, src, reach
+                );
+            }
+        }
+    }
 
     /// Checkpoint/resume at an arbitrary split under a full generative
     /// channel reproduces the uninterrupted run bit for bit — without

@@ -89,6 +89,21 @@ pub trait DecayBackend: Send + Sync {
         self.potential_receivers(from, reach)
     }
 
+    /// The raw candidate window a structured neighbor hint yields for
+    /// `(from, reach)`, *unfiltered* by this backend's decay — `None`
+    /// when the backend has no structural hint installed.
+    ///
+    /// [`Self::potential_receivers`] filters its hint window against
+    /// this backend's own decay; callers that re-filter against a
+    /// *different* field — a temporal channel widening the window
+    /// conservatively before testing the instantaneous decays — use
+    /// this to skip that redundant base pass. Results may include
+    /// `from`, duplicates, or out-of-range indices; callers sanitize.
+    fn hint_candidates(&self, from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+        let _ = (from, reach);
+        None
+    }
+
     /// A fingerprint of the backend's *channel* configuration: 0 for
     /// every static backend, a hash of the channel parameters for
     /// temporal ones. Checkpoints record it (format v3) and
@@ -131,6 +146,10 @@ impl<T: DecayBackend + ?Sized> DecayBackend for Box<T> {
 
     fn potential_receivers_at(&self, tick: Tick, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
         (**self).potential_receivers_at(tick, from, reach)
+    }
+
+    fn hint_candidates(&self, from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+        (**self).hint_candidates(from, reach)
     }
 
     fn channel_signature(&self) -> u64 {
@@ -260,6 +279,16 @@ impl DecayBackend for LazyBackend {
             to.index()
         );
         v
+    }
+
+    fn hint_candidates(&self, from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+        self.neighbors.as_ref().map(|hint| {
+            hint(from.index(), reach)
+                .into_iter()
+                .filter(|&j| j < self.n)
+                .map(NodeId::new)
+                .collect()
+        })
     }
 
     fn potential_receivers(&self, from: NodeId, reach: Option<f64>) -> Vec<NodeId> {
@@ -542,6 +571,9 @@ mod tests {
         ) -> Vec<NodeId> {
             vec![NodeId::new(tick as usize)]
         }
+        fn hint_candidates(&self, _from: NodeId, reach: f64) -> Option<Vec<NodeId>> {
+            Some(vec![NodeId::new(reach as usize)])
+        }
         fn channel_signature(&self) -> u64 {
             0xABCD
         }
@@ -566,6 +598,11 @@ mod tests {
             boxed.potential_receivers_at(1, NodeId::new(0), None),
             vec![NodeId::new(1)],
             "potential_receivers_at override lost through Box"
+        );
+        assert_eq!(
+            boxed.hint_candidates(NodeId::new(0), 2.0),
+            Some(vec![NodeId::new(2)]),
+            "hint_candidates override lost through Box"
         );
         assert_eq!(boxed.channel_signature(), 0xABCD);
         // Double boxing forwards too.

@@ -70,8 +70,15 @@ impl ChannelSpec {
         if let Some(trace) = &self.trace {
             return Box::new(TemporalAdapter::new(TraceChannel::new(trace.clone())));
         }
+        // Every named topology realizes the geometric field of its
+        // deployment (`dist^alpha` — see `crate::topology`), so the
+        // channel can widen the base hint window conservatively instead
+        // of scanning all n nodes per (block, source). Hints are
+        // re-filtered against the exact instantaneous field: they change
+        // cost, never values, so trace digests are unaffected.
         let mut channel =
-            TemporalChannel::new(base(), topology.points(), topology.alpha(), self.block);
+            TemporalChannel::new(base(), topology.points(), topology.alpha(), self.block)
+                .with_geometric_hints();
         if let Some(m) = self.mobility {
             channel = channel.with_mobility(m.to_config());
         }
