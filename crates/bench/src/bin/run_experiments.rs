@@ -6,6 +6,7 @@
 //! run_experiments              # all experiments
 //! run_experiments E4 E9 E16    # a selection
 //! run_experiments --csv out/   # also dump CSVs per experiment
+//! run_experiments --json out/  # also dump JSON per experiment (CI artifacts)
 //! ```
 
 use std::time::Instant;
@@ -13,6 +14,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -20,6 +22,12 @@ fn main() {
             csv_dir = it.next();
             if csv_dir.is_none() {
                 eprintln!("--csv requires a directory argument");
+                std::process::exit(2);
+            }
+        } else if a == "--json" {
+            json_dir = it.next();
+            if json_dir.is_none() {
+                eprintln!("--json requires a directory argument");
                 std::process::exit(2);
             }
         } else {
@@ -41,6 +49,9 @@ fn main() {
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv directory");
     }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json directory");
+    }
     let total = Instant::now();
     for exp in experiments {
         let started = Instant::now();
@@ -50,6 +61,10 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{}.csv", exp.id.to_lowercase());
             std::fs::write(&path, table.to_csv()).expect("write csv");
+        }
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{}.json", exp.id.to_lowercase());
+            std::fs::write(&path, table.to_json_string()).expect("write json");
         }
     }
     println!("total: {:.2?}", total.elapsed());

@@ -1,0 +1,176 @@
+//! E40: ζ(t)-adaptive scheduling — the first experiment where the
+//! metricity trajectory is *consumed*, not just observed.
+//!
+//! A fixed transmit probability is tuned for one gain-field regime;
+//! under a drifting channel the field sweeps through many. The
+//! `AdaptiveContention` controller re-tunes every node's probability
+//! per coherence block from a live ζ(t) estimate, through the scenario
+//! runner's probe/controller seam. Because its decisions are a pure
+//! function of `(tick, backend)`, the adaptive run stays a
+//! reproducible artifact: deterministic in the spec, bit-identical
+//! across a mid-run checkpoint/resume cycle, with the controller's
+//! identity folded into the checkpoint signature.
+
+use decay_engine::Tick;
+use decay_netsim::ReceptionModel;
+use decay_scenario::{
+    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
+    ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
+};
+
+use crate::table::{fmt_f, fmt_ok, Table};
+
+const HORIZON: Tick = 512;
+const CHECK: Tick = 32;
+const BASE_P: f64 = 0.15;
+
+/// The shared storm workload: free-running announce traffic over a
+/// random deployment with mobility + shadowing + fading, with or
+/// without the ζ(t)-adaptive block. Announce is the sensitive
+/// workload: every node redraws its transmit gap from the live
+/// probability for the whole horizon.
+fn storm_spec(block: Tick, adaptive: bool) -> ScenarioSpec {
+    // Decisions fire on the pause grid; per-block re-tuning needs the
+    // decision interval to track the coherence block where possible.
+    let interval = block.max(CHECK);
+    ScenarioSpec {
+        name: format!(
+            "e40_block{block}_{}",
+            if adaptive { "adaptive" } else { "fixed" }
+        ),
+        seed: 40,
+        horizon: HORIZON,
+        check_interval: CHECK,
+        topology: TopologySpec::Random {
+            n: 24,
+            size: 14.0,
+            alpha: 2.5,
+            seed: 8,
+        },
+        backend: BackendSpec::Lazy,
+        sinr: SinrSpec {
+            beta: 1.0,
+            noise: 0.05,
+        },
+        reception: ReceptionModel::Threshold,
+        protocol: ProtocolSpec::Announce {
+            probability: BASE_P,
+            power: 1.0,
+        },
+        churn: None,
+        faults: vec![],
+        jamming: decay_engine::JamSchedule::None,
+        latency: decay_engine::LatencyModel::Immediate,
+        reach_decay: Some(400.0),
+        top_k: Some(6),
+        channel: Some(ChannelSpec {
+            block,
+            mobility: Some(MobilitySpec::Waypoint {
+                speed: 0.5,
+                pause: 1,
+                seed: 21,
+            }),
+            shadowing: Some(ShadowingSpec {
+                sigma_db: 3.5,
+                corr_dist: 3.0,
+                time_corr: 0.7,
+                seed: 22,
+            }),
+            fading: Some(FadingSpec { seed: 23 }),
+            trace: None,
+            trace_path: None,
+            monitor: Some(MonitorSpec {
+                interval: CHECK,
+                max_nodes: 16,
+            }),
+        }),
+        prr_window: Some(64),
+        adaptive: adaptive.then_some(AdaptiveSpec {
+            interval,
+            max_nodes: 16,
+            base_p: BASE_P,
+            zeta_ref: 2.5,
+            floor: 0.03,
+            cap: 0.4,
+        }),
+    }
+}
+
+/// E40 — fixed vs ζ(t)-adaptive transmit probability across coherence
+/// block lengths, with the adaptive controller's checkpoint/resume
+/// fidelity verified per block.
+pub fn e40_adaptive_scheduling() -> Table {
+    let mut t = Table::new(
+        "E40",
+        "fixed vs ζ(t)-adaptive probability",
+        "re-tuning transmit probability per coherence block from a live ζ(t) \
+         estimate (through the probe/controller API) changes delivered traffic \
+         under a drifting channel while staying fully reproducible: the \
+         adaptive run is deterministic, and a mid-run checkpoint/resume cycle \
+         — with controller identity folded into the checkpoint signature — \
+         reproduces its digest bit for bit",
+        &[
+            "block",
+            "mode",
+            "tx",
+            "delivered",
+            "win_prr_mean",
+            "win_prr_min",
+            "zeta_mean",
+            "resume_ok",
+        ],
+    );
+    let mut all_resume_ok = true;
+    let mut all_differ = true;
+    let mut deterministic = true;
+    for block in [8u64, 32, 128] {
+        let mut hashes = [0u64; 2];
+        for (i, adaptive) in [false, true].into_iter().enumerate() {
+            let spec = storm_spec(block, adaptive);
+            let runner = ScenarioRunner::new(spec).expect("e40 spec validates");
+            let report = runner.run().expect("e40 run");
+            // The acceptance property: a mid-run checkpoint/resume cycle
+            // (controller identity verified on restore) is bit-identical.
+            let resumed = runner.run_with_resume(HORIZON / 2).expect("e40 resume run");
+            let resume_ok =
+                resumed.digest == report.digest && resumed.checkpointed == Some(HORIZON / 2);
+            all_resume_ok &= resume_ok;
+            deterministic &= runner.run().expect("rerun").digest == report.digest;
+            hashes[i] = report.digest.hash;
+
+            let windows = &report.metrics.prr_windows;
+            let win_mean = if windows.is_empty() {
+                0.0
+            } else {
+                windows.iter().map(|w| w.prr).sum::<f64>() / windows.len() as f64
+            };
+            let win_min = windows.iter().map(|w| w.prr).fold(f64::INFINITY, f64::min);
+            let zetas = &report.metrics.zeta_series;
+            let zeta_mean = if zetas.is_empty() {
+                0.0
+            } else {
+                zetas.iter().map(|z| z.zeta).sum::<f64>() / zetas.len() as f64
+            };
+            t.push_row(vec![
+                block.to_string(),
+                if adaptive { "adaptive" } else { "fixed" }.into(),
+                report.digest.stats.transmissions.to_string(),
+                report.digest.stats.deliveries.to_string(),
+                fmt_f(win_mean),
+                fmt_f(if win_min.is_finite() { win_min } else { 0.0 }),
+                fmt_f(zeta_mean),
+                fmt_ok(resume_ok),
+            ]);
+        }
+        all_differ &= hashes[0] != hashes[1];
+    }
+    t.set_verdict(if all_resume_ok && all_differ && deterministic {
+        "SUPPORTED: adaptive re-tuning steers the trace at every block length; \
+         all runs deterministic; adaptive checkpoints resume bit-identically"
+    } else if !all_differ {
+        "VIOLATED: the adaptive controller never changed the trace"
+    } else {
+        "VIOLATED: an adaptive run diverged across rerun or checkpoint/resume"
+    });
+    t
+}

@@ -2,6 +2,7 @@
 //! runnable experiment producing a [`Table`]. See DESIGN.md §4 for the
 //! index and EXPERIMENTS.md for recorded outcomes.
 
+mod adaptive;
 mod capacity;
 mod channel;
 mod engine;
@@ -231,6 +232,11 @@ pub fn all() -> Vec<Experiment> {
             title: "structured reach-hint window sweep",
             run: channel::e39_hint_window,
         },
+        Experiment {
+            id: "E40",
+            title: "fixed vs ζ(t)-adaptive probability",
+            run: adaptive::e40_adaptive_scheduling,
+        },
     ]
 }
 
@@ -246,7 +252,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let exps = all();
-        assert_eq!(exps.len(), 39);
+        assert_eq!(exps.len(), 40);
         for (i, e) in exps.iter().enumerate() {
             assert_eq!(e.id, format!("E{}", i + 1));
         }

@@ -60,6 +60,27 @@ impl Table {
         self.verdict = verdict.into();
     }
 
+    /// Renders as a JSON document (id, title, claim, headers, rows,
+    /// verdict) — the machine-readable artifact CI uploads alongside
+    /// `BENCH_engine.json`.
+    pub fn to_json_string(&self) -> String {
+        use decay_scenario::json::{obj, s, JsonValue};
+        let row_array =
+            |cells: &[String]| JsonValue::Array(cells.iter().map(|c| s(c)).collect::<Vec<_>>());
+        obj(vec![
+            ("id", s(&self.id)),
+            ("title", s(&self.title)),
+            ("claim", s(&self.claim)),
+            ("headers", row_array(&self.headers)),
+            (
+                "rows",
+                JsonValue::Array(self.rows.iter().map(|r| row_array(r)).collect()),
+            ),
+            ("verdict", s(&self.verdict)),
+        ])
+        .pretty()
+    }
+
     /// Renders as CSV (headers + rows).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();

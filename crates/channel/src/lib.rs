@@ -80,6 +80,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod channel;
 mod draw;
 mod fading;
@@ -89,6 +90,7 @@ mod shadowing;
 mod temporal;
 mod trace;
 
+pub use adaptive::AdaptiveContention;
 pub use channel::TemporalChannel;
 pub use fading::FadingConfig;
 pub use mobility::{MobilityConfig, MobilityModel};

@@ -90,6 +90,21 @@ impl MetricityMonitor {
     }
 }
 
+/// The monitor plugs directly into the probe API: every pause-grid
+/// stop offers the instantaneous backend, and [`MetricityMonitor::record`]
+/// already ignores off-grid ticks and duplicate pauses — which is what
+/// makes the ζ(t) series invariant to extra pauses (checkpoints) and
+/// probe subsets.
+impl decay_engine::probe::Probe for MetricityMonitor {
+    fn on_start(&mut self, ctx: &decay_engine::probe::PauseCtx<'_>) {
+        self.record(ctx.tick, ctx.backend);
+    }
+
+    fn on_pause(&mut self, ctx: &decay_engine::probe::PauseCtx<'_>) {
+        self.record(ctx.tick, ctx.backend);
+    }
+}
+
 /// Samples `ζ`/`φ` of `backend`'s instantaneous matrix at `tick` over an
 /// evenly spaced subset of at most `max_nodes` nodes.
 ///

@@ -160,6 +160,19 @@ impl EventBehavior for EventBroadcaster {
     }
 }
 
+/// The probe-API re-tune hook: a controller directive replaces the
+/// per-tick transmit probability. Already-scheduled wake-ups keep their
+/// tick; the new probability governs every gap drawn afterwards.
+impl decay_engine::probe::Tunable for EventBroadcaster {
+    fn set_probability(&mut self, p: f64) {
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 1.0,
+            "broadcast probability must be in (0, 1]"
+        );
+        self.p = p;
+    }
+}
+
 impl Codec for EventBroadcaster {
     fn encode(&self, out: &mut Vec<u8>) {
         self.p.encode(out);
@@ -276,17 +289,17 @@ pub fn run_local_broadcast_event<Bk: DecayBackend + 'static>(
     let required_pairs: usize = required.iter().map(Vec::len).sum();
     let probability = engine.behavior(NodeId::new(0)).p;
     let max_neighborhood = required.iter().map(Vec::len).max().unwrap_or(0);
-    let mut completed_at = None;
-    let mut covered = 0;
-    while engine.now() < config.max_ticks {
-        let next = (engine.now() + config.check_interval).min(config.max_ticks);
-        engine.run_until(next);
-        covered = covered_pairs(&engine, &required);
-        if covered == required_pairs {
-            completed_at = Some(engine.now());
-            break;
-        }
-    }
+    // The generic probed driver supplies the pause grid; this protocol
+    // only contributes its completion predicate (coverage of every
+    // required pair).
+    let completed_at = decay_engine::drive_until(
+        &mut engine,
+        config.max_ticks,
+        config.check_interval,
+        &mut [],
+        |e| covered_pairs(e, &required) == required_pairs,
+    );
+    let covered = covered_pairs(&engine, &required);
     EventBroadcastReport {
         completed_at,
         coverage: if required_pairs == 0 {

@@ -178,6 +178,37 @@ impl EventBehavior for ContentionNode {
     }
 }
 
+/// The probe-API re-tune hook: a controller directive re-centers an
+/// undelivered sender's probability schedule — current probability and
+/// recovery cap (`start`) move to `p`, so the backoff dynamics
+/// (`down`/`up`) operate around the new set point instead of silently
+/// recovering back to the old one. The failure floor keeps its
+/// strategy-configured value, lowered only when needed to preserve
+/// `floor ≤ start` — a one-way ratchet: a floor once lowered for a
+/// small set point stays low when the set point later rises, so
+/// backoff below the new set point remains possible. Receivers and
+/// delivered senders are unaffected.
+impl decay_engine::probe::Tunable for ContentionNode {
+    fn set_probability(&mut self, p: f64) {
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 1.0,
+            "contention probability must be in (0, 1]"
+        );
+        if let ContentionNode::Sender {
+            prob,
+            start,
+            floor,
+            delivered_at: None,
+            ..
+        } = self
+        {
+            *prob = p;
+            *start = p;
+            *floor = (*floor).min(p);
+        }
+    }
+}
+
 /// Byte-level state capture, so contention runs can checkpoint/resume
 /// through `decay_engine::Checkpoint` (the offline serde stand-in cannot
 /// serialize; see `decay_engine::codec`).
@@ -348,25 +379,21 @@ pub fn run_contention_event(
         EngineConfig::default(),
         config.seed,
     );
-    let check = 64;
-    let mut ticks_used = 0;
-    while engine.now() < config.max_ticks {
-        let next = (engine.now() + check).min(config.max_ticks);
-        engine.run_until(next);
-        ticks_used = engine.now();
-        let done = sender_of_link.iter().all(|&s| {
+    // The generic probed driver supplies the pause grid; this protocol
+    // only contributes its completion predicate (every viable link
+    // delivered).
+    decay_engine::drive_until(&mut engine, config.max_ticks, 64, &mut [], |e| {
+        sender_of_link.iter().all(|&s| {
             matches!(
-                engine.behavior(s),
+                e.behavior(s),
                 ContentionNode::Sender {
                     delivered_at: Some(_),
                     ..
                 } | ContentionNode::Sender { viable: false, .. }
             )
-        });
-        if done {
-            break;
-        }
-    }
+        })
+    });
+    let ticks_used = engine.now();
     let mut delivered_at = Vec::with_capacity(links.len());
     let mut transmissions = 0;
     let mut all_delivered = true;

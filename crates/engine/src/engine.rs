@@ -390,6 +390,17 @@ pub enum EngineError {
         /// The signature of the supplied backend.
         found: u64,
     },
+    /// The controller supplied to [`Engine::restore_with_controller`]
+    /// declares a different signature than the one the checkpoint was
+    /// taken under (see
+    /// [`crate::probe::Controller::signature`]) — resuming under a
+    /// different controller would silently change the trace.
+    ControllerMismatch {
+        /// The signature recorded in the checkpoint.
+        expected: u64,
+        /// The signature of the supplied controller.
+        found: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -404,6 +415,11 @@ impl fmt::Display for EngineError {
                 f,
                 "checkpoint was taken under channel signature {expected:#x}, \
                  but the supplied backend declares {found:#x}"
+            ),
+            EngineError::ControllerMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under controller signature {expected:#x}, \
+                 but the supplied controller declares {found:#x}"
             ),
         }
     }
@@ -431,6 +447,11 @@ pub struct Checkpoint<B> {
     /// The channel signature of the backend the snapshot was taken over
     /// (0 for static backends); [`Engine::restore`] verifies it.
     channel: u64,
+    /// The signature of the [`crate::probe::Controller`] steering the
+    /// run (0 when none); [`Engine::restore_with_controller`] verifies
+    /// it — controller identity is part of the trace-defining
+    /// configuration, exactly like the channel.
+    controller: u64,
     now: Tick,
     seq: u64,
     queue: Vec<QueuedEvent>,
@@ -452,8 +473,9 @@ pub struct Checkpoint<B> {
 }
 
 /// Format history: v1 had no `sent` tick in deliveries, v2 added it,
-/// v3 added the channel signature (temporal backends).
-const CHECKPOINT_VERSION: u32 = 3;
+/// v3 added the channel signature (temporal backends), v4 added the
+/// controller signature (probe/controller API).
+const CHECKPOINT_VERSION: u32 = 4;
 
 /// Magic bytes opening a serialized checkpoint.
 const CHECKPOINT_MAGIC: u32 = 0xDECA_E001;
@@ -636,6 +658,7 @@ impl<B: Codec> Codec for Checkpoint<B> {
         CHECKPOINT_MAGIC.encode(out);
         self.version.encode(out);
         self.channel.encode(out);
+        self.controller.encode(out);
         self.now.encode(out);
         self.seq.encode(out);
         self.queue.encode(out);
@@ -667,6 +690,7 @@ impl<B: Codec> Codec for Checkpoint<B> {
         Ok(Checkpoint {
             version,
             channel: u64::decode(input)?,
+            controller: u64::decode(input)?,
             now: Tick::decode(input)?,
             seq: u64::decode(input)?,
             queue: Codec::decode(input)?,
@@ -694,6 +718,12 @@ impl<B> Checkpoint<B> {
     /// static backends).
     pub fn channel_signature(&self) -> u64 {
         self.channel
+    }
+
+    /// The controller signature recorded when the snapshot was taken (0
+    /// when no controller was steering the run).
+    pub fn controller_signature(&self) -> u64 {
+        self.controller
     }
 }
 
@@ -740,6 +770,9 @@ pub struct Engine<B> {
     stats: EngineStats,
     trace_hash: u64,
     trace: Vec<DeliveryRecord>,
+    /// Signature of the controller steering this run (0 = none);
+    /// recorded into checkpoints.
+    controller: u64,
     /// Scratch command buffer, reused across callbacks.
     scratch: Vec<Command>,
 }
@@ -813,6 +846,7 @@ impl<B: EventBehavior> Engine<B> {
             stats: EngineStats::default(),
             trace_hash: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
             trace: Vec::new(),
+            controller: 0,
             scratch: Vec::new(),
             config,
         };
@@ -829,6 +863,11 @@ impl<B: EventBehavior> Engine<B> {
     /// the same space the checkpoint was taken over (same node count and
     /// channel signature at minimum — decay values are the caller's
     /// responsibility, since backends are not serializable).
+    ///
+    /// A checkpoint taken under a [`crate::probe::Controller`] carries
+    /// that controller's signature; callers resuming such a run should
+    /// use [`Self::restore_with_controller`] so the identity is
+    /// verified, not just carried along.
     ///
     /// # Errors
     ///
@@ -870,8 +909,33 @@ impl<B: EventBehavior> Engine<B> {
             stats: checkpoint.stats,
             trace_hash: checkpoint.trace_hash,
             trace: checkpoint.trace,
+            controller: checkpoint.controller,
             scratch: Vec::new(),
         })
+    }
+
+    /// [`Self::restore`], additionally verifying that the checkpoint was
+    /// taken under a controller with signature `controller_signature`
+    /// (0 = no controller). Controller decisions are part of the
+    /// trace-defining configuration, so resuming under a different one
+    /// would silently diverge — this refuses instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ControllerMismatch`] on a signature
+    /// mismatch, plus every error [`Self::restore`] can return.
+    pub fn restore_with_controller(
+        backend: impl DecayBackend + 'static,
+        checkpoint: Checkpoint<B>,
+        controller_signature: u64,
+    ) -> Result<Self, EngineError> {
+        if checkpoint.controller != controller_signature {
+            return Err(EngineError::ControllerMismatch {
+                expected: checkpoint.controller,
+                found: controller_signature,
+            });
+        }
+        Self::restore(backend, checkpoint)
     }
 
     /// Snapshots the complete engine state. Call between [`Self::run_until`]
@@ -885,6 +949,7 @@ impl<B: EventBehavior> Engine<B> {
         Checkpoint {
             version: CHECKPOINT_VERSION,
             channel: self.backend.channel_signature(),
+            controller: self.controller,
             now: self.now,
             seq: self.seq,
             queue,
@@ -951,6 +1016,31 @@ impl<B: EventBehavior> Engine<B> {
     /// Read access to a node's behavior.
     pub fn behavior(&self, node: NodeId) -> &B {
         &self.behaviors[node.index()]
+    }
+
+    /// Write access to a node's behavior — the hook
+    /// [`crate::probe::Directive`]s are applied through.
+    ///
+    /// Mutating behaviors between [`Self::run_until`] calls is part of
+    /// the trace-defining configuration: the change is captured by
+    /// subsequent checkpoints (behavior state is serialized), but
+    /// reproducing the run from scratch requires re-applying the same
+    /// mutations at the same ticks — which is exactly what a
+    /// grid-aligned [`crate::probe::Controller`] guarantees.
+    pub fn behavior_mut(&mut self, node: NodeId) -> &mut B {
+        &mut self.behaviors[node.index()]
+    }
+
+    /// Declares the signature of the controller steering this run (see
+    /// [`crate::probe::Controller::signature`]); recorded into every
+    /// subsequent checkpoint. Call once, before running.
+    pub fn set_controller_signature(&mut self, signature: u64) {
+        self.controller = signature;
+    }
+
+    /// The controller signature this run was declared under (0 = none).
+    pub fn controller_signature(&self) -> u64 {
+        self.controller
     }
 
     /// A node's current radio mode.

@@ -26,6 +26,12 @@
 //! * **Checkpointing** ([`Checkpoint`]) — snapshot clock, event queue,
 //!   every RNG stream, node modes and behavior state; resume to a
 //!   bit-identical trace.
+//! * **Probes and controllers** ([`probe`]) — typed pause-grid
+//!   callbacks for observing a run ([`Probe`]: metrics, ζ(t)
+//!   monitoring, windowed PRR) and steering it ([`Controller`]:
+//!   grid-aligned re-tuning whose identity is folded into checkpoint
+//!   signatures), composed over one shared drive loop
+//!   ([`drive_probed`] / [`drive_until`] / [`drive_controlled`]).
 //! * **Compatibility** ([`SlotAdapter`]) — every existing
 //!   [`decay_netsim::NodeBehavior`] protocol runs unmodified.
 //!
@@ -108,6 +114,7 @@ mod backend;
 pub mod codec;
 mod engine;
 mod event;
+pub mod probe;
 mod rng;
 
 pub use adapter::SlotAdapter;
@@ -118,4 +125,8 @@ pub use engine::{
     EventBehavior, JamSchedule, LatencyModel, NodeCtx, NodeMode,
 };
 pub use event::{Event, QueuedEvent, Tick};
+pub use probe::{
+    apply_directives, drive_controlled, drive_probed, drive_until, Controller, Directive, PauseCtx,
+    Probe, PrrWindowSample, Tunable, WindowedPrr,
+};
 pub use rng::{geometric_gap, EngineRng};

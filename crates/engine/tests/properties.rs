@@ -193,6 +193,36 @@ proptest! {
     }
 }
 
+/// Controller identity is part of the checkpoint (format v4): a
+/// checkpoint taken under one controller signature refuses to restore
+/// under another, mirroring the channel-signature guard.
+#[test]
+fn controller_signature_is_folded_into_checkpoints() {
+    let cfg = config_from(false, false, 0);
+    let mut engine = build(6, 3, &cfg);
+    let sig = decay_engine::probe::signature_hash(7, &[1, 2, 3]);
+    engine.set_controller_signature(sig);
+    assert_eq!(engine.controller_signature(), sig);
+    engine.run_until(10);
+    let bytes = engine.checkpoint().to_bytes();
+    let decoded: Checkpoint<Chirper> = Checkpoint::from_bytes(&bytes).unwrap();
+    assert_eq!(decoded.controller_signature(), sig);
+
+    // The matching signature restores; a mismatch is refused.
+    let restored = Engine::restore_with_controller(line_backend(6), decoded.clone(), sig).unwrap();
+    assert_eq!(restored.controller_signature(), sig);
+    let err = Engine::restore_with_controller(line_backend(6), decoded.clone(), 0).unwrap_err();
+    assert!(matches!(
+        err,
+        decay_engine::EngineError::ControllerMismatch { expected, found }
+            if expected == sig && found == 0
+    ));
+    // Plain restore carries the signature along for callers that manage
+    // their own verification.
+    let carried = Engine::restore(line_backend(6), decoded).unwrap();
+    assert_eq!(carried.controller_signature(), sig);
+}
+
 #[test]
 fn different_seeds_diverge() {
     let cfg = config_from(false, false, 0);

@@ -134,6 +134,7 @@ mod tests {
             }),
             fading: Some(FadingSpec { seed: 7 }),
             trace: None,
+            trace_path: None,
             monitor: Some(MonitorSpec {
                 interval: 16,
                 max_nodes: 10,

@@ -40,26 +40,47 @@
 //!     "shadowing": { "sigma_db": 3.0, "corr_dist": 3.0, "time_corr": 0.7, "seed": 4 },
 //!     "fading": { "kind": "rayleigh", "seed": 11 },
 //!     "monitor": { "interval": 64, "max_nodes": 18 }
+//!   },
+//!   "prr_window": 128,
+//!   "adaptive": {
+//!     "interval": 64, "max_nodes": 16,
+//!     "base_p": 0.1, "zeta_ref": 2.0, "floor": 0.02, "cap": 0.4
 //!   }
 //! }
 //! ```
 //!
 //! `check_interval`, `backend`, `reception`, `churn`, `faults`,
-//! `jamming`, `latency`, `reach_decay`, `top_k`, and `channel` are
-//! optional (the defaults are lazy backend, threshold reception, no
-//! dynamics, exact resolution, and a frozen gain matrix). Protocols:
-//! `broadcast` (complete when every decay-neighborhood heard its owner),
-//! `contention` (one packet per link), `announce` (free-running traffic
-//! for the whole horizon).
+//! `jamming`, `latency`, `reach_decay`, `top_k`, `channel`,
+//! `prr_window`, and `adaptive` are optional (the defaults are lazy
+//! backend, threshold reception, no dynamics, exact resolution, a
+//! frozen gain matrix, lifetime-only PRR, and fixed probabilities).
+//! Protocols: `broadcast` (complete when every decay-neighborhood heard
+//! its owner), `contention` (one packet per link), `announce`
+//! (free-running traffic for the whole horizon).
 //!
 //! The `channel` block makes the gain matrix *time-varying* (see
 //! `decay-channel`): decays hold for `block` ticks and drift between
 //! blocks under `mobility` (`waypoint` | `levy` | `group`), spatially
 //! correlated log-normal `shadowing`, and block-`rayleigh` `fading` —
-//! or replay an imported gain `trace` verbatim. A `monitor` samples the
-//! metricity trajectory `ζ(t)`/`φ(t)` of the instantaneous matrix into
-//! the metrics report, on the runner's pause grid so sampling can never
-//! perturb the digest.
+//! or replay an imported gain `trace` verbatim (inline, or via a
+//! repository-relative `trace_path` file resolved when the runner is
+//! built). A `monitor` samples the metricity trajectory `ζ(t)`/`φ(t)`
+//! of the instantaneous matrix into the metrics report, on the runner's
+//! pause grid so sampling can never perturb the digest.
+//!
+//! # Probes and controllers
+//!
+//! The runner's drive loop is a thin composition over the
+//! `decay_engine::probe` API: metrics, the ζ(t) monitor, the windowed
+//! PRR series (`prr_window`), and golden-digest capture are all
+//! read-only [`Probe`]s fed one shared pause stream, and
+//! [`ScenarioRunner::run_instrumented`] lets callers attach their own.
+//! The `adaptive` block compiles to a [`AdaptiveContention`]
+//! [`Controller`] whose grid-aligned decisions re-tune every node's
+//! transmit probability from a live ζ(t) estimate; controller identity
+//! is folded into checkpoint signatures, so resume invariance and
+//! cross-backend conformance hold for steered runs exactly as for
+//! passive ones.
 //!
 //! # Example
 //!
@@ -88,15 +109,19 @@ mod channel;
 pub mod golden;
 pub mod json;
 mod metrics;
+pub mod probes;
 mod runner;
 mod spec;
 mod topology;
 
-pub use decay_channel::ZetaSample;
+pub use decay_channel::{AdaptiveContention, ZetaSample};
+pub use decay_engine::probe::{Controller, Directive, PauseCtx, Probe, Tunable, WindowedPrr};
+pub use decay_engine::PrrWindowSample;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{MetricsCollector, MetricsReport, BUCKET_LABELS, LATENCY_BUCKETS};
+pub use probes::{DigestProbe, MetricsProbe};
 pub use runner::{ScenarioError, ScenarioReport, ScenarioRunner, TraceDigest};
 pub use spec::{
-    BackendSpec, ChannelSpec, FadingSpec, FaultSpec, LinkSpec, MobilitySpec, MonitorSpec,
-    ProtocolSpec, ScenarioSpec, ShadowingSpec, SinrSpec, SpecError, TopologySpec,
+    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, FaultSpec, LinkSpec, MobilitySpec,
+    MonitorSpec, ProtocolSpec, ScenarioSpec, ShadowingSpec, SinrSpec, SpecError, TopologySpec,
 };

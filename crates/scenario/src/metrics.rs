@@ -11,7 +11,7 @@ use std::fmt;
 use std::time::Duration;
 
 use decay_channel::ZetaSample;
-use decay_engine::{DeliveryRecord, EngineStats, Tick};
+use decay_engine::{DeliveryRecord, EngineStats, PrrWindowSample, Tick};
 use serde::{Deserialize, Serialize};
 
 use crate::json::{int, num, obj, JsonValue};
@@ -80,7 +80,9 @@ impl MetricsCollector {
     /// `completed_at` the tick the protocol's goal was reached, if it
     /// was; `wall` the measured wall-clock time of the run;
     /// `zeta_series` the sampled metricity trajectory (empty when no
-    /// monitor ran).
+    /// monitor ran); `prr_windows` the windowed reception-ratio series
+    /// (empty when the spec requests none).
+    #[allow(clippy::too_many_arguments)]
     pub fn finish(
         self,
         stats: EngineStats,
@@ -89,12 +91,14 @@ impl MetricsCollector {
         completed_at: Option<Tick>,
         wall: Duration,
         zeta_series: Vec<ZetaSample>,
+        prr_windows: Vec<PrrWindowSample>,
     ) -> MetricsReport {
         MetricsReport {
             horizon,
             completed_at,
             prr,
             zeta_series,
+            prr_windows,
             latency_hist: self.hist,
             mean_latency: if self.observed == 0 {
                 0.0
@@ -126,6 +130,10 @@ pub struct MetricsReport {
     /// The sampled `ζ(t)`/`φ(t)` metricity trajectory (empty unless the
     /// spec's channel block enables a monitor).
     pub zeta_series: Vec<ZetaSample>,
+    /// The windowed packet-reception-ratio series (empty unless the
+    /// spec sets `prr_window`): per-window deliveries over
+    /// transmissions, the drift view the lifetime `prr` flattens.
+    pub prr_windows: Vec<PrrWindowSample>,
     /// Delivery-latency histogram over [`BUCKET_LABELS`] buckets.
     pub latency_hist: [u64; LATENCY_BUCKETS],
     /// Mean delivery latency in ticks.
@@ -164,6 +172,24 @@ impl MetricsReport {
                                 ("tick", int(z.tick)),
                                 ("zeta", num(z.zeta)),
                                 ("phi", num(z.phi)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.prr_windows.is_empty() {
+            pairs.push((
+                "prr_windows",
+                JsonValue::Array(
+                    self.prr_windows
+                        .iter()
+                        .map(|w| {
+                            obj(vec![
+                                ("tick", int(w.tick)),
+                                ("transmissions", int(w.transmissions)),
+                                ("deliveries", int(w.deliveries)),
+                                ("prr", num(w.prr)),
                             ])
                         })
                         .collect(),
@@ -238,6 +264,18 @@ impl fmt::Display for MetricsReport {
                 zetas.len()
             )?;
         }
+        if !self.prr_windows.is_empty() {
+            let rates: Vec<f64> = self.prr_windows.iter().map(|w| w.prr).collect();
+            let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            writeln!(
+                f,
+                "windowed prr: min {min:.3}, mean {mean:.3}, max {max:.3} \
+                 over {} windows",
+                rates.len()
+            )?;
+        }
         writeln!(
             f,
             "events: {} ({:.0} events/sec)",
@@ -273,6 +311,7 @@ mod tests {
             1.0,
             None,
             Duration::from_millis(10),
+            Vec::new(),
             Vec::new(),
         );
         assert_eq!(report.latency_hist[0], 1, "latency 0");
@@ -313,16 +352,33 @@ mod tests {
                     phi: 1.75,
                 },
             ],
+            vec![
+                PrrWindowSample {
+                    tick: 25,
+                    transmissions: 6,
+                    deliveries: 2,
+                    prr: 2.0 / 6.0,
+                },
+                PrrWindowSample {
+                    tick: 50,
+                    transmissions: 4,
+                    deliveries: 0,
+                    prr: 0.0,
+                },
+            ],
         );
         let text = report.to_string();
         assert!(text.contains("completed at tick 40"));
         assert!(text.contains("prr: 0.5000"));
         assert!(text.contains("metricity ζ(t): min 2.000, mean 2.375, max 2.750"));
+        assert!(text.contains("windowed prr: min 0.000"), "{text}");
         let json = report.to_json().pretty();
         assert!(json.contains("\"completed_at\": 40"));
         assert!(json.contains("\"prr\": 0.5"));
         assert!(json.contains("\"zeta_series\""));
         assert!(json.contains("\"zeta\": 2.75"));
+        assert!(json.contains("\"prr_windows\""));
+        assert!(json.contains("\"transmissions\": 6"));
         // JSON parses back cleanly.
         crate::json::parse(&json).unwrap();
     }
@@ -336,10 +392,13 @@ mod tests {
             None,
             Duration::from_secs(0),
             Vec::new(),
+            Vec::new(),
         );
         let json = report.to_json().pretty();
         assert!(!json.contains("zeta_series"), "{json}");
+        assert!(!json.contains("prr_windows"), "{json}");
         assert!(!report.to_string().contains("metricity"));
+        assert!(!report.to_string().contains("windowed prr"));
     }
 
     #[test]
@@ -350,6 +409,7 @@ mod tests {
             0.0,
             None,
             Duration::from_secs(0),
+            Vec::new(),
             Vec::new(),
         );
         assert_eq!(report.mean_latency, 0.0);

@@ -17,16 +17,18 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Instant;
 
-use decay_channel::MetricityMonitor;
+use decay_channel::AdaptiveContention;
 use decay_core::NodeId;
 use decay_distributed::{build_contention_engine, ContentionNode, EventBroadcaster};
+use decay_engine::probe::{apply_directives, Controller, Directive, Probe, Tunable, WindowedPrr};
 use decay_engine::{
     Checkpoint, Codec, DecayBackend, Engine, EngineError, EngineStats, EventBehavior, Tick,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::json::{int, obj, s, JsonValue};
-use crate::metrics::{MetricsCollector, MetricsReport};
+use crate::metrics::MetricsReport;
+use crate::probes::{DigestProbe, MetricsProbe};
 use crate::spec::{BackendSpec, ProtocolSpec, ScenarioSpec, SpecError};
 
 /// A failure constructing or running a scenario.
@@ -38,6 +40,16 @@ pub enum ScenarioError {
     Engine(EngineError),
     /// A checkpoint failed to round-trip through bytes.
     Checkpoint(String),
+    /// [`ScenarioRunner::run_with_resume`] was asked to split outside
+    /// `(0, horizon)` — such a split could never checkpoint mid-run, and
+    /// silently running without one (the old behavior) made callers
+    /// believe resume fidelity had been exercised when it had not.
+    InvalidSplit {
+        /// The requested split tick.
+        split: Tick,
+        /// The spec's horizon.
+        horizon: Tick,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -46,6 +58,11 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Spec(e) => write!(f, "{e}"),
             ScenarioError::Engine(e) => write!(f, "{e}"),
             ScenarioError::Checkpoint(what) => write!(f, "checkpoint round trip failed: {what}"),
+            ScenarioError::InvalidSplit { split, horizon } => write!(
+                f,
+                "resume split {split} is outside (0, {horizon}): a checkpoint \
+                 cycle needs a strictly mid-run tick"
+            ),
         }
     }
 }
@@ -217,13 +234,40 @@ pub struct ScenarioRunner {
 }
 
 impl ScenarioRunner {
-    /// Wraps a validated spec.
+    /// Wraps a validated spec, resolving any `channel.trace_path`
+    /// against the repository root — or, when the compile-time root is
+    /// not present (a binary deployed outside its build checkout), the
+    /// current working directory. The loaded trace is inlined, so the
+    /// rest of the pipeline never touches the filesystem. Callers that
+    /// know their root should prefer [`Self::new_with_root`].
     ///
     /// # Errors
     ///
-    /// Returns the first validation failure.
+    /// Returns the first validation failure, including an unreadable or
+    /// malformed gain-trace file.
     pub fn new(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
+        let baked = crate::golden::repo_root();
+        let root = if baked.is_dir() {
+            baked
+        } else {
+            std::path::PathBuf::from(".")
+        };
+        Self::new_with_root(spec, &root)
+    }
+
+    /// [`Self::new`] with an explicit root directory for
+    /// `channel.trace_path` resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure, including an unreadable or
+    /// malformed gain-trace file.
+    pub fn new_with_root(
+        mut spec: ScenarioSpec,
+        root: &std::path::Path,
+    ) -> Result<Self, ScenarioError> {
         spec.validate()?;
+        spec.resolve_trace_path(root)?;
         Ok(ScenarioRunner { spec })
     }
 
@@ -248,7 +292,7 @@ impl ScenarioRunner {
     ///
     /// Returns an error if the engine rejects the compiled configuration.
     pub fn run_on(&self, backend: BackendSpec) -> Result<ScenarioReport, ScenarioError> {
-        self.execute(backend, None)
+        self.execute(backend, None, &mut [])
     }
 
     /// Runs the scenario with a checkpoint/restore cycle at tick
@@ -258,16 +302,47 @@ impl ScenarioRunner {
     ///
     /// # Errors
     ///
-    /// Returns an error if the engine rejects the configuration or the
-    /// checkpoint fails to round-trip.
+    /// Returns [`ScenarioError::InvalidSplit`] unless
+    /// `0 < split < horizon`, and an error if the engine rejects the
+    /// configuration or the checkpoint fails to round-trip.
     pub fn run_with_resume(&self, split: Tick) -> Result<ScenarioReport, ScenarioError> {
-        self.execute(self.spec.backend, Some(split))
+        self.run_instrumented(self.spec.backend, Some(split), &mut [])
+    }
+
+    /// The fully general entry point: runs on `backend`, optionally
+    /// with a checkpoint/restore cycle at `resume_at`, feeding every
+    /// probe in `extra` the same pause stream the built-in probes
+    /// (metrics, ζ(t) monitor, windowed PRR, digest capture) observe.
+    /// Probes are read-only, so attaching any subset leaves the digest
+    /// and the ζ(t) series bit-identical — the probe-transparency
+    /// proptest under `tests/` enforces it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run_on`] and [`Self::run_with_resume`] can
+    /// return.
+    pub fn run_instrumented(
+        &self,
+        backend: BackendSpec,
+        resume_at: Option<Tick>,
+        extra: &mut [&mut dyn Probe],
+    ) -> Result<ScenarioReport, ScenarioError> {
+        if let Some(split) = resume_at {
+            if split == 0 || split >= self.spec.horizon {
+                return Err(ScenarioError::InvalidSplit {
+                    split,
+                    horizon: self.spec.horizon,
+                });
+            }
+        }
+        self.execute(backend, resume_at, extra)
     }
 
     fn execute(
         &self,
         backend: BackendSpec,
         resume_at: Option<Tick>,
+        extra: &mut [&mut dyn Probe],
     ) -> Result<ScenarioReport, ScenarioError> {
         let spec = &self.spec;
         // The static field the BackendSpec realizes, wrapped in the
@@ -314,7 +389,7 @@ impl ScenarioRunner {
                     covered_pairs(e, &done_req) == required_pairs
                 };
                 let prr_req = required;
-                self.drive(engine, build, resume_at, done, move |e| {
+                self.drive(engine, build, resume_at, extra, done, move |e| {
                     if required_pairs == 0 {
                         1.0
                     } else {
@@ -346,7 +421,7 @@ impl ScenarioRunner {
                 };
                 let total = senders.len().max(1);
                 let prr_senders = senders;
-                self.drive(engine, build, resume_at, done, move |e| {
+                self.drive(engine, build, resume_at, extra, done, move |e| {
                     prr_senders
                         .iter()
                         .filter(|&&s| {
@@ -379,6 +454,7 @@ impl ScenarioRunner {
                     engine,
                     build,
                     resume_at,
+                    extra,
                     |_: &Engine<EventBroadcaster>| false,
                     |e| {
                         let s = e.stats();
@@ -394,20 +470,45 @@ impl ScenarioRunner {
         }
     }
 
-    /// Drives an engine to completion or the horizon, pausing only on the
-    /// `check_interval` grid (plus at most once at `resume_at` for the
-    /// checkpoint cycle, which is invisible to the engine's event
+    /// The controller this spec's `adaptive` block compiles to, if any
+    /// (parameters were validated by [`ScenarioSpec::validate`], so
+    /// construction cannot panic).
+    fn build_controller(&self) -> Option<AdaptiveContention> {
+        self.spec.adaptive.map(|a| {
+            AdaptiveContention::new(
+                a.interval,
+                a.max_nodes,
+                a.base_p,
+                a.zeta_ref,
+                a.floor,
+                a.cap,
+            )
+        })
+    }
+
+    /// Drives an engine to completion or the horizon, pausing only on
+    /// the `check_interval` grid (plus at most once at `resume_at` for
+    /// the checkpoint cycle, which is invisible to the engine's event
     /// schedule).
+    ///
+    /// The loop itself is a thin composition over the probe API: every
+    /// observer — metrics, ζ(t) monitor, windowed PRR, digest capture,
+    /// caller extras — sees the identical [`PauseCtx`] stream, and the
+    /// only state the loop owns is control flow (completion, the
+    /// checkpoint cycle, and controller decisions, which are
+    /// grid-aligned so both runs of a resume pair derive them at
+    /// identical ticks).
     fn drive<B, F, D, P>(
         &self,
         mut engine: Engine<B>,
         rebuild: F,
         resume_at: Option<Tick>,
+        extra: &mut [&mut dyn Probe],
         done: D,
         prr: P,
     ) -> Result<ScenarioReport, ScenarioError>
     where
-        B: EventBehavior + Codec + Clone + PartialEq + fmt::Debug,
+        B: EventBehavior + Codec + Clone + PartialEq + fmt::Debug + Tunable,
         F: Fn() -> Box<dyn DecayBackend>,
         D: Fn(&Engine<B>) -> bool,
         P: Fn(&Engine<B>) -> f64,
@@ -415,88 +516,171 @@ impl ScenarioRunner {
         let spec = &self.spec;
         let horizon = spec.horizon;
         let ci = spec.check_interval;
-        let mut resume_at = resume_at.filter(|&t| t > 0 && t < horizon);
-        let mut collector = MetricsCollector::new();
-        // ζ(t) sampling happens only on the pause grid (the monitor
-        // interval is a validated multiple of check_interval), so the
-        // series — like the digest — cannot depend on backend choice or
-        // on an extra checkpoint pause.
+        let mut resume_at = resume_at;
+
+        // The built-in probes. ζ(t) sampling and PRR windows fire only
+        // on their own sub-grids of the pause grid (validated multiples
+        // of check_interval), so neither series can depend on backend
+        // choice or on an extra checkpoint pause.
+        let mut metrics = MetricsProbe::new();
         let mut monitor = spec.channel.as_ref().and_then(|c| c.build_monitor());
-        if let Some(m) = &mut monitor {
-            m.record(engine.now(), engine.backend());
-        }
+        let mut windowed_prr = spec
+            .prr_window
+            .map(|w| WindowedPrr::new(spec.node_count(), w, PRR_KEEP_WINDOWS));
+        let mut digest = DigestProbe::new();
+
+        // The controller, when the spec declares one, is part of the
+        // trace-defining configuration: its identity is folded into
+        // every checkpoint, and restore refuses a mismatch.
+        let mut controller = self.build_controller();
+        let controller_sig = controller.as_ref().map_or(0, Controller::signature);
+        engine.set_controller_signature(controller_sig);
+
         let wall_start = Instant::now();
         let mut completed_at = None;
         let mut checkpointed = None;
-        loop {
-            let now = engine.now();
-            if now >= horizon {
-                break;
+        {
+            let mut probes: Vec<&mut dyn Probe> = Vec::with_capacity(4 + extra.len());
+            probes.push(&mut metrics);
+            if let Some(m) = monitor.as_mut() {
+                probes.push(m);
             }
-            let grid_next = ((now / ci + 1) * ci).min(horizon);
-            if let Some(split) = resume_at {
-                if split > now && split <= grid_next {
-                    engine.run_until(split);
-                    collector.observe_all(&engine.drain_trace());
-                    if let Some(m) = &mut monitor {
-                        // A no-op off the monitor grid; an on-grid split
-                        // is a tick the uninterrupted run samples too.
-                        m.record(engine.now(), engine.backend());
-                    }
-                    // Completion is only ever checked on the grid — the
-                    // extra pause at an off-grid split is invisible, so
-                    // the uninterrupted and resumed runs stop at
-                    // identical ticks.
-                    if split == grid_next && done(&engine) {
-                        completed_at = Some(engine.now());
-                        break;
-                    }
-                    let bytes = engine.checkpoint().to_bytes();
-                    let decoded: Checkpoint<B> = Checkpoint::from_bytes(&bytes)
-                        .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
-                    engine = Engine::restore(rebuild(), decoded)?;
-                    checkpointed = Some(split);
-                    resume_at = None;
-                    continue;
+            if let Some(w) = windowed_prr.as_mut() {
+                probes.push(w);
+            }
+            probes.push(&mut digest);
+            for p in extra.iter_mut() {
+                probes.push(&mut **p);
+            }
+
+            let directives = pause(
+                &mut engine,
+                horizon,
+                Phase::Start,
+                &mut probes,
+                controller.as_mut(),
+            );
+            apply_directives(&mut engine, &directives);
+            loop {
+                let now = engine.now();
+                if now >= horizon {
+                    break;
                 }
-                if split <= now {
-                    resume_at = None;
+                let grid_next = ((now / ci + 1) * ci).min(horizon);
+                if let Some(split) = resume_at {
+                    if split > now && split <= grid_next {
+                        engine.run_until(split);
+                        // An off-grid split pause is invisible: probes
+                        // that sample (monitor, PRR windows) ignore
+                        // off-grid ticks, and completion/decisions are
+                        // only evaluated on the grid — so the
+                        // uninterrupted and resumed runs observe, steer,
+                        // and stop identically.
+                        let on_grid = split == grid_next;
+                        let directives = pause(
+                            &mut engine,
+                            horizon,
+                            Phase::Pause,
+                            &mut probes,
+                            if on_grid { controller.as_mut() } else { None },
+                        );
+                        apply_directives(&mut engine, &directives);
+                        if on_grid && done(&engine) {
+                            completed_at = Some(engine.now());
+                            break;
+                        }
+                        // Decisions precede the snapshot, so the
+                        // checkpoint carries the re-tuned behaviors and
+                        // the restored run continues bit-identically.
+                        let bytes = engine.checkpoint().to_bytes();
+                        let decoded: Checkpoint<B> = Checkpoint::from_bytes(&bytes)
+                            .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
+                        engine =
+                            Engine::restore_with_controller(rebuild(), decoded, controller_sig)?;
+                        checkpointed = Some(split);
+                        resume_at = None;
+                        continue;
+                    }
+                    if split <= now {
+                        resume_at = None;
+                    }
+                }
+                engine.run_until(grid_next);
+                let directives = pause(
+                    &mut engine,
+                    horizon,
+                    Phase::Pause,
+                    &mut probes,
+                    controller.as_mut(),
+                );
+                apply_directives(&mut engine, &directives);
+                if done(&engine) {
+                    completed_at = Some(engine.now());
+                    break;
                 }
             }
-            engine.run_until(grid_next);
-            collector.observe_all(&engine.drain_trace());
-            if let Some(m) = &mut monitor {
-                m.record(engine.now(), engine.backend());
-            }
-            if done(&engine) {
-                completed_at = Some(engine.now());
-                break;
-            }
+            pause(&mut engine, horizon, Phase::Finish, &mut probes, None);
         }
-        collector.observe_all(&engine.drain_trace());
         let stats = engine.stats();
-        let metrics = collector.finish(
+        let metrics = metrics.into_collector().finish(
             stats,
             horizon,
             prr(&engine),
             completed_at,
             wall_start.elapsed(),
-            monitor
-                .map(MetricityMonitor::into_samples)
+            monitor.map(|m| m.into_samples()).unwrap_or_default(),
+            windowed_prr
+                .map(WindowedPrr::into_samples)
                 .unwrap_or_default(),
         );
         Ok(ScenarioReport {
-            digest: TraceDigest {
-                name: spec.name.clone(),
-                hash: engine.trace_hash(),
-                stats,
-                completed_at,
-            },
+            digest: digest.into_digest(spec.name.clone(), completed_at),
             metrics,
             nodes: engine.len(),
             checkpointed,
         })
     }
+}
+
+/// Windows of pair-level traffic the [`WindowedPrr`] tracker retains
+/// for windowed per-pair queries (the report series is unbounded; this
+/// only caps the tracker's memory).
+const PRR_KEEP_WINDOWS: usize = 8;
+
+/// Which probe callback a pause dispatches.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Start,
+    Pause,
+    Finish,
+}
+
+/// Shows every probe the same [`PauseCtx`] (assembled once by
+/// [`decay_engine::probe::with_pause`], the shared single source of
+/// that context) and collects the controller's grid-aligned directives
+/// (pass `None` to suppress decisions — off-grid split pauses, the
+/// final drain). The context borrows the engine only inside this call,
+/// so the caller applies the returned directives afterwards.
+fn pause<B: EventBehavior>(
+    engine: &mut Engine<B>,
+    horizon: Tick,
+    phase: Phase,
+    probes: &mut [&mut dyn Probe],
+    controller: Option<&mut AdaptiveContention>,
+) -> Vec<Directive> {
+    decay_engine::probe::with_pause(engine, horizon, |ctx| {
+        for p in probes.iter_mut() {
+            match phase {
+                Phase::Start => p.on_start(ctx),
+                Phase::Pause => p.on_pause(ctx),
+                Phase::Finish => p.on_finish(ctx),
+            }
+        }
+        match controller {
+            Some(c) if phase != Phase::Finish => c.decide(ctx),
+            _ => Vec::new(),
+        }
+    })
 }
 
 /// Delivered required pairs of a broadcast run (the completion check).

@@ -15,6 +15,7 @@
 //! without touching this crate.
 
 use std::fmt;
+use std::path::Path;
 
 use decay_channel::GainTrace;
 use decay_core::NodeId;
@@ -251,8 +252,9 @@ pub struct MonitorSpec {
 }
 
 /// The temporal-channel block: coherence-block structure plus the
-/// layers riding on the static backend. With a `trace`, the measured
-/// gain matrices replace the generative layers entirely.
+/// layers riding on the static backend. With a `trace` (inline) or a
+/// `trace_path` (repo-relative file), the measured gain matrices
+/// replace the generative layers entirely.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChannelSpec {
     /// Coherence block length in ticks.
@@ -264,10 +266,41 @@ pub struct ChannelSpec {
     /// Block Rayleigh fading layer, if any.
     pub fading: Option<FadingSpec>,
     /// An imported gain trace replayed verbatim (mutually exclusive
-    /// with the generative layers).
+    /// with the generative layers and with `trace_path`).
     pub trace: Option<GainTrace>,
+    /// A repository-relative path to a gain-trace JSON file, resolved
+    /// and loaded when the runner is built — keeps large measured
+    /// traces out of spec files. Mutually exclusive with `trace` and
+    /// the generative layers; loading failures surface as validation
+    /// errors naming the path.
+    pub trace_path: Option<String>,
     /// Metricity monitoring, if any.
     pub monitor: Option<MonitorSpec>,
+}
+
+/// The ζ(t)-adaptive scheduling block: a
+/// [`decay_channel::AdaptiveContention`] controller re-tuning every
+/// node's transmit probability from a live metricity estimate, once per
+/// `interval` ticks. Controller identity (kind + parameters) is folded
+/// into checkpoint signatures, so resuming under a different adaptive
+/// block is refused.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSpec {
+    /// Decision interval in ticks; must be a multiple of the spec's
+    /// `check_interval` (decisions fire on the runner's pause grid,
+    /// which is what keeps them checkpoint/resume-invariant). Align it
+    /// with the channel's coherence block to re-tune once per block.
+    pub interval: Tick,
+    /// Maximum nodes in the ζ-estimate submatrix, in `[3, 64]`.
+    pub max_nodes: usize,
+    /// The probability applied when the estimate equals `zeta_ref`.
+    pub base_p: f64,
+    /// The reference metricity (e.g. the deployment's path-loss α).
+    pub zeta_ref: f64,
+    /// Lower clamp on the re-tuned probability.
+    pub floor: f64,
+    /// Upper clamp on the re-tuned probability.
+    pub cap: f64,
 }
 
 /// A complete declarative scenario. See the crate docs for the JSON
@@ -310,6 +343,13 @@ pub struct ScenarioSpec {
     /// The temporal channel, if any (`None` = the classic frozen
     /// snapshot).
     pub channel: Option<ChannelSpec>,
+    /// Windowed-PRR reporting: emit one per-window reception-ratio
+    /// sample every this many ticks into the metrics report (`None` =
+    /// lifetime PRR only). Must be a multiple of `check_interval`.
+    pub prr_window: Option<Tick>,
+    /// ζ(t)-adaptive scheduling, if any (`None` = the spec's fixed
+    /// probabilities for the whole run).
+    pub adaptive: Option<AdaptiveSpec>,
 }
 
 /// A spec that failed validation or decoding.
@@ -873,6 +913,9 @@ impl ChannelSpec {
         if let Some(trace) = &self.trace {
             pairs.push(("trace", trace.to_json()));
         }
+        if let Some(path) = &self.trace_path {
+            pairs.push(("trace_path", s(path)));
+        }
         if let Some(m) = self.monitor {
             pairs.push((
                 "monitor",
@@ -895,6 +938,7 @@ impl ChannelSpec {
                 "shadowing",
                 "fading",
                 "trace",
+                "trace_path",
                 "monitor",
             ],
         )?;
@@ -944,6 +988,10 @@ impl ChannelSpec {
                         .map_err(|e| SpecError::new(join(path, "trace"), e.to_string()))?,
                 ),
             },
+            trace_path: match v.get("trace_path") {
+                None | Some(JsonValue::Null) => None,
+                Some(_) => Some(get_str(v, path, "trace_path")?.to_string()),
+            },
             monitor: match v.get("monitor") {
                 None | Some(JsonValue::Null) => None,
                 Some(mv) => {
@@ -955,6 +1003,42 @@ impl ChannelSpec {
                     })
                 }
             },
+        })
+    }
+}
+
+impl AdaptiveSpec {
+    fn to_json(self) -> JsonValue {
+        obj(vec![
+            ("interval", int(self.interval)),
+            ("max_nodes", int(self.max_nodes as u64)),
+            ("base_p", num(self.base_p)),
+            ("zeta_ref", num(self.zeta_ref)),
+            ("floor", num(self.floor)),
+            ("cap", num(self.cap)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue, path: &str) -> Result<Self, SpecError> {
+        reject_unknown(
+            v,
+            path,
+            &[
+                "interval",
+                "max_nodes",
+                "base_p",
+                "zeta_ref",
+                "floor",
+                "cap",
+            ],
+        )?;
+        Ok(AdaptiveSpec {
+            interval: get_u64(v, path, "interval")?,
+            max_nodes: get_usize(v, path, "max_nodes")?,
+            base_p: get_f64(v, path, "base_p")?,
+            zeta_ref: get_f64(v, path, "zeta_ref")?,
+            floor: get_f64(v, path, "floor")?,
+            cap: get_f64(v, path, "cap")?,
         })
     }
 }
@@ -976,6 +1060,8 @@ const SPEC_FIELDS: &[&str] = &[
     "reach_decay",
     "top_k",
     "channel",
+    "prr_window",
+    "adaptive",
 ];
 
 impl ScenarioSpec {
@@ -1042,6 +1128,12 @@ impl ScenarioSpec {
         }
         if let Some(channel) = &self.channel {
             pairs.push(("channel", channel.to_json()));
+        }
+        if let Some(w) = self.prr_window {
+            pairs.push(("prr_window", int(w)));
+        }
+        if let Some(a) = self.adaptive {
+            pairs.push(("adaptive", a.to_json()));
         }
         obj(pairs)
     }
@@ -1152,6 +1244,14 @@ impl ScenarioSpec {
             channel: match v.get("channel") {
                 None | Some(JsonValue::Null) => None,
                 Some(cv) => Some(ChannelSpec::from_json(cv, "channel")?),
+            },
+            prr_window: match v.get("prr_window") {
+                None | Some(JsonValue::Null) => None,
+                Some(_) => Some(get_u64(v, "", "prr_window")?),
+            },
+            adaptive: match v.get("adaptive") {
+                None | Some(JsonValue::Null) => None,
+                Some(av) => Some(AdaptiveSpec::from_json(av, "adaptive")?),
             },
         };
         spec.validate()?;
@@ -1458,7 +1558,13 @@ impl ScenarioSpec {
             if channel.block == 0 || channel.block > MAX_JSON_INT {
                 return bad("channel.block", "must be in [1, 2^53] ticks");
             }
-            if channel.trace.is_some()
+            if channel.trace.is_some() && channel.trace_path.is_some() {
+                return bad(
+                    "channel.trace_path",
+                    "an inline trace and a trace_path are mutually exclusive",
+                );
+            }
+            if (channel.trace.is_some() || channel.trace_path.is_some())
                 && (channel.mobility.is_some()
                     || channel.shadowing.is_some()
                     || channel.fading.is_some())
@@ -1467,6 +1573,14 @@ impl ScenarioSpec {
                     "channel.trace",
                     "a gain trace replays verbatim and excludes the generative layers",
                 );
+            }
+            if let Some(path) = &channel.trace_path {
+                if path.is_empty() || Path::new(path).is_absolute() || path.contains("..") {
+                    return bad(
+                        "channel.trace_path",
+                        "must be a repository-relative path (no leading '/', no '..')",
+                    );
+                }
             }
             match &channel.mobility {
                 Some(MobilitySpec::Waypoint { speed, pause, seed }) => {
@@ -1560,7 +1674,77 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(w) = self.prr_window {
+            if w == 0 || w > MAX_JSON_INT || !w.is_multiple_of(self.check_interval) {
+                return bad(
+                    "prr_window",
+                    "must be a positive multiple of check_interval (in [1, 2^53])",
+                );
+            }
+        }
+        if let Some(a) = &self.adaptive {
+            if a.interval == 0
+                || a.interval > MAX_JSON_INT
+                || !a.interval.is_multiple_of(self.check_interval)
+            {
+                return bad(
+                    "adaptive.interval",
+                    "must be a positive multiple of check_interval (in [1, 2^53]); \
+                     decisions fire on the runner's pause grid",
+                );
+            }
+            if !(3..=64).contains(&a.max_nodes) {
+                return bad("adaptive.max_nodes", "must be in [3, 64]");
+            }
+            if !(a.zeta_ref.is_finite() && a.zeta_ref > 0.0) {
+                return bad("adaptive.zeta_ref", "must be positive and finite");
+            }
+            let ordered = a.floor > 0.0 && a.floor <= a.base_p && a.base_p <= a.cap && a.cap <= 1.0;
+            if !(a.floor.is_finite() && a.base_p.is_finite() && a.cap.is_finite() && ordered) {
+                return bad(
+                    "adaptive",
+                    "need 0 < floor <= base_p <= cap <= 1, all finite",
+                );
+            }
+        }
         Ok(())
+    }
+
+    /// Resolves a `channel.trace_path` against the repository root
+    /// `root`: loads the gain-trace JSON file, inlines it as
+    /// `channel.trace`, clears the path, and re-validates (node count
+    /// and block length must still match). Returns whether anything was
+    /// resolved. Called by `crate::ScenarioRunner::new`, so spec
+    /// *parsing* stays IO-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the path on an unreadable or
+    /// malformed trace file, and any validation error of the resolved
+    /// spec.
+    pub fn resolve_trace_path(&mut self, root: &Path) -> Result<bool, SpecError> {
+        let Some(channel) = &mut self.channel else {
+            return Ok(false);
+        };
+        let Some(path) = channel.trace_path.take() else {
+            return Ok(false);
+        };
+        let full = root.join(&path);
+        let text = std::fs::read_to_string(&full).map_err(|e| {
+            SpecError::new(
+                "channel.trace_path",
+                format!("cannot read gain trace \"{path}\": {e}"),
+            )
+        })?;
+        let trace = GainTrace::from_json_str(&text).map_err(|e| {
+            SpecError::new(
+                "channel.trace_path",
+                format!("malformed gain trace \"{path}\": {e}"),
+            )
+        })?;
+        channel.trace = Some(trace);
+        self.validate()?;
+        Ok(true)
     }
 }
 
@@ -1619,10 +1803,20 @@ mod tests {
                 }),
                 fading: Some(FadingSpec { seed: 23 }),
                 trace: None,
+                trace_path: None,
                 monitor: Some(MonitorSpec {
                     interval: 64,
                     max_nodes: 12,
                 }),
+            }),
+            prr_window: Some(64),
+            adaptive: Some(AdaptiveSpec {
+                interval: 32,
+                max_nodes: 12,
+                base_p: 0.05,
+                zeta_ref: 2.0,
+                floor: 0.01,
+                cap: 0.3,
             }),
         }
     }
@@ -1792,6 +1986,83 @@ mod tests {
         })
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn prr_window_and_adaptive_are_validated() {
+        let base = demo_spec(); // check_interval 32
+        let mut bad = base.clone();
+        bad.prr_window = Some(48);
+        assert!(bad.validate().is_err(), "off-grid prr_window");
+        bad.prr_window = Some(0);
+        assert!(bad.validate().is_err(), "zero prr_window");
+        bad.prr_window = Some(96);
+        bad.validate().unwrap();
+
+        let adaptive = |f: &dyn Fn(&mut AdaptiveSpec)| {
+            let mut spec = base.clone();
+            let a = spec.adaptive.as_mut().unwrap();
+            f(a);
+            spec.validate()
+        };
+        assert!(adaptive(&|a| a.interval = 48).is_err(), "off-grid interval");
+        assert!(adaptive(&|a| a.max_nodes = 2).is_err(), "max_nodes < 3");
+        assert!(adaptive(&|a| a.zeta_ref = 0.0).is_err(), "zeta_ref <= 0");
+        assert!(adaptive(&|a| a.floor = 0.0).is_err(), "floor <= 0");
+        assert!(
+            adaptive(&|a| a.cap = a.base_p / 2.0).is_err(),
+            "cap < base_p"
+        );
+        assert!(adaptive(&|a| a.base_p = f64::NAN).is_err(), "NaN base_p");
+        assert!(adaptive(&|a| a.cap = 0.2).is_ok());
+    }
+
+    #[test]
+    fn trace_paths_are_validated_and_resolved() {
+        let mut spec = demo_spec();
+        {
+            let c = spec.channel.as_mut().unwrap();
+            c.mobility = None;
+            c.shadowing = None;
+            c.fading = None;
+        }
+        let with_path = |path: &str| {
+            let mut s = spec.clone();
+            s.channel.as_mut().unwrap().trace_path = Some(path.to_string());
+            s
+        };
+        // Absolute and escaping paths are rejected up front.
+        assert!(with_path("/etc/passwd").validate().is_err());
+        assert!(with_path("../outside.json").validate().is_err());
+        assert!(with_path("").validate().is_err());
+        // A plausible repo-relative path validates without IO...
+        let mut ok = with_path("scenarios/traces/nope.json");
+        ok.validate().unwrap();
+        // ...and resolution errors name the missing file.
+        let err = ok
+            .resolve_trace_path(Path::new("/nonexistent-root"))
+            .unwrap_err();
+        assert!(err.path.contains("trace_path"), "{err}");
+        assert!(err.message.contains("nope.json"), "{err}");
+        // Specs without a trace_path resolve to a no-op.
+        let mut bare = spec.clone();
+        assert!(!bare.resolve_trace_path(Path::new("/tmp")).unwrap());
+        // trace and trace_path together are rejected.
+        let mut both = with_path("scenarios/traces/x.json");
+        both.channel.as_mut().unwrap().trace = Some(
+            decay_channel::GainTrace::from_frames(
+                16,
+                8,
+                vec![decay_channel::GainFrame {
+                    block: 0,
+                    gains: (0..256)
+                        .map(|k| if k / 16 == k % 16 { 0.0 } else { 1.0 })
+                        .collect(),
+                }],
+            )
+            .unwrap(),
+        );
+        assert!(both.validate().is_err());
     }
 
     #[test]

@@ -165,6 +165,8 @@ mod tests {
             reach_decay: None,
             top_k: None,
             channel: None,
+            prr_window: None,
+            adaptive: None,
         }
     }
 

@@ -10,8 +10,8 @@ use decay_distributed::ContentionStrategy;
 use decay_engine::{ChurnConfig, JamSchedule, LatencyModel};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
-    BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec, ScenarioRunner,
-    ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
+    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
+    ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -114,6 +114,7 @@ fn spec_from_knobs(knobs: Knobs) -> ScenarioSpec {
             }),
             fading: (variant >= 2).then_some(FadingSpec { seed: 33 }),
             trace: None,
+            trace_path: None,
             monitor: Some(MonitorSpec {
                 interval: 64,
                 max_nodes: 8,
@@ -156,6 +157,19 @@ fn spec_from_knobs(knobs: Knobs) -> ScenarioSpec {
         reach_decay,
         top_k,
         channel,
+        prr_window: Some(32),
+        // Half the cases run under the ζ(t)-adaptive controller: its
+        // decisions derive from the backend's instantaneous field,
+        // which is bit-identical across backends, so controlled runs
+        // must conform exactly like passive ones.
+        adaptive: seed.is_multiple_of(2).then_some(AdaptiveSpec {
+            interval: 16,
+            max_nodes: 8,
+            base_p: 0.1,
+            zeta_ref: 2.0,
+            floor: 0.02,
+            cap: 0.4,
+        }),
     }
 }
 

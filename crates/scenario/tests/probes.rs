@@ -1,0 +1,247 @@
+//! Probe transparency: attaching *any* subset of read-only probes to a
+//! run — with any backend, with or without a checkpoint/resume split,
+//! with or without a ζ(t)-adaptive controller — must leave the trace
+//! digest and the ζ(t) series bit-identical to a bare run. This is the
+//! determinism contract of the probe API: observation never perturbs.
+
+use decay_channel::MetricityMonitor;
+use decay_distributed::ContentionStrategy;
+use decay_engine::probe::{PauseCtx, Probe};
+use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, Tick, WindowedPrr};
+use decay_netsim::ReceptionModel;
+use decay_scenario::{
+    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
+    ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
+};
+use proptest::prelude::*;
+
+/// A spec with every observable stream active: temporal channel, ζ(t)
+/// monitor, windowed PRR, and (optionally) the adaptive controller.
+fn observed_spec(protocol: u8, seed: u64, adaptive: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "probed".to_string(),
+        seed,
+        horizon: 260,
+        check_interval: 16,
+        topology: TopologySpec::Line {
+            n: 18,
+            spacing: 1.0,
+            alpha: 2.2,
+        },
+        backend: BackendSpec::Lazy,
+        sinr: SinrSpec {
+            beta: 1.0,
+            noise: 0.05,
+        },
+        reception: ReceptionModel::Rayleigh,
+        protocol: match protocol % 3 {
+            0 => ProtocolSpec::Announce {
+                probability: 0.2,
+                power: 1.0,
+            },
+            1 => ProtocolSpec::Broadcast {
+                neighborhood_decay: 4.0,
+                probability: Some(0.1),
+                power: 1.0,
+            },
+            _ => ProtocolSpec::Contention {
+                links: vec![],
+                strategy: ContentionStrategy::Fixed { p: 0.15 },
+            },
+        },
+        churn: Some(ChurnConfig {
+            interval: 5,
+            leave_prob: 0.25,
+            join_prob: 0.75,
+        }),
+        faults: vec![],
+        jamming: JamSchedule::Periodic { period: 7 },
+        latency: LatencyModel::Jittered { base: 1, jitter: 3 },
+        reach_decay: Some(100.0),
+        top_k: Some(6),
+        channel: Some(ChannelSpec {
+            block: 8,
+            mobility: Some(MobilitySpec::Waypoint {
+                speed: 0.4,
+                pause: 1,
+                seed: 51,
+            }),
+            shadowing: Some(ShadowingSpec {
+                sigma_db: 3.0,
+                corr_dist: 3.0,
+                time_corr: 0.6,
+                seed: 52,
+            }),
+            fading: Some(FadingSpec { seed: 53 }),
+            trace: None,
+            trace_path: None,
+            monitor: Some(MonitorSpec {
+                interval: 32,
+                max_nodes: 10,
+            }),
+        }),
+        prr_window: Some(32),
+        adaptive: adaptive.then_some(AdaptiveSpec {
+            interval: 16,
+            max_nodes: 10,
+            base_p: 0.12,
+            zeta_ref: 2.2,
+            floor: 0.02,
+            cap: 0.4,
+        }),
+    }
+}
+
+/// A probe that counts what it sees, to prove extras really observed
+/// the run they did not perturb.
+#[derive(Default)]
+struct Counter {
+    starts: usize,
+    pauses: usize,
+    finishes: usize,
+    deliveries: u64,
+    last_tick: Tick,
+}
+
+impl Probe for Counter {
+    fn on_start(&mut self, _ctx: &PauseCtx<'_>) {
+        self.starts += 1;
+    }
+    fn on_pause(&mut self, ctx: &PauseCtx<'_>) {
+        self.pauses += 1;
+        self.deliveries += ctx.batch.len() as u64;
+        assert!(ctx.tick >= self.last_tick, "pause stream went backwards");
+        self.last_tick = ctx.tick;
+    }
+    fn on_finish(&mut self, ctx: &PauseCtx<'_>) {
+        self.finishes += 1;
+        self.deliveries += ctx.batch.len() as u64;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any subset of read-only extra probes, on any backend, with or
+    /// without a resume split and with or without the adaptive
+    /// controller, reproduces the bare run's digest, ζ(t) series, and
+    /// windowed-PRR series bit for bit.
+    #[test]
+    fn probe_subsets_never_perturb_the_run(
+        protocol in 0u8..3,
+        seed in 0u64..3_000,
+        backend_knob in 0u8..3,
+        subset in 0u8..8,
+        split_knob in 0u64..520,
+        adaptive_knob in 0u8..2,
+    ) {
+        // Half the cases resume at a mid-run split in [1, 259].
+        let split = (split_knob % 2 == 0).then(|| 1 + (split_knob / 2) % 259);
+        let adaptive = adaptive_knob == 1;
+        let backend = match backend_knob {
+            0 => BackendSpec::Dense,
+            1 => BackendSpec::Lazy,
+            _ => BackendSpec::Tiled { tile_size: 5, max_tiles: 3 },
+        };
+        let runner = ScenarioRunner::new(observed_spec(protocol, seed, adaptive)).unwrap();
+        let bare = runner.run_on(backend).unwrap();
+
+        let mut counter = Counter::default();
+        // Same grid and subset size as the built-in monitor, so the two
+        // series must agree sample for sample.
+        let mut extra_monitor = MetricityMonitor::new(32, 10);
+        let mut extra_prr = WindowedPrr::new(18, 64, 4);
+        let mut extras: Vec<&mut dyn Probe> = Vec::new();
+        if subset & 1 != 0 {
+            extras.push(&mut counter);
+        }
+        if subset & 2 != 0 {
+            extras.push(&mut extra_monitor);
+        }
+        if subset & 4 != 0 {
+            extras.push(&mut extra_prr);
+        }
+        let probed = runner
+            .run_instrumented(backend, split, &mut extras)
+            .unwrap();
+        drop(extras);
+
+        prop_assert_eq!(&bare.digest, &probed.digest, "digest drift");
+        prop_assert_eq!(&bare.metrics.zeta_series, &probed.metrics.zeta_series);
+        prop_assert_eq!(&bare.metrics.prr_windows, &probed.metrics.prr_windows);
+        prop_assert_eq!(bare.metrics.latency_hist, probed.metrics.latency_hist);
+        prop_assert!(!bare.metrics.zeta_series.is_empty(), "monitor never sampled");
+        // A run that completes before the first 32-tick boundary emits
+        // no full window; otherwise the series must be populated.
+        if bare.digest.completed_at.is_none_or(|t| t >= 32) {
+            prop_assert!(!bare.metrics.prr_windows.is_empty(), "no PRR windows emitted");
+        }
+
+        // The extras really watched the run they left untouched.
+        if subset & 1 != 0 {
+            prop_assert_eq!(counter.starts, 1);
+            prop_assert_eq!(counter.finishes, 1);
+            prop_assert!(counter.pauses > 0);
+            prop_assert_eq!(counter.deliveries, probed.digest.stats.deliveries);
+        }
+        if subset & 2 != 0 {
+            prop_assert_eq!(
+                extra_monitor.samples(),
+                &probed.metrics.zeta_series[..],
+                "an extra monitor on the same grid must see the same series"
+            );
+        }
+        if subset & 4 != 0 {
+            let sum: u64 = extra_prr.samples().iter().map(|s| s.deliveries).sum();
+            prop_assert!(sum <= probed.digest.stats.deliveries);
+        }
+    }
+}
+
+/// Out-of-range resume splits now fail loudly instead of silently
+/// running without a checkpoint cycle.
+#[test]
+fn out_of_range_splits_are_rejected() {
+    let runner = ScenarioRunner::new(observed_spec(0, 1, false)).unwrap();
+    let horizon = runner.spec().horizon;
+    for bad in [0, horizon, horizon + 1, horizon * 10] {
+        match runner.run_with_resume(bad) {
+            Err(decay_scenario::ScenarioError::InvalidSplit { split, horizon: h }) => {
+                assert_eq!(split, bad);
+                assert_eq!(h, horizon);
+            }
+            other => panic!("split {bad}: expected InvalidSplit, got {other:?}"),
+        }
+    }
+    // Every strictly-interior split is accepted and actually checkpoints
+    // (unless the run completes first, which `checkpointed` reports).
+    let report = runner.run_with_resume(horizon - 1).unwrap();
+    assert_eq!(report.digest, runner.run().unwrap().digest);
+}
+
+/// The adaptive controller actually steers: the same spec with and
+/// without the `adaptive` block produces different traces, and the
+/// adaptive run is deterministic. Announce is the sensitive workload —
+/// free-running traffic redraws its transmit gap from the live
+/// probability for the whole horizon (a contention run that delivers
+/// every link on the first attempt would never consult the re-tuned
+/// probability at all).
+#[test]
+fn adaptive_block_changes_and_reproduces_the_trace() {
+    let fixed = ScenarioRunner::new(observed_spec(0, 9, false))
+        .unwrap()
+        .run()
+        .unwrap();
+    let run_adaptive = || {
+        ScenarioRunner::new(observed_spec(0, 9, true))
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let adaptive = run_adaptive();
+    assert_ne!(
+        fixed.digest.hash, adaptive.digest.hash,
+        "controller directives must change the trace"
+    );
+    assert_eq!(adaptive.digest, run_adaptive().digest, "non-deterministic");
+}

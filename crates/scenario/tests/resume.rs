@@ -8,8 +8,8 @@ use decay_distributed::ContentionStrategy;
 use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, Tick};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
-    BackendSpec, ChannelSpec, FadingSpec, FaultSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
-    ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
+    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, FaultSpec, MobilitySpec, MonitorSpec,
+    ProtocolSpec, ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -79,10 +79,24 @@ fn stormy_spec(protocol: u8, seed: u64) -> ScenarioSpec {
             }),
             fading: Some(FadingSpec { seed: 43 }),
             trace: None,
+            trace_path: None,
             monitor: Some(MonitorSpec {
                 interval: 32,
                 max_nodes: 12,
             }),
+        }),
+        prr_window: Some(64),
+        // The ζ(t)-adaptive controller re-tunes every coherence block
+        // (32-tick decisions over 8-tick blocks on the 32-tick pause
+        // grid); its decisions are a pure function of (tick, backend),
+        // so the resumed run must re-derive them bit-identically.
+        adaptive: Some(AdaptiveSpec {
+            interval: 32,
+            max_nodes: 12,
+            base_p: 0.12,
+            zeta_ref: 2.5,
+            floor: 0.02,
+            cap: 0.4,
         }),
     }
 }
@@ -121,6 +135,12 @@ proptest! {
             &resumed.metrics.zeta_series
         );
         prop_assert!(!uninterrupted.metrics.zeta_series.is_empty());
+        // Windowed PRR emits on fixed boundaries the pause grid always
+        // hits, so the series is split-invariant too.
+        prop_assert_eq!(
+            &uninterrupted.metrics.prr_windows,
+            &resumed.metrics.prr_windows
+        );
     }
 }
 

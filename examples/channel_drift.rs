@@ -1,18 +1,22 @@
 //! A drifting channel end to end: mobility + correlated shadowing +
-//! block Rayleigh fading over a 5k-node line, with live ζ(t) monitoring,
-//! windowed-PRR-style delivery drift, and a bit-identical gain-trace
-//! replay.
+//! block Rayleigh fading over a 5k-node line, observed entirely through
+//! the composable probe API — live ζ(t) monitoring and windowed PRR as
+//! plug-in probes on one shared drive loop — plus a bit-identical
+//! gain-trace replay.
 //!
 //! ```text
 //! cargo run --release --example channel_drift
+//! EXAMPLES_QUICK=1 cargo run --release --example channel_drift   # CI-sized
 //! ```
 //!
 //! What to look for in the output:
 //!
 //! 1. `ζ(t)` *moves* — the paper's metricity constant becomes a
-//!    trajectory once the gain matrix drifts.
-//! 2. Per-window delivery counts swing as fades and mobility open and
-//!    close links — the drift a lifetime average would flatten.
+//!    trajectory once the gain matrix drifts. The monitor is just a
+//!    [`Probe`] now: no hand-rolled sampling loop.
+//! 2. Per-window delivery yield swings as fades and mobility open and
+//!    close links — the drift a lifetime average would flatten,
+//!    captured by the [`WindowedPrr`] probe.
 //! 3. The exported gain trace replays the small-scale run with the exact
 //!    same trace hash: measured channels are replayable artifacts.
 
@@ -64,7 +68,7 @@ fn stormy_channel(n: usize, block: u64) -> TemporalChannel {
     .with_fading(FadingConfig { seed: 11 })
 }
 
-fn run(n: usize, block: u64, horizon: u64) -> (u64, Vec<u64>) {
+fn run(n: usize, block: u64, horizon: u64) -> u64 {
     let backend = TemporalAdapter::new(stormy_channel(n, block));
     let config = EngineConfig {
         reach_decay: Some(64.0),
@@ -75,19 +79,13 @@ fn run(n: usize, block: u64, horizon: u64) -> (u64, Vec<u64>) {
     let mut engine =
         Engine::new(backend, behaviors, SinrParams::default(), config, 7).expect("engine builds");
 
-    let mut monitor = MetricityMonitor::new(64, 24);
+    // The whole observation story is two probes on one shared loop:
+    // the ζ(t) monitor and the windowed-PRR tracker see the identical
+    // pause stream the scenario runner's probes would.
     let window = 64;
-    let mut window_deliveries = Vec::new();
-    let mut last = 0;
-    let mut tick = 0;
-    while tick < horizon {
-        tick += window;
-        engine.run_until(tick);
-        monitor.record(engine.now(), engine.backend());
-        let total = engine.stats().deliveries;
-        window_deliveries.push(total - last);
-        last = total;
-    }
+    let mut monitor = MetricityMonitor::new(window, 24);
+    let mut prr = WindowedPrr::new(n, window, 8);
+    drive_probed(&mut engine, horizon, window, &mut [&mut monitor, &mut prr]);
 
     println!(
         "{n} nodes, coherence block {block}: {} events, {} deliveries",
@@ -102,15 +100,24 @@ fn run(n: usize, block: u64, horizon: u64) -> (u64, Vec<u64>) {
         );
     }
     println!("  deliveries per {window}-tick window (drift the lifetime PRR hides):");
-    let spark: Vec<String> = window_deliveries.iter().map(u64::to_string).collect();
+    let spark: Vec<String> = prr
+        .samples()
+        .iter()
+        .map(|w| w.deliveries.to_string())
+        .collect();
     println!("    [{}]", spark.join(", "));
-    (engine.trace_hash(), window_deliveries)
+    engine.trace_hash()
 }
 
 fn main() {
+    let quick = std::env::var("EXAMPLES_QUICK").is_ok_and(|v| v == "1");
     // The headline run: 5k nodes never materialize a 25M-entry matrix,
-    // and the channel drifts under them.
-    run(5_000, 32, 512);
+    // and the channel drifts under them (CI shrinks it to smoke size).
+    if quick {
+        run(500, 32, 256);
+    } else {
+        run(5_000, 32, 512);
+    }
 
     // Trace replay at demo scale: capture the generative channel,
     // round-trip it through JSON, and reproduce the run bit for bit.

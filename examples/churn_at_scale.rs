@@ -2,27 +2,46 @@
 //! lazy decay space with nodes continuously leaving and rejoining, a
 //! mid-run checkpoint serialized to bytes, and a resumed engine verified
 //! against the original — all on a space whose dense matrix would be
-//! half a terabyte.
+//! half a terabyte. Progress reporting rides the probe API: the phase
+//! log is just a [`Probe`] on the drive loop's pause grid.
 //!
 //! ```text
 //! cargo run --release --example churn_at_scale
+//! EXAMPLES_QUICK=1 cargo run --release --example churn_at_scale   # CI-sized
 //! ```
 
 use beyond_geometry::engine::{Checkpoint, ChurnConfig, Engine, LazyBackend};
 use beyond_geometry::prelude::*;
 
-const N: usize = 250_000;
+/// Logs one progress line per pause — the hand-rolled per-phase
+/// printing this example once interleaved with its own drive loop.
+struct PhaseLog;
+
+impl Probe for PhaseLog {
+    fn on_pause(&mut self, ctx: &PauseCtx<'_>) {
+        println!(
+            "tick {:>4}: {:>9} events, {:>8} tx, {:>8} delivered, \
+             {:>5} left / {:>5} rejoined",
+            ctx.tick,
+            ctx.stats.events,
+            ctx.stats.transmissions,
+            ctx.stats.deliveries,
+            ctx.stats.churn_leaves,
+            ctx.stats.churn_joins,
+        );
+    }
+}
 
 /// α = 2 path loss on a unit-spaced line, evaluated on demand: the
-/// engine never materializes the 250k × 250k decay matrix.
-fn backend() -> LazyBackend {
-    LazyBackend::from_fn(N, |i, j| {
+/// engine never materializes the n × n decay matrix.
+fn backend(n: usize) -> LazyBackend {
+    LazyBackend::from_fn(n, |i, j| {
         let d = (i as f64) - (j as f64);
         d * d
     })
-    .with_neighbor_hint(|i, reach| {
+    .with_neighbor_hint(move |i, reach| {
         let w = reach.sqrt().ceil() as usize;
-        (i.saturating_sub(w)..=(i + w).min(N - 1)).collect()
+        (i.saturating_sub(w)..=(i + w).min(n - 1)).collect()
     })
 }
 
@@ -43,46 +62,33 @@ fn config() -> EventBroadcastConfig {
 }
 
 fn main() {
+    let quick = std::env::var("EXAMPLES_QUICK").is_ok_and(|v| v == "1");
+    let n: usize = if quick { 20_000 } else { 250_000 };
     let params = SinrParams::default();
     println!(
-        "building a {N}-node lazy decay space (dense would be {:.0} GB) ...",
-        (N as f64).powi(2) * 8.0 / 1e9
+        "building a {n}-node lazy decay space (dense would be {:.0} GB) ...",
+        (n as f64).powi(2) * 8.0 / 1e9
     );
     let (mut engine, required) =
-        beyond_geometry::distributed::build_broadcast_engine(backend(), &params, &config())
+        beyond_geometry::distributed::build_broadcast_engine(backend(n), &params, &config())
             .expect("valid config");
     let required_pairs: usize = required.iter().map(Vec::len).sum();
     println!("local broadcast: {required_pairs} required (sender, neighbor) pairs, churn on\n");
 
-    let mut snapshot_bytes: Option<Vec<u8>> = None;
-    for phase in 1..=4u64 {
-        let until = phase * 50;
-        engine.run_until(until);
-        let stats = engine.stats();
-        println!(
-            "tick {until:>4}: {:>9} events, {:>8} tx, {:>8} delivered, \
-             {:>5} left / {:>5} rejoined, {:>6} queued",
-            stats.events,
-            stats.transmissions,
-            stats.deliveries,
-            stats.churn_leaves,
-            stats.churn_joins,
-            engine.queued_events(),
-        );
-        if phase == 2 {
-            // Snapshot mid-run, through the byte codec (real persistence).
-            let bytes = engine.checkpoint().to_bytes();
-            println!("          checkpoint taken: {} bytes", bytes.len());
-            snapshot_bytes = Some(bytes);
-        }
-    }
+    // Two probed phases around a mid-run checkpoint: the PhaseLog probe
+    // prints each 50-tick pause, and the byte-serialized snapshot is
+    // restored below into a fresh engine.
+    let mut log = PhaseLog;
+    drive_probed(&mut engine, 100, 50, &mut [&mut log]);
+    let bytes = engine.checkpoint().to_bytes();
+    println!("          checkpoint taken: {} bytes", bytes.len());
+    drive_probed(&mut engine, 200, 50, &mut [&mut log]);
 
     // Resume the checkpoint in a fresh engine and verify it converges to
     // the exact same state as the engine that never stopped.
-    let bytes = snapshot_bytes.expect("checkpoint taken at phase 2");
     let snapshot: Checkpoint<beyond_geometry::distributed::EventBroadcaster> =
         Checkpoint::from_bytes(&bytes).expect("decodes");
-    let mut resumed = Engine::restore(backend(), snapshot).expect("restores");
+    let mut resumed = Engine::restore(backend(n), snapshot).expect("restores");
     resumed.run_until(engine.now());
     assert_eq!(
         resumed.trace_hash(),

@@ -54,8 +54,9 @@ pub mod prelude {
         CapacityResult, OnlineRule, EXACT_CAPACITY_LIMIT, EXACT_WEIGHTED_LIMIT,
     };
     pub use decay_channel::{
-        FadingConfig, GainTrace, MetricityMonitor, MobilityConfig, MobilityModel, ShadowingConfig,
-        TemporalAdapter, TemporalBackend, TemporalChannel, TraceChannel, ZetaSample,
+        AdaptiveContention, FadingConfig, GainTrace, MetricityMonitor, MobilityConfig,
+        MobilityModel, ShadowingConfig, TemporalAdapter, TemporalBackend, TemporalChannel,
+        TraceChannel, ZetaSample,
     };
     pub use decay_core::{
         assouad_dimension_fit, fading_parameter, independence_dimension, metricity, phi_metricity,
@@ -69,8 +70,10 @@ pub mod prelude {
         MultiBroadcastConfig, QueueingConfig, RegretConfig,
     };
     pub use decay_engine::{
-        ChurnConfig, DecayBackend, DenseBackend, Engine, EngineConfig, EventBehavior, JamSchedule,
-        LatencyModel, LazyBackend, NodeCtx, SlotAdapter, TiledBackend,
+        apply_directives, drive_controlled, drive_probed, drive_until, ChurnConfig, Controller,
+        DecayBackend, DenseBackend, Directive, Engine, EngineConfig, EventBehavior, JamSchedule,
+        LatencyModel, LazyBackend, NodeCtx, PauseCtx, Probe, PrrWindowSample, SlotAdapter,
+        TiledBackend, Tunable, WindowedPrr,
     };
     pub use decay_envsim::{Device, FloorPlan, MeasurementModel, OfficeConfig, PropagationModel};
     pub use decay_netsim::{
@@ -78,8 +81,9 @@ pub mod prelude {
         PrrTracker, ReceptionModel, Simulator, SlotContext,
     };
     pub use decay_scenario::{
-        BackendSpec, ChannelSpec, MetricsReport, MobilitySpec, MonitorSpec, ProtocolSpec,
-        ScenarioReport, ScenarioRunner, ScenarioSpec, TopologySpec, TraceDigest,
+        AdaptiveSpec, BackendSpec, ChannelSpec, DigestProbe, MetricsProbe, MetricsReport,
+        MobilitySpec, MonitorSpec, ProtocolSpec, ScenarioReport, ScenarioRunner, ScenarioSpec,
+        TopologySpec, TraceDigest,
     };
     pub use decay_sinr::{
         inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,
