@@ -14,15 +14,33 @@
 //! `::error::` plus a non-zero exit under `--strict` — quick-mode CI
 //! measurements on shared runners are noisy, so the default annotates
 //! instead of failing). New or vanished rows are informational.
+//!
+//! Rows also carry deterministic *cost-shape* columns (`rows_built`,
+//! `pairs_per_scan`, `row_hit_rate`, `queue_high_water` — see
+//! `engine_bench`). Unlike wall-clock throughput these cannot be noisy,
+//! so any shape drift beyond `--shape-threshold` percent (default 10) is
+//! flagged the same way: cost counters rising, or the row-cache hit
+//! rate falling, means the hot path's shape changed — hint windows
+//! widening, a cache losing locality — even if events/sec held steady.
+//! Baselines written before the columns existed compare throughput only.
 
 use std::process::ExitCode;
 
 use decay_core::json::{parse, JsonValue};
 
+/// The deterministic cost-shape columns: (name, value, whether an
+/// increase is the bad direction).
+struct Shape {
+    name: &'static str,
+    value: f64,
+    rising_is_bad: bool,
+}
+
 /// One comparable measurement row.
 struct Row {
     key: String,
     events_per_sec: f64,
+    shape: Vec<Shape>,
 }
 
 fn rows_of(doc: &JsonValue, path: &str) -> Result<Vec<Row>, String> {
@@ -44,9 +62,27 @@ fn rows_of(doc: &JsonValue, path: &str) -> Result<Vec<Row>, String> {
                 .get("events_per_sec")
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| format!("{path}: row {key} without events_per_sec"))?;
+            // Optional: absent in documents from before the columns
+            // existed, so the shape comparison degrades gracefully.
+            let shape = [
+                ("rows_built", true),
+                ("pairs_per_scan", true),
+                ("queue_high_water", true),
+                ("row_hit_rate", false),
+            ]
+            .into_iter()
+            .filter_map(|(name, rising_is_bad)| {
+                r.get(name).and_then(JsonValue::as_f64).map(|value| Shape {
+                    name,
+                    value,
+                    rising_is_bad,
+                })
+            })
+            .collect();
             Ok(Row {
                 key,
                 events_per_sec,
+                shape,
             })
         })
         .collect()
@@ -81,6 +117,9 @@ fn main() -> ExitCode {
     let threshold: f64 = flag("--threshold")
         .and_then(|t| t.parse().ok())
         .unwrap_or(20.0);
+    let shape_threshold: f64 = flag("--shape-threshold")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(10.0);
     let strict = args.iter().any(|a| a == "--strict");
 
     let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
@@ -118,6 +157,29 @@ fn main() -> ExitCode {
                          ({:.0} -> {:.0} events/sec, threshold {:.0}%)",
                         row.key, -delta, base.events_per_sec, row.events_per_sec, threshold
                     );
+                }
+                // Cost-shape drift: deterministic counters, tighter
+                // leash, both directions reported but only the bad one
+                // counts as a regression.
+                for cur in &row.shape {
+                    let Some(base_shape) = base.shape.iter().find(|s| s.name == cur.name) else {
+                        continue;
+                    };
+                    let drift = (cur.value - base_shape.value) / base_shape.value.max(1e-9) * 100.0;
+                    let bad = if cur.rising_is_bad {
+                        drift > shape_threshold
+                    } else {
+                        drift < -shape_threshold
+                    };
+                    if bad {
+                        regressions += 1;
+                        let kind = if strict { "error" } else { "warning" };
+                        println!(
+                            "::{kind}::cost-shape regression: {} {} moved {:+.1}% \
+                             ({} -> {}, shape threshold {:.0}%)",
+                            row.key, cur.name, drift, base_shape.value, cur.value, shape_threshold
+                        );
+                    }
                 }
             }
         }

@@ -11,13 +11,28 @@
 //! a steadier local measurement. The workload is the same gossip traffic
 //! the criterion bench `benches/engine.rs` drives, so the two numbers
 //! are comparable.
+//!
+//! Beyond throughput, every row carries the cost-shape counter columns
+//! (`rows_built`, `pairs_per_scan`, `row_hit_rate`, `queue_high_water`)
+//! so `bench_trend` can flag a hot path whose *shape* regressed — hint
+//! windows silently widening, a cache losing its hit rate — even when
+//! events/sec stays flat. Two further flags serve CI:
+//!
+//! - `--telemetry-out <path>` writes the full per-row counter totals
+//!   (all counters, plus `<timer>_ns`/`<timer>_calls` when built with
+//!   `--features telemetry-timing`) as a separate JSON artifact.
+//! - `--overhead-against <baseline.json> --max-overhead <pct>` compares
+//!   this binary's static-row events/sec against a previous run's and
+//!   exits non-zero when it fell more than `<pct>` percent — the gate
+//!   that keeps enabled-timing overhead bounded.
 
 use std::time::Instant;
 
 use decay_channel::{
     FadingConfig, MobilityConfig, MobilityModel, ShadowingConfig, TemporalAdapter, TemporalChannel,
 };
-use decay_core::json::{int, num, obj, s, JsonValue};
+use decay_core::json::{int, num, obj, parse, s, JsonValue};
+use decay_core::telemetry::{Counter, CounterSnapshot, Counters, Timer};
 use decay_engine::{DecayBackend, Engine, EngineConfig, EventBehavior, LazyBackend, NodeCtx};
 use decay_sinr::SinrParams;
 use decay_spaces::line_points;
@@ -73,7 +88,63 @@ fn temporal(n: usize, block_len: u64) -> TemporalAdapter {
     )
 }
 
-fn measure(backend: impl DecayBackend + 'static, n: usize, horizon: u64) -> (u64, u64, f64) {
+/// One measured configuration: throughput plus the cost-shape counters.
+struct Measurement {
+    events: u64,
+    deliveries: u64,
+    events_per_sec: f64,
+    queue_high_water: u64,
+    /// Engine sink merged with the backend's (when it has one).
+    counters: CounterSnapshot,
+}
+
+impl Measurement {
+    fn rows_built(&self) -> u64 {
+        self.counters.get(Counter::RowsBuilt)
+    }
+
+    fn pairs_per_scan(&self) -> f64 {
+        let scans = self.rows_built();
+        if scans == 0 {
+            0.0
+        } else {
+            self.counters.get(Counter::RowPairs) as f64 / scans as f64
+        }
+    }
+
+    fn row_hit_rate(&self) -> f64 {
+        let hits = self.counters.get(Counter::RowHits);
+        let total = hits + self.rows_built();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Best-of-`k` wrapper: reruns the identical deterministic workload
+/// and keeps the fastest observation. Counters and event totals are
+/// bit-identical across repeats (fixed seed); only the wall clock
+/// varies, and its max is the least noisy throughput estimator on a
+/// shared runner — which is what the `--overhead-against` gate needs.
+fn measure_best<B: DecayBackend + 'static>(
+    mk: impl Fn() -> B,
+    n: usize,
+    horizon: u64,
+    k: usize,
+) -> Measurement {
+    let mut best = measure(mk(), n, horizon);
+    for _ in 1..k {
+        let m = measure(mk(), n, horizon);
+        if m.events_per_sec > best.events_per_sec {
+            best = m;
+        }
+    }
+    best
+}
+
+fn measure(backend: impl DecayBackend + 'static, n: usize, horizon: u64) -> Measurement {
     let behaviors = (0..n).map(|_| Gossiper { mean_gap: 50 }).collect();
     let config = EngineConfig {
         reach_decay: Some(100.0),
@@ -86,47 +157,129 @@ fn measure(backend: impl DecayBackend + 'static, n: usize, horizon: u64) -> (u64
     engine.run_until(horizon);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     let stats = engine.stats();
-    (stats.events, stats.deliveries, stats.events as f64 / secs)
+    let mut counters = engine.telemetry().snapshot();
+    if let Some(backend_sink) = engine.backend().telemetry() {
+        counters = counters.merge(&backend_sink.snapshot());
+    }
+    Measurement {
+        events: stats.events,
+        deliveries: stats.deliveries,
+        events_per_sec: stats.events as f64 / secs,
+        queue_high_water: stats.queue_high_water,
+        counters,
+    }
+}
+
+/// The full counter totals of one row, for the telemetry artifact.
+fn counters_json(m: &Measurement) -> JsonValue {
+    let mut pairs: Vec<(&str, JsonValue)> = vec![("queue_high_water", int(m.queue_high_water))];
+    for c in Counter::ALL {
+        pairs.push((c.name(), int(m.counters.get(c))));
+    }
+    if Counters::timing_enabled() {
+        for t in Timer::ALL {
+            if let (Some(ns), Some(calls)) = (m.counters.timer_ns(t), m.counters.timer_calls(t)) {
+                pairs.push(match t {
+                    Timer::Dispatch => ("dispatch_ns", int(ns)),
+                    Timer::Resolve => ("resolve_ns", int(ns)),
+                    Timer::RowBuild => ("row_build_ns", int(ns)),
+                });
+                pairs.push(match t {
+                    Timer::Dispatch => ("dispatch_calls", int(calls)),
+                    Timer::Resolve => ("resolve_calls", int(calls)),
+                    Timer::RowBuild => ("row_build_calls", int(calls)),
+                });
+            }
+        }
+    }
+    obj(pairs)
+}
+
+/// Reads the static row's events/sec out of a previous
+/// `BENCH_engine.json`, for the `--overhead-against` gate.
+fn baseline_static_rate(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    doc.get("rows")
+        .and_then(JsonValue::as_array)
+        .and_then(|rows| {
+            rows.iter()
+                .find(|r| r.get("backend").and_then(JsonValue::as_str) == Some("static"))
+        })
+        .and_then(|r| r.get("events_per_sec").and_then(JsonValue::as_f64))
+        .ok_or_else(|| format!("{path}: no static row with events_per_sec"))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let telemetry_out = flag("--telemetry-out");
+    let overhead_against = flag("--overhead-against");
+    let max_overhead: f64 = flag("--max-overhead")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let best_of: usize = flag("--best-of")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
 
     let n = 10_000;
     let horizon = if quick { 120 } else { 400 };
     let mut rows: Vec<JsonValue> = Vec::new();
-    let mut push = |backend: &str, block: Option<u64>, m: (u64, u64, f64)| {
+    let mut telemetry_rows: Vec<JsonValue> = Vec::new();
+    let mut static_rate = 0.0;
+    let mut push = |backend: &str, block: Option<u64>, m: Measurement| {
         let mut pairs = vec![("backend", s(backend))];
         if let Some(b) = block {
             pairs.push(("block", int(b)));
         }
         pairs.extend([
-            ("events", int(m.0)),
-            ("deliveries", int(m.1)),
-            ("events_per_sec", num(m.2.round())),
+            ("events", int(m.events)),
+            ("deliveries", int(m.deliveries)),
+            ("events_per_sec", num(m.events_per_sec.round())),
+            // The cost-shape columns bench_trend watches alongside
+            // throughput (zero for backends without a scan layer).
+            ("rows_built", int(m.rows_built())),
+            ("pairs_per_scan", num(m.pairs_per_scan())),
+            ("row_hit_rate", num(m.row_hit_rate())),
+            ("queue_high_water", int(m.queue_high_water)),
         ]);
         rows.push(obj(pairs));
+        let mut tele = vec![("backend", s(backend))];
+        if let Some(b) = block {
+            tele.push(("block", int(b)));
+        }
+        tele.push(("counters", counters_json(&m)));
+        telemetry_rows.push(obj(tele));
         eprintln!(
-            "{backend}{}: {} events, {:.0} events/sec",
+            "{backend}{}: {} events, {:.0} events/sec, qhw {}",
             block.map(|b| format!(" (block {b})")).unwrap_or_default(),
-            m.0,
-            m.2
+            m.events,
+            m.events_per_sec,
+            m.queue_high_water,
         );
+        if backend == "static" {
+            static_rate = m.events_per_sec;
+        }
     };
 
-    push("static", None, measure(lazy_line(n), n, horizon));
+    push(
+        "static",
+        None,
+        measure_best(|| lazy_line(n), n, horizon, best_of),
+    );
     for block in [1u64, 16, 64] {
         push(
             "temporal",
             Some(block),
-            measure(temporal(n, block), n, horizon),
+            measure_best(|| temporal(n, block), n, horizon, best_of),
         );
     }
 
@@ -135,9 +288,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("nodes", int(n as u64)),
         ("horizon", int(horizon)),
         ("quick", JsonValue::Bool(quick)),
+        ("timing", JsonValue::Bool(Counters::timing_enabled())),
         ("rows", JsonValue::Array(rows)),
     ]);
     std::fs::write(&out, doc.pretty())?;
     eprintln!("written {out}");
+
+    if let Some(path) = telemetry_out {
+        let doc = obj(vec![
+            ("bench", s("engine-telemetry")),
+            ("nodes", int(n as u64)),
+            ("horizon", int(horizon)),
+            ("timing", JsonValue::Bool(Counters::timing_enabled())),
+            ("rows", JsonValue::Array(telemetry_rows)),
+        ]);
+        std::fs::write(&path, doc.pretty())?;
+        eprintln!("written {path}");
+    }
+
+    if let Some(baseline) = overhead_against {
+        let base = baseline_static_rate(&baseline).map_err(|e| format!("overhead gate: {e}"))?;
+        let overhead = (base - static_rate) / base.max(1e-9) * 100.0;
+        eprintln!(
+            "overhead vs {baseline}: static {:.0} -> {:.0} events/sec ({overhead:+.1}%, \
+             max allowed {max_overhead:.1}%)",
+            base, static_rate
+        );
+        if overhead > max_overhead {
+            return Err(format!(
+                "static-path overhead {overhead:.1}% exceeds the {max_overhead:.1}% budget"
+            )
+            .into());
+        }
+    }
     Ok(())
 }

@@ -27,6 +27,12 @@ pub struct ZetaSample {
     pub zeta: f64,
     /// The `φ = lg ϕ` variant (Section 4.2) of the sampled matrix.
     pub phi: f64,
+    /// Size of the evenly spaced node subset the cubic scan ran over
+    /// (`min(n, max_nodes)`; the monitor caps at 64). Subset metricity
+    /// lower-bounds the full space's, so `ζ(t)` values are only
+    /// interpretable alongside this — which is why it rides along in
+    /// the JSON report.
+    pub nodes: usize,
 }
 
 /// Samples `ζ(t)`/`φ(t)` from any [`DecayBackend`] at a fixed tick
@@ -119,6 +125,7 @@ pub fn sample(tick: Tick, backend: &dyn DecayBackend, max_nodes: usize) -> ZetaS
             tick,
             zeta: 0.0,
             phi: 0.0,
+            nodes: k,
         };
     }
     let idx: Vec<usize> = (0..k).map(|t| t * n / k).collect();
@@ -130,6 +137,7 @@ pub fn sample(tick: Tick, backend: &dyn DecayBackend, max_nodes: usize) -> ZetaS
         tick,
         zeta: metricity(&space).zeta,
         phi: phi_metricity(&space).phi,
+        nodes: k,
     }
 }
 
@@ -190,6 +198,8 @@ mod tests {
     fn subset_sampling_is_a_lower_bound() {
         let full = sample(0, &geometric_line(30, 2.5), 30);
         let sub = sample(0, &geometric_line(30, 2.5), 10);
+        assert_eq!(full.nodes, 30, "subset size is recorded");
+        assert_eq!(sub.nodes, 10, "subset size is recorded");
         assert!(sub.zeta <= full.zeta + 1e-9);
         // A geometric line's binding triples survive even coarse
         // subsampling (consecutive subset nodes are still collinear).

@@ -32,9 +32,9 @@
 //! most once per (block, pair).
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use decay_core::telemetry::{Counter, Counters, Timer};
 use decay_core::{EpochCell, NodeId};
 use decay_engine::{DecayBackend, Tick};
 
@@ -202,8 +202,11 @@ pub struct TemporalAdapter {
     /// memcpys around the source) instead of re-filtering `0..n`, and
     /// it is block-independent so it lives beside the snapshots.
     all_nodes: OnceLock<Vec<NodeId>>,
-    scans: AtomicU64,
-    pairs: AtomicU64,
+    /// Channel-side telemetry sink (row builds/hits, window widths,
+    /// epoch traffic), surfaced through [`DecayBackend::telemetry`].
+    /// Disjoint from the engine's counter set, so merged snapshots
+    /// never double-count.
+    telemetry: Counters,
 }
 
 impl TemporalAdapter {
@@ -222,8 +225,7 @@ impl TemporalAdapter {
             current: EpochCell::new(Arc::clone(&block0)),
             block0,
             all_nodes: OnceLock::new(),
-            scans: AtomicU64::new(0),
-            pairs: AtomicU64::new(0),
+            telemetry: Counters::new(),
         }
     }
 
@@ -237,11 +239,13 @@ impl TemporalAdapter {
         tick / self.inner.block_len()
     }
 
-    /// Cumulative reach-scan counters (diagnostic; see E39).
+    /// Cumulative reach-scan counters (diagnostic; see E39). A view
+    /// over the adapter's telemetry sink: `scans` is rows built,
+    /// `pairs` the summed candidate-window widths.
     pub fn scan_stats(&self) -> ScanStats {
         ScanStats {
-            scans: self.scans.load(Ordering::Relaxed),
-            pairs: self.pairs.load(Ordering::Relaxed),
+            scans: self.telemetry.get(Counter::RowsBuilt),
+            pairs: self.telemetry.get(Counter::RowPairs),
         }
     }
 
@@ -252,12 +256,17 @@ impl TemporalAdapter {
             return Arc::clone(&self.block0);
         }
         let current = self.current.load();
+        self.telemetry.add(Counter::EpochLoads, 1);
         if current.block == block {
             return current;
         }
         let n = self.n;
-        self.current
-            .update_if(|cur| (cur.block != block).then(|| Arc::new(BlockSnapshot::empty(block, n))))
+        self.current.update_if(|cur| {
+            (cur.block != block).then(|| {
+                self.telemetry.add(Counter::EpochSwaps, 1);
+                Arc::new(BlockSnapshot::empty(block, n))
+            })
+        })
     }
 
     /// Evaluates one candidate window against the instantaneous field.
@@ -271,6 +280,7 @@ impl TemporalAdapter {
                 (Some(c), reach)
             }
         };
+        let timer = self.telemetry.timer_start();
         let decays = match &candidates {
             None => {
                 let all: Vec<NodeId> = (0..self.n).map(NodeId::new).collect();
@@ -278,8 +288,9 @@ impl TemporalAdapter {
             }
             Some(c) => self.inner.decay_row_in_block(block, from, c),
         };
-        self.scans.fetch_add(1, Ordering::Relaxed);
-        self.pairs.fetch_add(decays.len() as u64, Ordering::Relaxed);
+        self.telemetry.timer_stop(Timer::RowBuild, timer);
+        self.telemetry.add(Counter::RowsBuilt, 1);
+        self.telemetry.add(Counter::RowPairs, decays.len() as u64);
         SourceRow {
             candidates,
             window_reach,
@@ -299,7 +310,10 @@ impl TemporalAdapter {
     ) -> Option<&'a SourceRow> {
         let cell = &snapshot.rows[from.index()];
         let row = match cell.get() {
-            Some(row) => row,
+            Some(row) => {
+                self.telemetry.add(Counter::RowHits, 1);
+                row
+            }
             None => cell.get_or_init(|| Box::new(self.scan(snapshot.block, from, reach))),
         };
         (reach <= row.window_reach).then_some(&**row)
@@ -358,6 +372,7 @@ impl DecayBackend for TemporalAdapter {
     fn decay(&self, from: NodeId, to: NodeId) -> f64 {
         if let Some(row) = self.block0.rows[from.index()].get() {
             if let Some(d) = row.lookup(from, to) {
+                self.telemetry.add(Counter::RowHits, 1);
                 return d;
             }
         }
@@ -374,9 +389,11 @@ impl DecayBackend for TemporalAdapter {
         // monitor replaying history — must not evict the current
         // block's rows).
         let current = self.current.load();
+        self.telemetry.add(Counter::EpochLoads, 1);
         if current.block == block {
             if let Some(row) = current.rows[from.index()].get() {
                 if let Some(d) = row.lookup(from, to) {
+                    self.telemetry.add(Counter::RowHits, 1);
                     return d;
                 }
             }
@@ -394,6 +411,10 @@ impl DecayBackend for TemporalAdapter {
 
     fn channel_signature(&self) -> u64 {
         self.inner.signature()
+    }
+
+    fn telemetry(&self) -> Option<&Counters> {
+        Some(&self.telemetry)
     }
 }
 

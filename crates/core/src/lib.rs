@@ -64,6 +64,7 @@ mod metricity;
 mod quasi;
 mod separation;
 mod space;
+pub mod telemetry;
 mod util;
 
 pub use ball::{ball, densest_packing, is_packing, packing_number, Packing, EXACT_PACKING_LIMIT};
@@ -87,4 +88,5 @@ pub use metricity::{
 pub use quasi::QuasiMetric;
 pub use separation::{greedy_separated_subset, is_separated, min_pairwise_decay};
 pub use space::{DecaySpace, NodeId, Symmetrization};
+pub use telemetry::{Counter, CounterSnapshot, Counters, Ring, TelemetrySample, Timer};
 pub use util::{approx_eq, lg, riemann_zeta};

@@ -113,6 +113,16 @@ pub trait DecayBackend: Send + Sync {
     fn channel_signature(&self) -> u64 {
         0
     }
+
+    /// The backend's own hot-path telemetry sink, when it keeps one
+    /// (temporal adapters count row builds/hits and epoch traffic
+    /// here). `None` for backends that track nothing — the static
+    /// backends in this module stay untouched. Telemetry is strictly
+    /// observational: reading the sink must never affect decay values
+    /// or reach sets.
+    fn telemetry(&self) -> Option<&decay_core::telemetry::Counters> {
+        None
+    }
 }
 
 /// Boxed backends forward, so heterogeneous call sites (a scenario spec
@@ -154,6 +164,10 @@ impl<T: DecayBackend + ?Sized> DecayBackend for Box<T> {
 
     fn channel_signature(&self) -> u64 {
         (**self).channel_signature()
+    }
+
+    fn telemetry(&self) -> Option<&decay_core::telemetry::Counters> {
+        (**self).telemetry()
     }
 }
 

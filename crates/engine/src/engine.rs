@@ -21,7 +21,9 @@ use std::cmp::Ordering as CmpOrdering;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
+use decay_core::telemetry::{Counter, Counters, Ring, Timer};
 use decay_core::NodeId;
 use decay_netsim::{FaultPlan, ReceptionModel};
 use decay_sinr::SinrParams;
@@ -345,7 +347,17 @@ impl DeliveryRecord {
 }
 
 /// Cumulative counters over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// # Codec / equality split
+///
+/// [`queue_high_water`](Self::queue_high_water) is *display-only*
+/// telemetry: it is excluded from the checkpoint [`Codec`] (so format
+/// v4 and the pinned golden digests stay byte-stable) **and** from
+/// `PartialEq` (so digests compare equal across resume splits, where a
+/// restored engine rebuilds its queue and restarts the high-water mark
+/// from the restore point). Every trace-defining counter participates
+/// in both.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Events dispatched.
     pub events: u64,
@@ -364,7 +376,26 @@ pub struct EngineStats {
     pub churn_leaves: u64,
     /// Churn rejoins.
     pub churn_joins: u64,
+    /// Deepest the event queue has been (display-only; see the struct
+    /// docs for why it is outside the codec and equality).
+    pub queue_high_water: u64,
 }
+
+impl PartialEq for EngineStats {
+    fn eq(&self, other: &Self) -> bool {
+        // `queue_high_water` is deliberately ignored — see struct docs.
+        self.events == other.events
+            && self.wakes == other.wakes
+            && self.transmissions == other.transmissions
+            && self.deliveries == other.deliveries
+            && self.dropped_deliveries == other.dropped_deliveries
+            && self.jammed_ticks == other.jammed_ticks
+            && self.churn_leaves == other.churn_leaves
+            && self.churn_joins == other.churn_joins
+    }
+}
+
+impl Eq for EngineStats {}
 
 /// Errors constructing or restoring an engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -625,6 +656,10 @@ impl Codec for DeliveryRecord {
 }
 
 impl Codec for EngineStats {
+    // `queue_high_water` stays out of the wire format: checkpoint
+    // format v4 encodes exactly these eight trace-defining counters
+    // (see the struct docs). Decode leaves it at zero; `restore`
+    // re-seeds it from the rebuilt queue.
     fn encode(&self, out: &mut Vec<u8>) {
         for field in [
             self.events,
@@ -649,6 +684,7 @@ impl Codec for EngineStats {
             jammed_ticks: u64::decode(input)?,
             churn_leaves: u64::decode(input)?,
             churn_joins: u64::decode(input)?,
+            queue_high_water: 0,
         })
     }
 }
@@ -775,6 +811,14 @@ pub struct Engine<B> {
     controller: u64,
     /// Scratch command buffer, reused across callbacks.
     scratch: Vec<Command>,
+    /// Hot-path telemetry sink (always-on relaxed counters; strictly
+    /// observational, never checkpointed — see [`crate::telemetry`]).
+    telemetry: Arc<Counters>,
+    /// Flight-recorder event ring (off by default; see
+    /// [`Self::enable_event_log`]). Runtime state, not configuration:
+    /// deliberately outside [`EngineConfig`] so checkpoint format v4
+    /// is untouched.
+    event_log: Option<Ring<crate::telemetry::EventRecord>>,
 }
 
 impl<B> fmt::Debug for Engine<B> {
@@ -848,6 +892,8 @@ impl<B: EventBehavior> Engine<B> {
             trace: Vec::new(),
             controller: 0,
             scratch: Vec::new(),
+            telemetry: Arc::new(Counters::new()),
+            event_log: None,
             config,
         };
         for i in 0..n {
@@ -889,7 +935,7 @@ impl<B: EventBehavior> Engine<B> {
                 found: backend.channel_signature(),
             });
         }
-        Ok(Engine {
+        let mut engine = Engine {
             backend: Box::new(backend),
             behaviors: checkpoint.behaviors,
             params: checkpoint.params,
@@ -911,7 +957,15 @@ impl<B: EventBehavior> Engine<B> {
             trace: checkpoint.trace,
             controller: checkpoint.controller,
             scratch: Vec::new(),
-        })
+            // Telemetry restarts from zero at a restore: counters are
+            // observational, not checkpointed. The high-water mark is
+            // re-seeded from the rebuilt queue so it never reads below
+            // the current depth.
+            telemetry: Arc::new(Counters::new()),
+            event_log: None,
+        };
+        engine.stats.queue_high_water = engine.queue.len() as u64;
+        Ok(engine)
     }
 
     /// [`Self::restore`], additionally verifying that the checkpoint was
@@ -974,6 +1028,14 @@ impl<B: EventBehavior> Engine<B> {
     /// Processes every event with firing tick `≤ end`, then advances the
     /// clock to `end`. Returns the cumulative stats.
     pub fn run_until(&mut self, end: Tick) -> EngineStats {
+        let mut dispatched = 0u64;
+        // Timers at batch granularity only: one Dispatch span per drive
+        // step (resolve time nested inside it) and one Resolve span per
+        // resolution round. Per-event clock reads would cost ~25% of
+        // the 3.8M ev/s static path; this costs two reads per rare
+        // event kind and keeps the enabled-timing overhead within the
+        // CI budget.
+        let drive = self.telemetry.timer_start();
         while let Some(Reverse(head)) = self.queue.peek() {
             if head.tick > end {
                 break;
@@ -981,8 +1043,22 @@ impl<B: EventBehavior> Engine<B> {
             let Reverse(qe) = self.queue.pop().expect("peeked");
             self.now = qe.tick;
             self.stats.events += 1;
-            self.dispatch(qe.event);
+            dispatched += 1;
+            if let Some(log) = self.event_log.as_mut() {
+                log.push(crate::telemetry::EventRecord::of(qe.tick, &qe.event));
+            }
+            if matches!(qe.event, Event::Resolve) {
+                let timer = self.telemetry.timer_start();
+                self.dispatch(qe.event);
+                self.telemetry.timer_stop(Timer::Resolve, timer);
+            } else {
+                self.dispatch(qe.event);
+            }
         }
+        self.telemetry.timer_stop(Timer::Dispatch, drive);
+        // One batched add per drive step keeps the telemetry cost off
+        // the per-event path.
+        self.telemetry.add(Counter::Events, dispatched);
         self.now = self.now.max(end);
         self.stats
     }
@@ -1095,10 +1171,43 @@ impl<B: EventBehavior> Engine<B> {
         self.queue.len()
     }
 
+    /// The engine's hot-path telemetry sink. Per-instance (parallel
+    /// runs never share counters) and strictly observational: nothing
+    /// here feeds back into the trace. Backend-side counters live in
+    /// the backend's own sink (see [`DecayBackend::telemetry`]).
+    pub fn telemetry(&self) -> &Arc<Counters> {
+        &self.telemetry
+    }
+
+    /// Turns on the flight-recorder event ring: the last `capacity`
+    /// dispatched events are retained for [`Self::recent_events`].
+    /// Runtime state, deliberately not an [`EngineConfig`] field —
+    /// enabling it cannot change checkpoints, traces, or digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.event_log = Some(Ring::new(capacity));
+    }
+
+    /// The most recent dispatched events, oldest first (empty unless
+    /// [`Self::enable_event_log`] was called).
+    pub fn recent_events(&self) -> Vec<crate::telemetry::EventRecord> {
+        self.event_log
+            .as_ref()
+            .map(|log| log.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     fn push_event(&mut self, tick: Tick, event: Event) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(QueuedEvent::new(tick, seq, event)));
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_high_water {
+            self.stats.queue_high_water = depth;
+        }
     }
 
     /// Runs a behavior callback for node `i` with a fresh context, then
@@ -1240,6 +1349,7 @@ impl<B: EventBehavior> Engine<B> {
             return;
         }
         self.stats.transmissions += txs.len() as u64;
+        self.telemetry.add(Counter::ResolveTicks, 1);
         let jammed = match self.config.jamming {
             JamSchedule::None => false,
             JamSchedule::Periodic { period } => self.now.is_multiple_of(period),
@@ -1264,6 +1374,9 @@ impl<B: EventBehavior> Engine<B> {
                     pairs.push((v, k));
                 }
             }
+            self.telemetry.add(Counter::ReachScans, txs.len() as u64);
+            self.telemetry.add(Counter::SinrPairs, pairs.len() as u64);
+            let mut decay_calls = 0u64;
             pairs.sort_unstable_by_key(|&(v, k)| (v.index(), k));
             // O(1) transmitter-exclusion lookups (only membership is
             // queried, so hash order cannot leak into the trace).
@@ -1290,6 +1403,7 @@ impl<B: EventBehavior> Engine<B> {
                 // transmitter (out-of-reach interference is below the
                 // reach cutoff by construction).
                 let mut rx: Vec<(usize, f64)> = Vec::with_capacity(group.len());
+                decay_calls += group.len() as u64;
                 for &(_, k) in group {
                     let (t, power, _) = txs[k];
                     let fade = match self.config.reception {
@@ -1330,6 +1444,7 @@ impl<B: EventBehavior> Engine<B> {
                     per_tx_receivers[best_k].push(v);
                 }
             }
+            self.telemetry.add(Counter::DecayCalls, decay_calls);
             // Schedule deliveries (latency drawn per delivery, in order).
             for (v, k, p) in deliveries {
                 let delay = match self.config.latency {

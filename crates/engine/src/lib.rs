@@ -116,6 +116,7 @@ mod engine;
 mod event;
 pub mod probe;
 mod rng;
+pub mod telemetry;
 
 pub use adapter::SlotAdapter;
 pub use backend::{DecayBackend, DecayFn, DenseBackend, LazyBackend, NeighborFn, TiledBackend};
@@ -130,3 +131,4 @@ pub use probe::{
     Probe, PrrWindowSample, Tunable, WindowedPrr,
 };
 pub use rng::{geometric_gap, EngineRng};
+pub use telemetry::{dump_flight, EventKind, EventRecord, TelemetryProbe};

@@ -88,6 +88,11 @@ pub struct PauseCtx<'a> {
     pub stats: EngineStats,
     /// The engine's rolling delivery-trace hash at this pause.
     pub trace_hash: u64,
+    /// The engine's hot-path telemetry sink (always-on relaxed
+    /// counters; backend-side counters live behind
+    /// [`DecayBackend::telemetry`]). Read-only like everything else
+    /// here: snapshotting counters cannot perturb the run.
+    pub counters: &'a decay_core::telemetry::Counters,
 }
 
 impl std::fmt::Debug for PauseCtx<'_> {
@@ -251,6 +256,7 @@ pub fn with_pause<B: EventBehavior, R>(
         backend: engine.backend(),
         stats: engine.stats(),
         trace_hash: engine.trace_hash(),
+        counters: engine.telemetry(),
     };
     f(&ctx)
 }

@@ -133,6 +133,7 @@ mod tests {
                 jammed_ticks: 5,
                 churn_leaves: 6,
                 churn_joins: 7,
+                queue_high_water: 0,
             },
             completed_at: Some(42),
         };

@@ -11,6 +11,7 @@ use std::fmt;
 use std::time::Duration;
 
 use decay_channel::ZetaSample;
+use decay_core::telemetry::{Counter, Counters, TelemetrySample, Timer};
 use decay_engine::{DeliveryRecord, EngineStats, PrrWindowSample, Tick};
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +83,10 @@ impl MetricsCollector {
     /// `zeta_series` the sampled metricity trajectory (empty when no
     /// monitor ran); `prr_windows` the windowed reception-ratio series
     /// (empty when the spec requests none).
+    /// `telemetry` is the pause-grid counter-delta series from the
+    /// always-attached [`decay_engine::TelemetryProbe`] (empty for
+    /// hand-built reports); `scan_stats` the channel-side reach-scan
+    /// totals (`None` for static backends).
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
         self,
@@ -92,6 +97,8 @@ impl MetricsCollector {
         wall: Duration,
         zeta_series: Vec<ZetaSample>,
         prr_windows: Vec<PrrWindowSample>,
+        telemetry: Vec<TelemetrySample>,
+        scan_stats: Option<ScanStatsReport>,
     ) -> MetricsReport {
         MetricsReport {
             horizon,
@@ -99,6 +106,8 @@ impl MetricsCollector {
             prr,
             zeta_series,
             prr_windows,
+            telemetry,
+            scan_stats,
             latency_hist: self.hist,
             mean_latency: if self.observed == 0 {
                 0.0
@@ -113,6 +122,40 @@ impl MetricsCollector {
                 f64::INFINITY
             },
             stats,
+        }
+    }
+}
+
+/// Channel-side reach-scan totals, read off the temporal backend's
+/// telemetry sink at the end of a run (`None` for static backends,
+/// which never scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanStatsReport {
+    /// `SourceRow`s built from scratch (cold block-0 scans).
+    pub scans: u64,
+    /// Candidate pairs enumerated across all scans.
+    pub pairs: u64,
+    /// Row lookups answered from the per-block row cache.
+    pub row_hits: u64,
+}
+
+impl ScanStatsReport {
+    /// Mean candidate pairs per scan (0 when nothing scanned).
+    pub fn pairs_per_scan(&self) -> f64 {
+        if self.scans == 0 {
+            0.0
+        } else {
+            self.pairs as f64 / self.scans as f64
+        }
+    }
+
+    /// Fraction of row lookups served by the cache, in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.scans + self.row_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
         }
     }
 }
@@ -134,6 +177,15 @@ pub struct MetricsReport {
     /// spec sets `prr_window`): per-window deliveries over
     /// transmissions, the drift view the lifetime `prr` flattens.
     pub prr_windows: Vec<PrrWindowSample>,
+    /// Per-interval telemetry counter deltas on the pause grid (the
+    /// same grid discipline as `zeta_series`). Purely observational:
+    /// never part of the trace digest, and — unlike every other series
+    /// here — *not* asserted invariant across checkpoint/resume splits
+    /// (a restore rebuilds the counter sinks, so the interval spanning
+    /// the split undercounts).
+    pub telemetry: Vec<TelemetrySample>,
+    /// Channel-side reach-scan totals (`None` for static backends).
+    pub scan_stats: Option<ScanStatsReport>,
     /// Delivery-latency histogram over [`BUCKET_LABELS`] buckets.
     pub latency_hist: [u64; LATENCY_BUCKETS],
     /// Mean delivery latency in ticks.
@@ -172,6 +224,7 @@ impl MetricsReport {
                                 ("tick", int(z.tick)),
                                 ("zeta", num(z.zeta)),
                                 ("phi", num(z.phi)),
+                                ("nodes", int(z.nodes as u64)),
                             ])
                         })
                         .collect(),
@@ -196,6 +249,24 @@ impl MetricsReport {
                 ),
             ));
         }
+        if !self.telemetry.is_empty() {
+            pairs.push((
+                "telemetry",
+                JsonValue::Array(self.telemetry.iter().map(telemetry_sample_json).collect()),
+            ));
+        }
+        if let Some(scan) = &self.scan_stats {
+            pairs.push((
+                "scan_stats",
+                obj(vec![
+                    ("scans", int(scan.scans)),
+                    ("pairs", int(scan.pairs)),
+                    ("pairs_per_scan", num(scan.pairs_per_scan())),
+                    ("row_hits", int(scan.row_hits)),
+                    ("row_hit_rate", num(scan.row_hit_rate())),
+                ]),
+            ));
+        }
         pairs.extend(vec![
             (
                 "latency_hist",
@@ -216,10 +287,51 @@ impl MetricsReport {
                     ("jammed_ticks", int(self.stats.jammed_ticks)),
                     ("churn_leaves", int(self.stats.churn_leaves)),
                     ("churn_joins", int(self.stats.churn_joins)),
+                    ("queue_high_water", int(self.stats.queue_high_water)),
                 ]),
             ),
         ]);
         obj(pairs)
+    }
+}
+
+/// One telemetry sample as JSON: tick, queue high-water mark, every
+/// counter by wire name, and — when the `telemetry-timing` feature is
+/// compiled in — `<timer>_ns` / `<timer>_calls` per phase timer.
+fn telemetry_sample_json(s: &TelemetrySample) -> JsonValue {
+    let mut pairs = vec![
+        ("tick", int(s.tick)),
+        ("queue_high_water", int(s.queue_high_water)),
+    ];
+    for c in Counter::ALL {
+        pairs.push((c.name(), int(s.delta.get(c))));
+    }
+    if Counters::timing_enabled() {
+        for t in Timer::ALL {
+            if let (Some(ns), Some(calls)) = (s.delta.timer_ns(t), s.delta.timer_calls(t)) {
+                pairs.push((timer_ns_key(t), int(ns)));
+                pairs.push((timer_calls_key(t), int(calls)));
+            }
+        }
+    }
+    obj(pairs)
+}
+
+/// Static JSON key for a timer's nanosecond column.
+fn timer_ns_key(t: Timer) -> &'static str {
+    match t {
+        Timer::Dispatch => "dispatch_ns",
+        Timer::Resolve => "resolve_ns",
+        Timer::RowBuild => "row_build_ns",
+    }
+}
+
+/// Static JSON key for a timer's call-count column.
+fn timer_calls_key(t: Timer) -> &'static str {
+    match t {
+        Timer::Dispatch => "dispatch_calls",
+        Timer::Resolve => "resolve_calls",
+        Timer::RowBuild => "row_build_calls",
     }
 }
 
@@ -276,6 +388,24 @@ impl fmt::Display for MetricsReport {
                 rates.len()
             )?;
         }
+        if let Some(scan) = &self.scan_stats {
+            writeln!(
+                f,
+                "reach scans: {} ({:.1} pairs/scan), row-cache hit rate {:.3}",
+                scan.scans,
+                scan.pairs_per_scan(),
+                scan.row_hit_rate()
+            )?;
+        }
+        if !self.telemetry.is_empty() {
+            let last = self.telemetry.last().expect("non-empty");
+            writeln!(
+                f,
+                "telemetry: {} samples on the pause grid, queue high-water {}",
+                self.telemetry.len(),
+                last.queue_high_water
+            )?;
+        }
         writeln!(
             f,
             "events: {} ({:.0} events/sec)",
@@ -313,6 +443,8 @@ mod tests {
             Duration::from_millis(10),
             Vec::new(),
             Vec::new(),
+            Vec::new(),
+            None,
         );
         assert_eq!(report.latency_hist[0], 1, "latency 0");
         assert_eq!(report.latency_hist[1], 1, "latency 1");
@@ -345,11 +477,13 @@ mod tests {
                     tick: 0,
                     zeta: 2.0,
                     phi: 1.5,
+                    nodes: 12,
                 },
                 ZetaSample {
                     tick: 32,
                     zeta: 2.75,
                     phi: 1.75,
+                    nodes: 12,
                 },
             ],
             vec![
@@ -366,19 +500,49 @@ mod tests {
                     prr: 0.0,
                 },
             ],
+            vec![TelemetrySample {
+                tick: 25,
+                delta: {
+                    let sink = Counters::new();
+                    sink.add(Counter::Events, 42);
+                    sink.add(Counter::SinrPairs, 7);
+                    sink.snapshot()
+                },
+                queue_high_water: 3,
+            }],
+            Some(ScanStatsReport {
+                scans: 4,
+                pairs: 40,
+                row_hits: 12,
+            }),
         );
         let text = report.to_string();
         assert!(text.contains("completed at tick 40"));
         assert!(text.contains("prr: 0.5000"));
         assert!(text.contains("metricity ζ(t): min 2.000, mean 2.375, max 2.750"));
         assert!(text.contains("windowed prr: min 0.000"), "{text}");
+        assert!(
+            text.contains("reach scans: 4 (10.0 pairs/scan), row-cache hit rate 0.750"),
+            "{text}"
+        );
+        assert!(
+            text.contains("telemetry: 1 samples on the pause grid, queue high-water 3"),
+            "{text}"
+        );
         let json = report.to_json().pretty();
         assert!(json.contains("\"completed_at\": 40"));
         assert!(json.contains("\"prr\": 0.5"));
         assert!(json.contains("\"zeta_series\""));
         assert!(json.contains("\"zeta\": 2.75"));
+        assert!(json.contains("\"nodes\": 12"));
         assert!(json.contains("\"prr_windows\""));
         assert!(json.contains("\"transmissions\": 6"));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"events\": 42"), "{json}");
+        assert!(json.contains("\"sinr_pairs\": 7"), "{json}");
+        assert!(json.contains("\"scan_stats\""));
+        assert!(json.contains("\"pairs_per_scan\": 10"), "{json}");
+        assert!(json.contains("\"queue_high_water\": 0"), "stats block");
         // JSON parses back cleanly.
         crate::json::parse(&json).unwrap();
     }
@@ -393,10 +557,14 @@ mod tests {
             Duration::from_secs(0),
             Vec::new(),
             Vec::new(),
+            Vec::new(),
+            None,
         );
         let json = report.to_json().pretty();
         assert!(!json.contains("zeta_series"), "{json}");
         assert!(!json.contains("prr_windows"), "{json}");
+        assert!(!json.contains("telemetry"), "{json}");
+        assert!(!json.contains("scan_stats"), "{json}");
         assert!(!report.to_string().contains("metricity"));
         assert!(!report.to_string().contains("windowed prr"));
     }
@@ -411,6 +579,8 @@ mod tests {
             Duration::from_secs(0),
             Vec::new(),
             Vec::new(),
+            Vec::new(),
+            None,
         );
         assert_eq!(report.mean_latency, 0.0);
         assert!(report.first_delivery.is_none());

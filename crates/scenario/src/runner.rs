@@ -18,16 +18,18 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use decay_channel::AdaptiveContention;
+use decay_core::telemetry::Counter;
 use decay_core::NodeId;
 use decay_distributed::{build_contention_engine, ContentionNode, EventBroadcaster};
 use decay_engine::probe::{apply_directives, Controller, Directive, Probe, Tunable, WindowedPrr};
 use decay_engine::{
-    Checkpoint, Codec, DecayBackend, Engine, EngineError, EngineStats, EventBehavior, Tick,
+    dump_flight, Checkpoint, Codec, DecayBackend, Engine, EngineError, EngineStats, EventBehavior,
+    EventRecord, TelemetryProbe, Tick,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::json::{int, obj, s, JsonValue};
-use crate::metrics::MetricsReport;
+use crate::metrics::{MetricsReport, ScanStatsReport};
 use crate::probes::{DigestProbe, MetricsProbe};
 use crate::spec::{BackendSpec, ProtocolSpec, ScenarioSpec, SpecError};
 
@@ -172,6 +174,10 @@ impl TraceDigest {
             jammed_ticks: int_field("jammed_ticks")?,
             churn_leaves: int_field("churn_leaves")?,
             churn_joins: int_field("churn_joins")?,
+            // Observational only — never part of the canonical form
+            // (and excluded from EngineStats equality for the same
+            // reason), so pinned goldens stay byte-stable.
+            queue_high_water: 0,
         };
         let completed = get("completed_at")?;
         let completed_at = match completed.as_str() {
@@ -528,6 +534,13 @@ impl ScenarioRunner {
             .prr_window
             .map(|w| WindowedPrr::new(spec.node_count(), w, PRR_KEEP_WINDOWS));
         let mut digest = DigestProbe::new();
+        // Telemetry is always on: the counters are relaxed-atomic
+        // increments and the probe only reads them on the pause grid,
+        // so arming it costs nothing the digest could see (the
+        // probe-transparency proptest pins that). The engine-side event
+        // ring feeds the flight recorder dumped on restore failure.
+        let mut telemetry = TelemetryProbe::new(ci, FLIGHT_KEEP_SAMPLES);
+        engine.enable_event_log(FLIGHT_KEEP_EVENTS);
 
         // The controller, when the spec declares one, is part of the
         // trace-defining configuration: its identity is folded into
@@ -539,8 +552,9 @@ impl ScenarioRunner {
         let wall_start = Instant::now();
         let mut completed_at = None;
         let mut checkpointed = None;
+        let mut restore_failure: Option<(EngineError, Vec<EventRecord>)> = None;
         {
-            let mut probes: Vec<&mut dyn Probe> = Vec::with_capacity(4 + extra.len());
+            let mut probes: Vec<&mut dyn Probe> = Vec::with_capacity(5 + extra.len());
             probes.push(&mut metrics);
             if let Some(m) = monitor.as_mut() {
                 probes.push(m);
@@ -549,6 +563,7 @@ impl ScenarioRunner {
                 probes.push(w);
             }
             probes.push(&mut digest);
+            probes.push(&mut telemetry);
             for p in extra.iter_mut() {
                 probes.push(&mut **p);
             }
@@ -595,8 +610,23 @@ impl ScenarioRunner {
                         let bytes = engine.checkpoint().to_bytes();
                         let decoded: Checkpoint<B> = Checkpoint::from_bytes(&bytes)
                             .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
-                        engine =
-                            Engine::restore_with_controller(rebuild(), decoded, controller_sig)?;
+                        engine = match Engine::restore_with_controller(
+                            rebuild(),
+                            decoded,
+                            controller_sig,
+                        ) {
+                            Ok(restored) => restored,
+                            Err(e) => {
+                                // The flight recorder's moment: grab the
+                                // pre-restore event tail now (the probe's
+                                // sample tail is still borrowed by the
+                                // probe list) and dump both after the
+                                // borrow ends, below.
+                                restore_failure = Some((e, engine.recent_events()));
+                                break;
+                            }
+                        };
+                        engine.enable_event_log(FLIGHT_KEEP_EVENTS);
                         checkpointed = Some(split);
                         resume_at = None;
                         continue;
@@ -619,8 +649,27 @@ impl ScenarioRunner {
                     break;
                 }
             }
-            pause(&mut engine, horizon, Phase::Finish, &mut probes, None);
+            if restore_failure.is_none() {
+                pause(&mut engine, horizon, Phase::Finish, &mut probes, None);
+            }
         }
+        if let Some((err, events)) = restore_failure {
+            eprintln!(
+                "scenario {}: restore failed at the checkpoint split; \
+                 flight recorder follows\n{}",
+                spec.name,
+                dump_flight(&telemetry.recent(), &events)
+            );
+            return Err(err.into());
+        }
+        // Channel-side scan totals come straight off the backend's sink.
+        // After a restore the backend was rebuilt, so (like the telemetry
+        // series) these cover the post-split portion only.
+        let scan_stats = engine.backend().telemetry().map(|t| ScanStatsReport {
+            scans: t.get(Counter::RowsBuilt),
+            pairs: t.get(Counter::RowPairs),
+            row_hits: t.get(Counter::RowHits),
+        });
         let stats = engine.stats();
         let metrics = metrics.into_collector().finish(
             stats,
@@ -632,6 +681,8 @@ impl ScenarioRunner {
             windowed_prr
                 .map(WindowedPrr::into_samples)
                 .unwrap_or_default(),
+            telemetry.into_samples(),
+            scan_stats,
         );
         Ok(ScenarioReport {
             digest: digest.into_digest(spec.name.clone(), completed_at),
@@ -646,6 +697,13 @@ impl ScenarioRunner {
 /// for windowed per-pair queries (the report series is unbounded; this
 /// only caps the tracker's memory).
 const PRR_KEEP_WINDOWS: usize = 8;
+
+/// Pause-grid samples the flight recorder retains (the report series is
+/// unbounded; this only caps the crash-dump tail).
+const FLIGHT_KEEP_SAMPLES: usize = 32;
+
+/// Dispatched events the engine-side flight-recorder ring retains.
+const FLIGHT_KEEP_EVENTS: usize = 64;
 
 /// Which probe callback a pause dispatches.
 #[derive(Clone, Copy, PartialEq, Eq)]

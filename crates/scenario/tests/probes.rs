@@ -7,7 +7,7 @@
 use decay_channel::MetricityMonitor;
 use decay_distributed::ContentionStrategy;
 use decay_engine::probe::{PauseCtx, Probe};
-use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, Tick, WindowedPrr};
+use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, TelemetryProbe, Tick, WindowedPrr};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
     AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
@@ -119,6 +119,44 @@ impl Probe for Counter {
     }
 }
 
+use decay_core::telemetry::{Counter as TCounter, TelemetrySample};
+
+/// The engine-side counters: bumped only by the dispatch/resolve hot
+/// path, never by a probe reading the backend (unlike the backend-side
+/// row/epoch counters, which honestly count every `decay_at` a monitor
+/// issues).
+const ENGINE_SIDE: [TCounter; 5] = [
+    TCounter::Events,
+    TCounter::ResolveTicks,
+    TCounter::SinrPairs,
+    TCounter::DecayCalls,
+    TCounter::ReachScans,
+];
+
+/// One timing-free telemetry sample: tick, queue high-water mark, and
+/// the chosen counter deltas by wire name.
+type CounterViewRow = (Tick, u64, Vec<(&'static str, u64)>);
+
+/// A timing-free view of a telemetry series. Comparisons go through
+/// this instead of `TelemetrySample` equality because the
+/// feature-gated phase timers measure wall clock, which no two
+/// observations share.
+fn counter_view(samples: &[TelemetrySample], counters: &[TCounter]) -> Vec<CounterViewRow> {
+    samples
+        .iter()
+        .map(|s| {
+            (
+                s.tick,
+                s.queue_high_water,
+                counters
+                    .iter()
+                    .map(|&c| (c.name(), s.delta.get(c)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -131,7 +169,7 @@ proptest! {
         protocol in 0u8..3,
         seed in 0u64..3_000,
         backend_knob in 0u8..3,
-        subset in 0u8..8,
+        subset in 0u8..16,
         split_knob in 0u64..520,
         adaptive_knob in 0u8..2,
     ) {
@@ -151,6 +189,9 @@ proptest! {
         // series must agree sample for sample.
         let mut extra_monitor = MetricityMonitor::new(32, 10);
         let mut extra_prr = WindowedPrr::new(18, 64, 4);
+        // Same interval as the built-in telemetry probe (the spec's
+        // check_interval), so the two counter series must agree.
+        let mut extra_telemetry = TelemetryProbe::new(16, 8);
         let mut extras: Vec<&mut dyn Probe> = Vec::new();
         if subset & 1 != 0 {
             extras.push(&mut counter);
@@ -160,6 +201,9 @@ proptest! {
         }
         if subset & 4 != 0 {
             extras.push(&mut extra_prr);
+        }
+        if subset & 8 != 0 {
+            extras.push(&mut extra_telemetry);
         }
         let probed = runner
             .run_instrumented(backend, split, &mut extras)
@@ -195,7 +239,87 @@ proptest! {
             let sum: u64 = extra_prr.samples().iter().map(|s| s.deliveries).sum();
             prop_assert!(sum <= probed.digest.stats.deliveries);
         }
+        if subset & 8 != 0 {
+            prop_assert!(
+                !extra_telemetry.samples().is_empty(),
+                "telemetry probe never sampled"
+            );
+            // An extra monitor (bit 2) issues backend reads between the
+            // built-in telemetry read and this probe's, so the
+            // backend-side row/epoch counters honestly differ; without
+            // it the full counter set must agree delta for delta.
+            let compare: &[TCounter] = if subset & 2 == 0 {
+                &TCounter::ALL
+            } else {
+                &ENGINE_SIDE
+            };
+            prop_assert_eq!(
+                counter_view(extra_telemetry.samples(), compare),
+                counter_view(&probed.metrics.telemetry, compare),
+                "an extra telemetry probe on the same grid must see the \
+                 same counter deltas as the built-in one"
+            );
+        }
     }
+}
+
+/// The telemetry series is a backend invariant too: the same scenario
+/// on dense, lazy, and tiled backends dispatches the identical event
+/// trace, so every pause-grid counter delta — engine-side *and* the
+/// temporal layer's row/epoch counters, since all three wrap the same
+/// channel stack — must agree sample for sample (no resume split; a
+/// split legitimately zeroes the sinks mid-series).
+#[test]
+fn counter_deltas_identical_across_backends() {
+    let runner = ScenarioRunner::new(observed_spec(1, 7, false)).unwrap();
+    let dense = runner.run_on(BackendSpec::Dense).unwrap();
+    let lazy = runner.run_on(BackendSpec::Lazy).unwrap();
+    let tiled = runner
+        .run_on(BackendSpec::Tiled {
+            tile_size: 5,
+            max_tiles: 3,
+        })
+        .unwrap();
+    assert!(
+        !dense.metrics.telemetry.is_empty(),
+        "scenario runs always carry a telemetry series"
+    );
+    // Everything except RowHits is a backend invariant: the dispatch
+    // counts follow the (bit-identical) trace, and the temporal layer
+    // builds the same rows over the same candidate windows. Row-cache
+    // *hits* are the one cost-shape counter allowed to wiggle — whether
+    // a block-0 lookup hits depends on which reach first built the row,
+    // which follows the inner backend's hint enumeration.
+    let stable: Vec<TCounter> = TCounter::ALL
+        .iter()
+        .copied()
+        .filter(|&c| c != TCounter::RowHits)
+        .collect();
+    let view = |r: &decay_scenario::ScenarioReport| counter_view(&r.metrics.telemetry, &stable);
+    assert_eq!(view(&dense), view(&lazy), "dense vs lazy");
+    assert_eq!(view(&lazy), view(&tiled), "lazy vs tiled");
+    let row_hits: u64 = dense
+        .metrics
+        .telemetry
+        .iter()
+        .map(|s| s.delta.get(TCounter::RowHits))
+        .sum();
+    assert!(row_hits > 0, "row cache never hit");
+    // The series actually counted the run: the event deltas sum to at
+    // most the digest's total (the tail past the last grid tick is not
+    // sampled — the horizon here is off the 16-tick grid).
+    let events: u64 = dense
+        .metrics
+        .telemetry
+        .iter()
+        .map(|s| s.delta.get(TCounter::Events))
+        .sum();
+    assert!(events > 0, "no events counted");
+    assert!(events <= dense.digest.stats.events);
+    // And the channel scenario surfaced its scan stats.
+    let scan = dense.metrics.scan_stats.expect("temporal backend");
+    assert!(scan.scans > 0, "rows were built");
+    assert!(scan.pairs >= scan.scans, "windows hold at least one pair");
 }
 
 /// Out-of-range resume splits now fail loudly instead of silently
