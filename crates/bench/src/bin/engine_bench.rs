@@ -1,7 +1,9 @@
 //! The engine throughput bench behind CI's `BENCH_engine.json` artifact:
 //! events/sec at 10k nodes on the static lazy backend versus the full
-//! temporal channel (mobility + shadowing + block fading), one JSON
-//! document per run so the perf trajectory accumulates across commits.
+//! temporal channel (mobility + shadowing + block fading), plus a
+//! parallel-scaling pair — 100k nodes resolved serially and across 4
+//! spatial shards, with a `speedup_vs_1t` column — one JSON document
+//! per run so the perf trajectory accumulates across commits.
 //!
 //! ```text
 //! cargo run --release -p decay-bench --bin engine_bench -- --quick --out BENCH_engine.json
@@ -132,11 +134,12 @@ fn measure_best<B: DecayBackend + 'static>(
     mk: impl Fn() -> B,
     n: usize,
     horizon: u64,
+    threads: usize,
     k: usize,
 ) -> Measurement {
-    let mut best = measure(mk(), n, horizon);
+    let mut best = measure(mk(), n, horizon, threads);
     for _ in 1..k {
-        let m = measure(mk(), n, horizon);
+        let m = measure(mk(), n, horizon, threads);
         if m.events_per_sec > best.events_per_sec {
             best = m;
         }
@@ -144,11 +147,17 @@ fn measure_best<B: DecayBackend + 'static>(
     best
 }
 
-fn measure(backend: impl DecayBackend + 'static, n: usize, horizon: u64) -> Measurement {
+fn measure(
+    backend: impl DecayBackend + 'static,
+    n: usize,
+    horizon: u64,
+    threads: usize,
+) -> Measurement {
     let behaviors = (0..n).map(|_| Gossiper { mean_gap: 50 }).collect();
     let config = EngineConfig {
         reach_decay: Some(100.0),
         top_k: Some(8),
+        threads,
         ..EngineConfig::default()
     };
     let mut engine =
@@ -235,10 +244,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows: Vec<JsonValue> = Vec::new();
     let mut telemetry_rows: Vec<JsonValue> = Vec::new();
     let mut static_rate = 0.0;
-    let mut push = |backend: &str, block: Option<u64>, m: Measurement| {
+    let mut push = |backend: &str,
+                    block: Option<u64>,
+                    threads: Option<u64>,
+                    speedup: Option<f64>,
+                    m: Measurement| {
         let mut pairs = vec![("backend", s(backend))];
         if let Some(b) = block {
             pairs.push(("block", int(b)));
+        }
+        if let Some(t) = threads {
+            pairs.push(("threads", int(t)));
         }
         pairs.extend([
             ("events", int(m.events)),
@@ -251,19 +267,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("row_hit_rate", num(m.row_hit_rate())),
             ("queue_high_water", int(m.queue_high_water)),
         ]);
+        if let Some(x) = speedup {
+            pairs.push(("speedup_vs_1t", num(x)));
+        }
         rows.push(obj(pairs));
         let mut tele = vec![("backend", s(backend))];
         if let Some(b) = block {
             tele.push(("block", int(b)));
         }
+        if let Some(t) = threads {
+            tele.push(("threads", int(t)));
+        }
         tele.push(("counters", counters_json(&m)));
         telemetry_rows.push(obj(tele));
         eprintln!(
-            "{backend}{}: {} events, {:.0} events/sec, qhw {}",
+            "{backend}{}{}: {} events, {:.0} events/sec, qhw {}{}",
             block.map(|b| format!(" (block {b})")).unwrap_or_default(),
+            threads.map(|t| format!(" ({t}t)")).unwrap_or_default(),
             m.events,
             m.events_per_sec,
             m.queue_high_water,
+            speedup
+                .map(|x| format!(", speedup {x:.2}x"))
+                .unwrap_or_default(),
         );
         if backend == "static" {
             static_rate = m.events_per_sec;
@@ -273,15 +299,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     push(
         "static",
         None,
-        measure_best(|| lazy_line(n), n, horizon, best_of),
+        None,
+        None,
+        measure_best(|| lazy_line(n), n, horizon, 1, best_of),
     );
     for block in [1u64, 16, 64] {
         push(
             "temporal",
             Some(block),
-            measure_best(|| temporal(n, block), n, horizon, best_of),
+            None,
+            None,
+            measure_best(|| temporal(n, block), n, horizon, 1, best_of),
         );
     }
+
+    // Parallel-scaling rows: the same gossip workload at 100k nodes,
+    // resolved serially and across 4 spatial shards. `threads` is a
+    // pure execution knob — the two rows dispatch bit-identical traces
+    // (asserted below), so the only thing that may differ is the wall
+    // clock, and `speedup_vs_1t` is the scaling factor bench_trend
+    // watches for regressions.
+    let n_scale = 100_000;
+    let scale_horizon = if quick { 40 } else { 120 };
+    let serial = measure_best(|| lazy_line(n_scale), n_scale, scale_horizon, 1, best_of);
+    let sharded = measure_best(|| lazy_line(n_scale), n_scale, scale_horizon, 4, best_of);
+    assert_eq!(
+        (serial.events, serial.deliveries),
+        (sharded.events, sharded.deliveries),
+        "sharded resolution forked the trace"
+    );
+    let speedup = sharded.events_per_sec / serial.events_per_sec.max(1e-9);
+    push("static-100k", None, Some(1), Some(1.0), serial);
+    push("static-100k", None, Some(4), Some(speedup), sharded);
 
     let doc = obj(vec![
         ("bench", s("engine")),

@@ -40,6 +40,7 @@ fn storm_spec(block: Tick, adaptive: bool) -> ScenarioSpec {
         ),
         seed: 40,
         horizon: HORIZON,
+        threads: 1,
         check_interval: CHECK,
         topology: TopologySpec::Random {
             n: 24,

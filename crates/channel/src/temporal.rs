@@ -309,13 +309,20 @@ impl TemporalAdapter {
         reach: f64,
     ) -> Option<&'a SourceRow> {
         let cell = &snapshot.rows[from.index()];
-        let row = match cell.get() {
-            Some(row) => {
-                self.telemetry.add(Counter::RowHits, 1);
-                row
-            }
-            None => cell.get_or_init(|| Box::new(self.scan(snapshot.block, from, reach))),
-        };
+        // Hit/miss attribution must be deterministic at any thread
+        // count, so a *hit* is defined as "this lookup did not run the
+        // build" (hits = lookups − builds) rather than "the row existed
+        // when we first peeked". `get_or_init` runs the closure exactly
+        // once per cell even when concurrent shards race, so both terms
+        // are fixed by the access pattern alone.
+        let mut built = false;
+        let row = cell.get_or_init(|| {
+            built = true;
+            Box::new(self.scan(snapshot.block, from, reach))
+        });
+        if !built {
+            self.telemetry.add(Counter::RowHits, 1);
+        }
         (reach <= row.window_reach).then_some(&**row)
     }
 

@@ -189,14 +189,12 @@ impl Counters {
     }
 
     /// Records `value` into `counter` if it exceeds the current value
-    /// (a relaxed high-water mark; approximate under contention, which
-    /// is fine for telemetry).
+    /// (a relaxed high-water mark). A single atomic `fetch_max` — not a
+    /// check-then-store, which would lose updates when concurrent
+    /// shards race each other past the check.
     #[inline]
     pub fn record_max(&self, counter: Counter, value: u64) {
-        let cell = &self.counts[counter as usize];
-        if value > cell.load(Ordering::Relaxed) {
-            cell.store(value, Ordering::Relaxed);
-        }
+        self.counts[counter as usize].fetch_max(value, Ordering::Relaxed);
     }
 
     /// Current value of one counter.
@@ -454,6 +452,37 @@ mod tests {
         c.record_max(Counter::Events, 2);
         c.record_max(Counter::Events, 9);
         assert_eq!(c.get(Counter::Events), 9);
+    }
+
+    #[test]
+    fn record_max_survives_concurrent_recorders() {
+        // Regression: the old check-then-store raced — a thread could
+        // observe a small value, get preempted, and overwrite a larger
+        // one. With fetch_max the global maximum always survives.
+        let c = std::sync::Arc::new(Counters::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Interleave ascending and descending streams so
+                        // late small writes race early large ones.
+                        let v = if t % 2 == 0 {
+                            t * per_thread + i
+                        } else {
+                            (t + 1) * per_thread - i
+                        };
+                        c.record_max(Counter::Events, v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(Counter::Events), threads * per_thread);
     }
 
     #[test]

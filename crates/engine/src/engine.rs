@@ -21,7 +21,7 @@ use std::cmp::Ordering as CmpOrdering;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use decay_core::telemetry::{Counter, Counters, Ring, Timer};
 use decay_core::NodeId;
@@ -34,6 +34,7 @@ use crate::backend::DecayBackend;
 use crate::codec::{Codec, CodecError};
 use crate::event::{Event, QueuedEvent, Tick};
 use crate::rng::EngineRng;
+use crate::shard::ShardPool;
 
 /// Reserved RNG stream ids; per-node streams start after these.
 const STREAM_CHURN: u64 = 0;
@@ -244,7 +245,18 @@ pub enum JamSchedule {
 }
 
 /// Engine configuration: physics, dynamics, and instrumentation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Codec / equality split
+///
+/// [`threads`](Self::threads) is an *execution* knob, not a
+/// trace-defining one: any thread count produces bit-identical traces
+/// (see [`Engine`]'s determinism contract), so — exactly like
+/// [`EngineStats::queue_high_water`] — it is excluded from the
+/// checkpoint [`Codec`] (format v4 stays frozen; restored engines
+/// default to 1 and the caller re-applies its preference via
+/// [`Engine::set_threads`]) **and** from `PartialEq` (two configs that
+/// differ only in thread count describe the same run).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Decay beyond which a signal is treated as unreceivable. `None`
     /// considers every node a candidate (`O(n)` per transmission —
@@ -270,6 +282,12 @@ pub struct EngineConfig {
     /// Whether to record the full delivery trace (the rolling
     /// [`Engine::trace_hash`] is always maintained).
     pub record_trace: bool,
+    /// Resolution lanes: `1` (the default) resolves SINR serially; `N`
+    /// splits each resolution round across `N` spatial shards backed by
+    /// a persistent worker pool. Purely an execution knob — traces,
+    /// digests, and checkpoints are bit-identical at every value (see
+    /// the struct docs for why it sits outside the codec and equality).
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -283,7 +301,22 @@ impl Default for EngineConfig {
             jamming: JamSchedule::None,
             faults: FaultPlan::none(),
             record_trace: false,
+            threads: 1,
         }
+    }
+}
+
+impl PartialEq for EngineConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // `threads` is deliberately ignored — see struct docs.
+        self.reach_decay == other.reach_decay
+            && self.top_k == other.top_k
+            && self.reception == other.reception
+            && self.latency == other.latency
+            && self.churn == other.churn
+            && self.jamming == other.jamming
+            && self.faults == other.faults
+            && self.record_trace == other.record_trace
     }
 }
 
@@ -301,6 +334,9 @@ impl EngineConfig {
         }
         if self.top_k == Some(0) {
             return bad("top_k must keep at least one signal");
+        }
+        if self.threads == 0 {
+            return bad("threads must be at least 1");
         }
         if let Some(churn) = &self.churn {
             if churn.interval == 0 {
@@ -612,6 +648,10 @@ impl Codec for JamSchedule {
 }
 
 impl Codec for EngineConfig {
+    // `threads` stays out of the wire format: checkpoint format v4
+    // encodes exactly the trace-defining knobs (see the struct docs).
+    // Decode leaves it at 1; callers re-apply their preference through
+    // `Engine::set_threads` after a restore.
     fn encode(&self, out: &mut Vec<u8>) {
         self.reach_decay.encode(out);
         self.top_k.encode(out);
@@ -632,6 +672,7 @@ impl Codec for EngineConfig {
             jamming: JamSchedule::decode(input)?,
             faults: Codec::decode(input)?,
             record_trace: bool::decode(input)?,
+            threads: 1,
         })
     }
 }
@@ -819,6 +860,10 @@ pub struct Engine<B> {
     /// deliberately outside [`EngineConfig`] so checkpoint format v4
     /// is untouched.
     event_log: Option<Ring<crate::telemetry::EventRecord>>,
+    /// The persistent shard worker pool, spun up lazily on the first
+    /// parallel resolution round (`config.threads > 1`) so serial
+    /// engines never spawn a thread. Runtime state, never checkpointed.
+    pool: Option<ShardPool>,
 }
 
 impl<B> fmt::Debug for Engine<B> {
@@ -830,6 +875,156 @@ impl<B> fmt::Debug for Engine<B> {
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
+}
+
+/// The immutable per-tick state every resolution lane reads: the
+/// tick's transmissions, the radio modes, the fault plan, and the SINR
+/// constants. Built once per resolution round from field borrows, so
+/// shards share it without touching the engine.
+struct ResolveView<'a> {
+    txs: &'a [(NodeId, f64, u64)],
+    modes: &'a [NodeMode],
+    faults: &'a FaultPlan,
+    transmitting: &'a HashSet<NodeId>,
+    now: Tick,
+    reception: ReceptionModel,
+    top_k: Option<usize>,
+    noise: f64,
+    beta: f64,
+}
+
+impl ResolveView<'_> {
+    /// Whether listener `v`'s whole candidate group is skipped this
+    /// tick. One predicate shared by the fade pass and the shard
+    /// resolvers — the two walks must agree on which groups consume
+    /// fading draws, or the Rayleigh stream would de-synchronize.
+    fn group_skipped(&self, v: NodeId) -> bool {
+        self.modes[v.index()] != NodeMode::Listening
+            || fault_until_in(self.faults, v, self.now).is_some()
+            || self.transmitting.contains(&v)
+    }
+}
+
+/// One shard's resolution output, merged on the main thread in fixed
+/// shard order.
+#[derive(Default)]
+struct ShardOut {
+    /// Won receptions as `(listener, tx index, received power)`, in
+    /// ascending listener order within the shard.
+    deliveries: Vec<(NodeId, usize, f64)>,
+    /// Backend `decay_at` evaluations this shard issued.
+    decay_calls: u64,
+}
+
+/// The (listener, transmitter-index) pairs whose listener falls in
+/// `[lo, hi)`, sorted by (listener, tx order). Shards cover contiguous
+/// listener ranges, so concatenating their pair lists in shard order
+/// reproduces the serial path's single globally sorted list — the
+/// ordering the whole determinism contract hangs off.
+fn collect_shard_pairs(recv: &[Vec<NodeId>], lo: usize, hi: usize) -> Vec<(NodeId, usize)> {
+    let mut pairs = Vec::new();
+    for (k, list) in recv.iter().enumerate() {
+        for &v in list {
+            if (lo..hi).contains(&v.index()) {
+                pairs.push((v, k));
+            }
+        }
+    }
+    pairs.sort_unstable_by_key(|&(v, k)| (v.index(), k));
+    pairs
+}
+
+/// Resolves one shard's pair list under SINR. `fades` holds this
+/// shard's pre-drawn Rayleigh fades (empty under `Threshold`), one per
+/// non-skipped pair in group order — drawn ahead of time on the main
+/// thread so the fading stream stays a single serial sequence at any
+/// thread count.
+fn resolve_shard(
+    view: &ResolveView<'_>,
+    backend: &dyn DecayBackend,
+    pairs: &[(NodeId, usize)],
+    fades: &[f64],
+) -> ShardOut {
+    let mut out = ShardOut::default();
+    let mut fade_cursor = 0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let v = pairs[i].0;
+        let mut end = i;
+        while end < pairs.len() && pairs[end].0 == v {
+            end += 1;
+        }
+        let group = &pairs[i..end];
+        i = end;
+        if view.group_skipped(v) {
+            continue;
+        }
+        // Received power from each in-reach concurrent transmitter
+        // (out-of-reach interference is below the reach cutoff by
+        // construction).
+        let mut rx: Vec<(usize, f64)> = Vec::with_capacity(group.len());
+        out.decay_calls += group.len() as u64;
+        for &(_, k) in group {
+            let (t, power, _) = view.txs[k];
+            let fade = match view.reception {
+                ReceptionModel::Threshold => 1.0,
+                ReceptionModel::Rayleigh => {
+                    let f = fades[fade_cursor];
+                    fade_cursor += 1;
+                    f
+                }
+            };
+            rx.push((k, fade * power / backend.decay_at(view.now, t, v)));
+        }
+        // Top-k affectance pruning: keep only the k strongest signals
+        // in the SINR denominator. Stable sort keeps the earliest
+        // transmitter first among ties.
+        if let Some(k) = view.top_k {
+            if rx.len() > k {
+                rx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(CmpOrdering::Equal));
+                rx.truncate(k);
+            }
+        }
+        // First strict maximum wins ties, as in the slot simulator.
+        let (mut best_k, mut best_p) = rx[0];
+        let mut total = 0.0;
+        for &(k, p) in &rx {
+            total += p;
+            if p > best_p {
+                best_k = k;
+                best_p = p;
+            }
+        }
+        let interference = total - best_p + view.noise;
+        let sinr = if interference > 0.0 {
+            best_p / interference
+        } else {
+            f64::INFINITY
+        };
+        if sinr >= view.beta * (1.0 - 1e-12) {
+            out.deliveries.push((v, best_k, best_p));
+        }
+    }
+    out
+}
+
+/// [`Engine::fault_until`] as a free function over the plan, so shard
+/// workers (which only hold field borrows, never `&self`) can evaluate
+/// the identical predicate.
+fn fault_until_in(faults: &FaultPlan, node: NodeId, tick: Tick) -> Option<Tick> {
+    let slot = usize::try_from(tick).unwrap_or(usize::MAX);
+    faults
+        .outages()
+        .iter()
+        .filter(|o| o.node == node && o.covers(slot))
+        .map(|o| {
+            if o.until_slot == usize::MAX {
+                Tick::MAX
+            } else {
+                o.until_slot as Tick
+            }
+        })
+        .max()
 }
 
 /// FNV-1a over one delivery tuple, folded into the rolling hash.
@@ -894,6 +1089,7 @@ impl<B: EventBehavior> Engine<B> {
             scratch: Vec::new(),
             telemetry: Arc::new(Counters::new()),
             event_log: None,
+            pool: None,
             config,
         };
         for i in 0..n {
@@ -958,13 +1154,16 @@ impl<B: EventBehavior> Engine<B> {
             controller: checkpoint.controller,
             scratch: Vec::new(),
             // Telemetry restarts from zero at a restore: counters are
-            // observational, not checkpointed. The high-water mark is
-            // re-seeded from the rebuilt queue so it never reads below
-            // the current depth.
+            // observational, not checkpointed. The high-water mark
+            // keeps whatever the checkpoint carried (zero after a byte
+            // round-trip — the codec drops it) but never reads below
+            // the rebuilt queue's current depth.
             telemetry: Arc::new(Counters::new()),
             event_log: None,
+            pool: None,
         };
-        engine.stats.queue_high_water = engine.queue.len() as u64;
+        engine.stats.queue_high_water =
+            engine.stats.queue_high_water.max(engine.queue.len() as u64);
         Ok(engine)
     }
 
@@ -1119,6 +1318,34 @@ impl<B: EventBehavior> Engine<B> {
         self.controller
     }
 
+    /// Sets the number of resolution lanes (see [`EngineConfig::threads`]).
+    /// Safe to call at any pause: thread count never affects the trace,
+    /// so switching mid-run cannot diverge a run. The worker pool is
+    /// (re)built lazily at the next parallel resolution round.
+    ///
+    /// The knob is excluded from the checkpoint codec, so callers that
+    /// resume from bytes re-apply their preference with this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "threads must be at least 1");
+        self.config.threads = threads;
+        if self.pool.as_ref().map(|p| p.lanes()) != Some(threads) {
+            self.pool = None;
+        }
+    }
+
+    /// Raises the queue high-water mark to at least `prior`. The mark is
+    /// display-only and outside the checkpoint codec, so a resumed run
+    /// restarts it from the restore point; callers that know the
+    /// pre-split peak (e.g. a scenario runner cycling through bytes)
+    /// carry it across with this method.
+    pub fn note_queue_high_water(&mut self, prior: u64) {
+        self.stats.queue_high_water = self.stats.queue_high_water.max(prior);
+    }
+
     /// A node's current radio mode.
     pub fn mode(&self, node: NodeId) -> NodeMode {
         self.modes[node.index()]
@@ -1253,20 +1480,7 @@ impl<B: EventBehavior> Engine<B> {
     /// down at `tick`; `None` when it is up. `Tick::MAX` means a
     /// permanent crash.
     fn fault_until(&self, node: NodeId, tick: Tick) -> Option<Tick> {
-        let slot = usize::try_from(tick).unwrap_or(usize::MAX);
-        self.config
-            .faults
-            .outages()
-            .iter()
-            .filter(|o| o.node == node && o.covers(slot))
-            .map(|o| {
-                if o.until_slot == usize::MAX {
-                    Tick::MAX
-                } else {
-                    o.until_slot as Tick
-                }
-            })
-            .max()
+        fault_until_in(&self.config.faults, node, tick)
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -1359,94 +1573,195 @@ impl<B: EventBehavior> Engine<B> {
         if jammed {
             self.stats.jammed_ticks += 1;
         } else {
-            // (listener, transmitter) pairs within reach. Each listener
-            // only ever evaluates the transmitters that can reach it —
-            // `O(Σ_t |receivers(t)|)` total work per tick, not
-            // `O(listeners · transmitters)`. Sorted by (listener, tx
-            // order): part of the determinism contract — fading draws
-            // follow this order.
-            let mut pairs: Vec<(NodeId, usize)> = Vec::new();
-            for (k, &(t, _, _)) in txs.iter().enumerate() {
-                for v in self
-                    .backend
-                    .potential_receivers_at(self.now, t, self.config.reach_decay)
-                {
-                    pairs.push((v, k));
-                }
+            self.resolve_pairs(&txs, &mut per_tx_receivers);
+        }
+        // Transmit-result callbacks, in transmission order.
+        for (k, &(t, _, _)) in txs.iter().enumerate() {
+            let receivers = std::mem::take(&mut per_tx_receivers[k]);
+            if self.modes[t.index()] == NodeMode::Down {
+                continue;
             }
-            self.telemetry.add(Counter::ReachScans, txs.len() as u64);
-            self.telemetry.add(Counter::SinrPairs, pairs.len() as u64);
-            let mut decay_calls = 0u64;
-            pairs.sort_unstable_by_key(|&(v, k)| (v.index(), k));
-            // O(1) transmitter-exclusion lookups (only membership is
-            // queried, so hash order cannot leak into the trace).
-            let transmitting: HashSet<NodeId> = txs.iter().map(|&(t, _, _)| t).collect();
-            let noise = self.params.noise();
-            let beta = self.params.beta();
-            let mut deliveries: Vec<(NodeId, usize, f64)> = Vec::new();
-            let mut i = 0;
-            while i < pairs.len() {
-                let v = pairs[i].0;
-                let mut end = i;
-                while end < pairs.len() && pairs[end].0 == v {
-                    end += 1;
-                }
-                let group = &pairs[i..end];
-                i = end;
-                if self.modes[v.index()] != NodeMode::Listening
-                    || self.fault_until(v, self.now).is_some()
-                    || transmitting.contains(&v)
-                {
-                    continue;
-                }
-                // Received power from each in-reach concurrent
-                // transmitter (out-of-reach interference is below the
-                // reach cutoff by construction).
-                let mut rx: Vec<(usize, f64)> = Vec::with_capacity(group.len());
-                decay_calls += group.len() as u64;
-                for &(_, k) in group {
-                    let (t, power, _) = txs[k];
-                    let fade = match self.config.reception {
-                        ReceptionModel::Threshold => 1.0,
-                        // Unit-mean exponential via inverse CDF, as in the
-                        // slot simulator.
-                        ReceptionModel::Rayleigh => -(1.0 - self.fading_rng.gen::<f64>()).ln(),
-                    };
-                    rx.push((k, fade * power / self.backend.decay_at(self.now, t, v)));
-                }
-                // Top-k affectance pruning: keep only the k strongest
-                // signals in the SINR denominator. Stable sort keeps the
-                // earliest transmitter first among ties.
-                if let Some(k) = self.config.top_k {
-                    if rx.len() > k {
-                        rx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(CmpOrdering::Equal));
-                        rx.truncate(k);
-                    }
-                }
-                // First strict maximum wins ties, as in the slot simulator.
-                let (mut best_k, mut best_p) = rx[0];
-                let mut total = 0.0;
-                for &(k, p) in &rx {
-                    total += p;
-                    if p > best_p {
-                        best_k = k;
-                        best_p = p;
-                    }
-                }
-                let interference = total - best_p + noise;
-                let sinr = if interference > 0.0 {
-                    best_p / interference
-                } else {
-                    f64::INFINITY
-                };
-                if sinr >= beta * (1.0 - 1e-12) {
-                    deliveries.push((v, best_k, best_p));
-                    per_tx_receivers[best_k].push(v);
-                }
+            self.with_ctx(t.index(), |b, ctx| {
+                b.on_transmit_result(ctx, &receivers);
+            });
+        }
+    }
+
+    /// SINR resolution for one tick's transmissions, sharded across
+    /// `config.threads` contiguous listener-index ranges. One code path
+    /// at every thread count — with one lane everything runs inline and
+    /// no pool exists — structured so the trace cannot depend on the
+    /// lane count:
+    ///
+    /// 1. **Reach scans** (parallel over transmitters): per-tx receiver
+    ///    lists, landed in per-tx slots — no merge order to get wrong.
+    /// 2. **Shard pair lists** (parallel over shards): each shard keeps
+    ///    the pairs whose listener falls in its range, sorted by
+    ///    (listener, tx order); contiguous ranges concatenate to the
+    ///    serial path's single sorted list.
+    /// 3. **Fade pass** (main thread, Rayleigh only): fades for every
+    ///    non-skipped pair, drawn from the one fading stream in global
+    ///    group order — identical to the serial draw sequence.
+    /// 4. **Shard resolution** (parallel over shards): pure SINR over
+    ///    immutable state into per-shard scratch.
+    /// 5. **Merge** (main thread, fixed shard order = ascending
+    ///    listener id): latency draws and event scheduling, exactly the
+    ///    serial path's delivery order.
+    fn resolve_pairs(&mut self, txs: &[(NodeId, f64, u64)], per_tx_receivers: &mut [Vec<NodeId>]) {
+        // A single transmission has nothing to shard; skip the pool.
+        let lanes = if txs.len() > 1 {
+            self.config.threads
+        } else {
+            1
+        };
+
+        // Phase 1: per-transmitter receiver lists (lanes stride the tx
+        // index so uneven list sizes balance).
+        let recv: Vec<Vec<NodeId>> = if lanes > 1 {
+            if self.pool.as_ref().map(ShardPool::lanes) != Some(lanes) {
+                self.pool = Some(ShardPool::new(lanes));
             }
-            self.telemetry.add(Counter::DecayCalls, decay_calls);
-            // Schedule deliveries (latency drawn per delivery, in order).
-            for (v, k, p) in deliveries {
+            let pool = self.pool.as_ref().expect("pool just built");
+            let backend = &*self.backend;
+            let now = self.now;
+            let reach = self.config.reach_decay;
+            let cells: Vec<OnceLock<Vec<NodeId>>> =
+                (0..txs.len()).map(|_| OnceLock::new()).collect();
+            pool.broadcast(&|lane| {
+                let mut k = lane;
+                while k < txs.len() {
+                    let (t, _, _) = txs[k];
+                    let _ = cells[k].set(backend.potential_receivers_at(now, t, reach));
+                    k += lanes;
+                }
+            });
+            cells
+                .into_iter()
+                .map(|c| c.into_inner().unwrap_or_default())
+                .collect()
+        } else {
+            txs.iter()
+                .map(|&(t, _, _)| {
+                    self.backend
+                        .potential_receivers_at(self.now, t, self.config.reach_decay)
+                })
+                .collect()
+        };
+        self.telemetry.add(Counter::ReachScans, txs.len() as u64);
+        self.telemetry.add(
+            Counter::SinrPairs,
+            recv.iter().map(|r| r.len() as u64).sum(),
+        );
+
+        // Phase 2: per-shard sorted pair lists over contiguous listener
+        // ranges.
+        let n = self.modes.len();
+        let bounds: Vec<(usize, usize)> = (0..lanes)
+            .map(|s| (s * n / lanes, (s + 1) * n / lanes))
+            .collect();
+        let shard_pairs: Vec<Vec<(NodeId, usize)>> = if lanes > 1 {
+            let pool = self.pool.as_ref().expect("pool");
+            let recv = &recv;
+            let bounds = &bounds;
+            let cells: Vec<OnceLock<Vec<(NodeId, usize)>>> =
+                (0..lanes).map(|_| OnceLock::new()).collect();
+            pool.broadcast(&|lane| {
+                let (lo, hi) = bounds[lane];
+                let _ = cells[lane].set(collect_shard_pairs(recv, lo, hi));
+            });
+            cells
+                .into_iter()
+                .map(|c| c.into_inner().unwrap_or_default())
+                .collect()
+        } else {
+            vec![collect_shard_pairs(&recv, 0, n)]
+        };
+        drop(recv);
+
+        // O(1) transmitter-exclusion lookups (only membership is
+        // queried, so hash order cannot leak into the trace).
+        let transmitting: HashSet<NodeId> = txs.iter().map(|&(t, _, _)| t).collect();
+        let view = ResolveView {
+            txs,
+            modes: &self.modes,
+            faults: &self.config.faults,
+            transmitting: &transmitting,
+            now: self.now,
+            reception: self.config.reception,
+            top_k: self.config.top_k,
+            noise: self.params.noise(),
+            beta: self.params.beta(),
+        };
+
+        // Phase 3: Rayleigh fades, drawn on the main thread from the
+        // single fading stream by walking shards in fixed order — the
+        // global group order, so the draw sequence is byte-identical to
+        // the serial path's (draws happen per non-skipped pair, before
+        // top-k pruning, exactly as they always did).
+        let shard_fades: Vec<Vec<f64>> = match self.config.reception {
+            ReceptionModel::Threshold => vec![Vec::new(); lanes],
+            ReceptionModel::Rayleigh => shard_pairs
+                .iter()
+                .map(|pairs| {
+                    let mut fades = Vec::new();
+                    let mut i = 0;
+                    while i < pairs.len() {
+                        let v = pairs[i].0;
+                        let mut end = i;
+                        while end < pairs.len() && pairs[end].0 == v {
+                            end += 1;
+                        }
+                        let len = end - i;
+                        i = end;
+                        if view.group_skipped(v) {
+                            continue;
+                        }
+                        for _ in 0..len {
+                            // Unit-mean exponential via inverse CDF, as
+                            // in the slot simulator.
+                            fades.push(-(1.0 - self.fading_rng.gen::<f64>()).ln());
+                        }
+                    }
+                    fades
+                })
+                .collect(),
+        };
+
+        // Phase 4: resolve every shard against immutable state.
+        let outs: Vec<ShardOut> = if lanes > 1 {
+            let pool = self.pool.as_ref().expect("pool");
+            let backend = &*self.backend;
+            let view = &view;
+            let shard_pairs = &shard_pairs;
+            let shard_fades = &shard_fades;
+            let cells: Vec<OnceLock<ShardOut>> = (0..lanes).map(|_| OnceLock::new()).collect();
+            pool.broadcast(&|lane| {
+                let _ = cells[lane].set(resolve_shard(
+                    view,
+                    backend,
+                    &shard_pairs[lane],
+                    &shard_fades[lane],
+                ));
+            });
+            cells
+                .into_iter()
+                .map(|c| c.into_inner().unwrap_or_default())
+                .collect()
+        } else {
+            vec![resolve_shard(
+                &view,
+                &*self.backend,
+                &shard_pairs[0],
+                &shard_fades[0],
+            )]
+        };
+        // Phase 5: merge in fixed shard order (= ascending listener id,
+        // the serial path's delivery order). Latency is drawn per
+        // delivery, in order, from the single jitter stream.
+        let mut decay_calls = 0u64;
+        for out in outs {
+            decay_calls += out.decay_calls;
+            for (v, k, p) in out.deliveries {
                 let delay = match self.config.latency {
                     LatencyModel::Immediate => 0,
                     LatencyModel::Fixed { ticks } => ticks,
@@ -1470,17 +1785,9 @@ impl<B: EventBehavior> Engine<B> {
                         sent: self.now,
                     },
                 );
+                per_tx_receivers[k].push(v);
             }
         }
-        // Transmit-result callbacks, in transmission order.
-        for (k, &(t, _, _)) in txs.iter().enumerate() {
-            let receivers = std::mem::take(&mut per_tx_receivers[k]);
-            if self.modes[t.index()] == NodeMode::Down {
-                continue;
-            }
-            self.with_ctx(t.index(), |b, ctx| {
-                b.on_transmit_result(ctx, &receivers);
-            });
-        }
+        self.telemetry.add(Counter::DecayCalls, decay_calls);
     }
 }

@@ -116,6 +116,7 @@ mod engine;
 mod event;
 pub mod probe;
 mod rng;
+mod shard;
 pub mod telemetry;
 
 pub use adapter::SlotAdapter;

@@ -1,0 +1,267 @@
+//! A persistent worker pool for sharded SINR resolution.
+//!
+//! [`ShardPool`] owns `lanes - 1` long-lived worker threads; lane 0 is
+//! always the calling thread. One [`ShardPool::broadcast`] runs a job
+//! closure once per lane and returns when every lane has finished —
+//! a fork/join barrier with no per-tick thread spawns, which matters
+//! because `resolve_tick` fires up to three broadcasts per resolution
+//! round and a `std::thread::scope` would pay spawn latency on each.
+//!
+//! The pool carries no job queue: exactly one broadcast is in flight at
+//! a time (the engine is `&mut self` on the resolve path), so the job
+//! slot is a single epoch-stamped pointer. The pointer's lifetime is
+//! erased (the closure borrows the caller's stack), which is sound
+//! because `broadcast` does not return — not even by unwinding — until
+//! every worker has decremented the completion count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the in-flight broadcast job. Sending it
+/// to workers is sound only under the broadcast completion invariant
+/// (the referent outlives every use because `broadcast` blocks).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (enforced by `broadcast`'s signature)
+// and outlives all worker access (enforced by the completion barrier),
+// so handing the pointer to worker threads is sound.
+unsafe impl Send for JobPtr {}
+
+/// The single job slot shared between the caller and the workers.
+struct JobSlot {
+    /// Monotone broadcast counter; each worker runs each epoch once.
+    epoch: u64,
+    /// The current job, present exactly while a broadcast is in flight.
+    job: Option<JobPtr>,
+    /// Workers that have not yet finished the current epoch's job.
+    remaining: usize,
+    /// Set once, on drop; workers exit at the next wakeup.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    /// Signaled when a new epoch (or shutdown) is published.
+    work: Condvar,
+    /// Signaled when the last worker finishes an epoch.
+    done: Condvar,
+    /// Latched by any worker whose job closure panicked; the caller
+    /// re-raises after the barrier so a shard panic is never swallowed.
+    panicked: AtomicBool,
+}
+
+/// A fixed-width fork/join pool: `lanes - 1` parked worker threads plus
+/// the calling thread as lane 0.
+pub(crate) struct ShardPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardPool {
+    /// Spawns a pool with `lanes` total lanes (`lanes - 1` threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes < 2` (a one-lane pool is the serial path) or if
+    /// the OS refuses to spawn a thread.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes >= 2, "a shard pool needs at least two lanes");
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("decay-shard-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            shared,
+            workers,
+            lanes,
+        }
+    }
+
+    /// Total lanes, the caller's included.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `f(lane)` once for every lane in `0..lanes` — lane 0 on the
+    /// calling thread, the rest on the pool's workers — and returns once
+    /// all lanes have finished. If any lane panicked, the panic is
+    /// re-raised here (after the barrier, so the borrowed job is never
+    /// left visible to a worker).
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the borrow's lifetime; the completion barrier below is
+        // what keeps the pointer valid for as long as workers hold it.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f)
+        });
+        {
+            let mut slot = self.shared.slot.lock().expect("shard pool lock");
+            slot.job = Some(job);
+            slot.epoch += 1;
+            slot.remaining = self.workers.len();
+            self.shared.work.notify_all();
+        }
+        // Lane 0 runs here. Its panic must not unwind past the barrier
+        // (workers may still be reading the job), so catch and re-raise
+        // after everyone is quiescent.
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let mut slot = self.shared.slot.lock().expect("shard pool lock");
+        while slot.remaining > 0 {
+            slot = self.shared.done.wait(slot).expect("shard pool lock");
+        }
+        slot.job = None;
+        drop(slot);
+        let worker_panicked = self.shared.panicked.swap(false, Ordering::SeqCst);
+        match caller {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) if worker_panicked => panic!("shard worker panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("shard pool lock");
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("shard pool lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    if let Some(job) = slot.job {
+                        seen = slot.epoch;
+                        break job;
+                    }
+                }
+                slot = shared.work.wait(slot).expect("shard pool lock");
+            }
+        };
+        // SAFETY: the caller is blocked in `broadcast` until this lane
+        // decrements `remaining`, so the erased borrow is still live.
+        let f = unsafe { &*job.0 };
+        if catch_unwind(AssertUnwindSafe(|| f(lane))).is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut slot = shared.slot.lock().expect("shard pool lock");
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_lane_every_time() {
+        let pool = ShardPool::new(4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..200 {
+            pool.broadcast(&|lane| {
+                hits[lane].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (lane, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 200, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn broadcast_is_a_barrier() {
+        // Each lane writes its own slot; after broadcast returns, every
+        // slot must be visible to the caller.
+        let pool = ShardPool::new(3);
+        let out: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        for round in 1..50u64 {
+            pool.broadcast(&|lane| {
+                out[lane].store(round, Ordering::Release);
+            });
+            for (lane, o) in out.iter().enumerate() {
+                assert_eq!(o.load(Ordering::Acquire), round, "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ShardPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|lane| {
+                if lane == 1 {
+                    panic!("shard boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool stays usable for the next broadcast.
+        let ran = AtomicU64::new(0);
+        pool.broadcast(&|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caller_lane_panic_propagates_after_the_barrier() {
+        let pool = ShardPool::new(2);
+        let worker_ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|lane| {
+                if lane == 0 {
+                    panic!("caller boom");
+                }
+                worker_ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(worker_ran.load(Ordering::Relaxed), 1, "worker completed");
+    }
+}

@@ -607,6 +607,13 @@ impl ScenarioRunner {
                         // Decisions precede the snapshot, so the
                         // checkpoint carries the re-tuned behaviors and
                         // the restored run continues bit-identically.
+                        //
+                        // The queue high-water mark is runtime telemetry,
+                        // not codec state (format v4 is frozen), so the
+                        // runner carries the pre-split peak across the
+                        // cycle itself — otherwise a resumed run would
+                        // report a mark that started over at the split.
+                        let prior_high_water = engine.stats().queue_high_water;
                         let bytes = engine.checkpoint().to_bytes();
                         let decoded: Checkpoint<B> = Checkpoint::from_bytes(&bytes)
                             .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
@@ -627,6 +634,12 @@ impl ScenarioRunner {
                             }
                         };
                         engine.enable_event_log(FLIGHT_KEEP_EVENTS);
+                        // Execution knobs live outside the checkpoint:
+                        // the codec decodes `threads: 1`, so re-apply the
+                        // spec's lane count (the trace is bit-identical
+                        // at every value, so this cannot fork the run).
+                        engine.set_threads(spec.threads);
+                        engine.note_queue_high_water(prior_high_water);
                         checkpointed = Some(split);
                         resume_at = None;
                         continue;

@@ -350,6 +350,11 @@ pub struct ScenarioSpec {
     /// ζ(t)-adaptive scheduling, if any (`None` = the spec's fixed
     /// probabilities for the whole run).
     pub adaptive: Option<AdaptiveSpec>,
+    /// SINR resolution lanes (default 1 = serial). Purely an execution
+    /// knob: traces, digests, and checkpoints are bit-identical at
+    /// every value, so two specs differing only here describe the same
+    /// run (and the field is omitted from JSON when 1).
+    pub threads: usize,
 }
 
 /// A spec that failed validation or decoding.
@@ -1062,6 +1067,7 @@ const SPEC_FIELDS: &[&str] = &[
     "channel",
     "prr_window",
     "adaptive",
+    "threads",
 ];
 
 impl ScenarioSpec {
@@ -1134,6 +1140,9 @@ impl ScenarioSpec {
         }
         if let Some(a) = self.adaptive {
             pairs.push(("adaptive", a.to_json()));
+        }
+        if self.threads != 1 {
+            pairs.push(("threads", int(self.threads as u64)));
         }
         obj(pairs)
     }
@@ -1253,6 +1262,10 @@ impl ScenarioSpec {
                 None | Some(JsonValue::Null) => None,
                 Some(av) => Some(AdaptiveSpec::from_json(av, "adaptive")?),
             },
+            threads: match v.get("threads") {
+                None | Some(JsonValue::Null) => 1,
+                Some(_) => get_usize(v, "", "threads")?,
+            },
         };
         spec.validate()?;
         Ok(spec)
@@ -1332,6 +1345,7 @@ impl ScenarioSpec {
             jamming: self.jamming,
             faults,
             record_trace: true,
+            threads: self.threads,
         }
     }
 
@@ -1359,6 +1373,9 @@ impl ScenarioSpec {
         }
         if self.check_interval == 0 {
             return bad("check_interval", "must be at least one tick");
+        }
+        if self.threads == 0 || self.threads > 256 {
+            return bad("threads", "must be in [1, 256]");
         }
         // Every integer in a spec must survive the JSON number round
         // trip (f64 mantissa), or a spec written by `to_json_string`
@@ -1758,6 +1775,7 @@ mod tests {
             seed: 7,
             horizon: 500,
             check_interval: 32,
+            threads: 1,
             topology: TopologySpec::Line {
                 n: 16,
                 spacing: 1.0,

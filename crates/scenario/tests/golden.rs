@@ -44,6 +44,22 @@ fn shipped_specs_have_stable_cross_backend_digests() {
                 "{name}: digest differs on {backend:?}"
             );
         }
+        // ...nor on the lane count: the same spec resolved across 4
+        // spatial shards (or serially, if the spec already shards) must
+        // pin the same golden. This is the shipped-spec leg of the
+        // threads-conformance property — `threads` is a pure execution
+        // knob, excluded from checkpoint identity.
+        let mut flipped = runner.spec().clone();
+        flipped.threads = if flipped.threads == 1 { 4 } else { 1 };
+        let other_lanes = ScenarioRunner::new(flipped)
+            .expect("lane-flipped spec validates")
+            .run()
+            .expect("lane-flipped run");
+        assert_eq!(
+            declared.digest, other_lanes.digest,
+            "{name}: digest differs at the other lane count"
+        );
+
         // ...nor on a checkpoint/resume cycle. Split inside the ticks
         // the run actually executes (completion may end it well before
         // the horizon) so the cycle genuinely fires, and assert that it

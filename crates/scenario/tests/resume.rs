@@ -17,11 +17,12 @@ use proptest::prelude::*;
 /// latency + a scheduled outage + a full temporal channel (mobility,
 /// shadowing, block fading, metricity monitoring), on a lazy line
 /// backend.
-fn stormy_spec(protocol: u8, seed: u64) -> ScenarioSpec {
+fn stormy_spec(protocol: u8, seed: u64, threads: usize) -> ScenarioSpec {
     ScenarioSpec {
         name: "stormy".to_string(),
         seed,
         horizon: 300,
+        threads,
         check_interval: 32,
         topology: TopologySpec::Line {
             n: 20,
@@ -106,14 +107,18 @@ proptest! {
 
     /// Resuming at an arbitrary mid-run tick — on or off the completion
     /// check grid — reproduces the uninterrupted digest bit for bit,
-    /// for every protocol, under churn + jamming + jitter + faults.
+    /// for every protocol, under churn + jamming + jitter + faults, at
+    /// every thread count (the checkpoint codec carries no lane count,
+    /// so the runner must re-apply the spec's `threads` after restore).
     #[test]
     fn resume_preserves_digest(
         protocol in 0u8..3,
         seed in 0u64..5_000,
         split in 1u64..300,
+        threads_knob in 0u8..2,
     ) {
-        let runner = ScenarioRunner::new(stormy_spec(protocol, seed)).unwrap();
+        let threads = if threads_knob == 0 { 1 } else { 4 };
+        let runner = ScenarioRunner::new(stormy_spec(protocol, seed, threads)).unwrap();
         let uninterrupted = runner.run().unwrap();
         let resumed = runner.run_with_resume(split as Tick).unwrap();
         prop_assert_eq!(&uninterrupted.digest, &resumed.digest, "split {}", split);
@@ -141,6 +146,19 @@ proptest! {
             &uninterrupted.metrics.prr_windows,
             &resumed.metrics.prr_windows
         );
+        // The queue high-water mark is excluded from EngineStats
+        // equality (it is telemetry, not trace), so the digest checks
+        // above never see it — but the *report* must still carry the
+        // whole-run peak: the runner notes the pre-split peak across
+        // the checkpoint cycle, and restore seeds the mark from the
+        // rebuilt queue. A resumed run that restarted the mark at the
+        // split would underreport here.
+        prop_assert_eq!(
+            uninterrupted.metrics.stats.queue_high_water,
+            resumed.metrics.stats.queue_high_water,
+            "queue high-water must survive the resume split"
+        );
+        prop_assert!(uninterrupted.metrics.stats.queue_high_water > 0);
     }
 }
 
@@ -149,7 +167,7 @@ proptest! {
 /// under real dynamics, not a quiet run.
 #[test]
 fn stormy_spec_exercises_all_dynamics() {
-    let report = ScenarioRunner::new(stormy_spec(0, 7))
+    let report = ScenarioRunner::new(stormy_spec(0, 7, 1))
         .unwrap()
         .run()
         .unwrap();
