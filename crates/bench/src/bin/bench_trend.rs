@@ -23,10 +23,19 @@
 //! rate falling, means the hot path's shape changed — hint windows
 //! widening, a cache losing locality — even if events/sec held steady.
 //! Baselines written before the columns existed compare throughput only.
+//!
+//! `--history <path>` additionally appends the current document's rows
+//! as a dated entry to a tracked `BENCH_history.json` (created when
+//! absent; an existing same-date entry is replaced so reruns stay
+//! idempotent) — the long-horizon perf trajectory that survives CI
+//! artifact expiry. The artifact-based baseline flow above works
+//! unchanged whether or not a history file exists.
 
 use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
 
-use decay_core::json::{parse, JsonValue};
+use decay_core::json::parse;
+use decay_core::json::{obj, s, JsonValue};
 
 /// The deterministic cost-shape columns: (name, value, whether an
 /// increase is the bad direction).
@@ -100,6 +109,67 @@ fn load(path: &str) -> Result<Vec<Row>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
     rows_of(&doc, path)
+}
+
+/// Today as `YYYY-MM-DD` (UTC), from the system clock alone — the civil
+/// from-days conversion (Howard Hinnant's algorithm), so no date crate.
+fn today_utc() -> String {
+    let days = (SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+        / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends the current document's rows to the dated history file
+/// (replacing an existing entry for today, so CI reruns stay
+/// idempotent). A missing or empty history file starts a fresh one.
+fn append_history(history_path: &str, current_path: &str) -> Result<usize, String> {
+    let current_text =
+        std::fs::read_to_string(current_path).map_err(|e| format!("{current_path}: {e}"))?;
+    let current = parse(&current_text).map_err(|e| format!("{current_path}: {e}"))?;
+    let rows = current
+        .get("rows")
+        .cloned()
+        .ok_or_else(|| format!("{current_path}: no rows array"))?;
+    let date = today_utc();
+    let mut entries: Vec<JsonValue> = match std::fs::read_to_string(history_path) {
+        Ok(text) if !text.trim().is_empty() => parse(&text)
+            .map_err(|e| format!("{history_path}: {e}"))?
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{history_path}: no entries array"))?
+            .to_vec(),
+        _ => Vec::new(),
+    };
+    entries.retain(|e| e.get("date").and_then(JsonValue::as_str) != Some(date.as_str()));
+    let mut pairs = vec![("date", s(&date))];
+    if let Some(quick) = current.get("quick").cloned() {
+        pairs.push(("quick", quick));
+    }
+    if let Some(timing) = current.get("timing").cloned() {
+        pairs.push(("timing", timing));
+    }
+    pairs.push(("rows", rows));
+    entries.push(obj(pairs));
+    let n = entries.len();
+    let doc = obj(vec![
+        ("bench", s("engine-history")),
+        ("entries", JsonValue::Array(entries)),
+    ]);
+    std::fs::write(history_path, doc.pretty()).map_err(|e| format!("{history_path}: {e}"))?;
+    Ok(n)
 }
 
 fn main() -> ExitCode {
@@ -198,6 +268,18 @@ fn main() -> ExitCode {
                 "{:<28} {:>14.0} {:>14} {:>9}",
                 base.key, base.events_per_sec, "(gone)", "-"
             );
+        }
+    }
+
+    // History is recorded regardless of regressions — the trajectory
+    // should show the dip, not hide it.
+    if let Some(history_path) = flag("--history") {
+        match append_history(&history_path, &current_path) {
+            Ok(n) => eprintln!("bench_trend: {history_path} now holds {n} dated entr(y|ies)"),
+            Err(e) => {
+                eprintln!("bench_trend: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
 

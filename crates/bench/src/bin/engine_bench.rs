@@ -27,6 +27,12 @@
 //!   this binary's static-row events/sec against a previous run's and
 //!   exits non-zero when it fell more than `<pct>` percent — the gate
 //!   that keeps enabled-timing overhead bounded.
+//! - `--trace-out <path>` arms per-shard span recording on every
+//!   measured engine and writes the collected spans as Chrome Trace
+//!   Event JSON (load in Perfetto / `chrome://tracing`). Spans exist
+//!   only under `--features telemetry-timing`, and arming them perturbs
+//!   the wall clock — never combine with `--overhead-against` numbers
+//!   you intend to gate on.
 
 use std::time::Instant;
 
@@ -34,8 +40,9 @@ use decay_channel::{
     FadingConfig, MobilityConfig, MobilityModel, ShadowingConfig, TemporalAdapter, TemporalChannel,
 };
 use decay_core::json::{int, num, obj, parse, s, JsonValue};
-use decay_core::telemetry::{Counter, CounterSnapshot, Counters, Timer};
+use decay_core::telemetry::{Counter, CounterSnapshot, Counters, SpanEvent, Timer};
 use decay_engine::{DecayBackend, Engine, EngineConfig, EventBehavior, LazyBackend, NodeCtx};
+use decay_scenario::runlog;
 use decay_sinr::SinrParams;
 use decay_spaces::line_points;
 use rand::Rng;
@@ -98,6 +105,8 @@ struct Measurement {
     queue_high_water: u64,
     /// Engine sink merged with the backend's (when it has one).
     counters: CounterSnapshot,
+    /// Per-shard phase spans, when recording was armed (timing builds).
+    spans: Vec<SpanEvent>,
 }
 
 impl Measurement {
@@ -136,10 +145,11 @@ fn measure_best<B: DecayBackend + 'static>(
     horizon: u64,
     threads: usize,
     k: usize,
+    record_spans: bool,
 ) -> Measurement {
-    let mut best = measure(mk(), n, horizon, threads);
+    let mut best = measure(mk(), n, horizon, threads, record_spans);
     for _ in 1..k {
-        let m = measure(mk(), n, horizon, threads);
+        let m = measure(mk(), n, horizon, threads, record_spans);
         if m.events_per_sec > best.events_per_sec {
             best = m;
         }
@@ -152,6 +162,7 @@ fn measure(
     n: usize,
     horizon: u64,
     threads: usize,
+    record_spans: bool,
 ) -> Measurement {
     let behaviors = (0..n).map(|_| Gossiper { mean_gap: 50 }).collect();
     let config = EngineConfig {
@@ -162,6 +173,9 @@ fn measure(
     };
     let mut engine =
         Engine::new(backend, behaviors, SinrParams::default(), config, 7).expect("engine builds");
+    if record_spans {
+        engine.arm_span_recording();
+    }
     let start = Instant::now();
     engine.run_until(horizon);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
@@ -170,12 +184,18 @@ fn measure(
     if let Some(backend_sink) = engine.backend().telemetry() {
         counters = counters.merge(&backend_sink.snapshot());
     }
+    let spans = if record_spans {
+        engine.take_spans()
+    } else {
+        Vec::new()
+    };
     Measurement {
         events: stats.events,
         deliveries: stats.deliveries,
         events_per_sec: stats.events as f64 / secs,
         queue_high_water: stats.queue_high_water,
         counters,
+        spans,
     }
 }
 
@@ -230,6 +250,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let out = flag("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
     let telemetry_out = flag("--telemetry-out");
+    let trace_out = flag("--trace-out");
+    let record_spans = trace_out.is_some();
     let overhead_against = flag("--overhead-against");
     let max_overhead: f64 = flag("--max-overhead")
         .and_then(|v| v.parse().ok())
@@ -243,12 +265,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = if quick { 120 } else { 400 };
     let mut rows: Vec<JsonValue> = Vec::new();
     let mut telemetry_rows: Vec<JsonValue> = Vec::new();
+    let mut all_spans: Vec<SpanEvent> = Vec::new();
     let mut static_rate = 0.0;
     let mut push = |backend: &str,
                     block: Option<u64>,
                     threads: Option<u64>,
                     speedup: Option<f64>,
-                    m: Measurement| {
+                    mut m: Measurement| {
+        all_spans.append(&mut m.spans);
         let mut pairs = vec![("backend", s(backend))];
         if let Some(b) = block {
             pairs.push(("block", int(b)));
@@ -301,7 +325,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None,
         None,
         None,
-        measure_best(|| lazy_line(n), n, horizon, 1, best_of),
+        measure_best(|| lazy_line(n), n, horizon, 1, best_of, record_spans),
     );
     for block in [1u64, 16, 64] {
         push(
@@ -309,7 +333,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(block),
             None,
             None,
-            measure_best(|| temporal(n, block), n, horizon, 1, best_of),
+            measure_best(|| temporal(n, block), n, horizon, 1, best_of, record_spans),
         );
     }
 
@@ -321,8 +345,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // watches for regressions.
     let n_scale = 100_000;
     let scale_horizon = if quick { 40 } else { 120 };
-    let serial = measure_best(|| lazy_line(n_scale), n_scale, scale_horizon, 1, best_of);
-    let sharded = measure_best(|| lazy_line(n_scale), n_scale, scale_horizon, 4, best_of);
+    let serial = measure_best(
+        || lazy_line(n_scale),
+        n_scale,
+        scale_horizon,
+        1,
+        best_of,
+        record_spans,
+    );
+    let sharded = measure_best(
+        || lazy_line(n_scale),
+        n_scale,
+        scale_horizon,
+        4,
+        best_of,
+        record_spans,
+    );
     assert_eq!(
         (serial.events, serial.deliveries),
         (sharded.events, sharded.deliveries),
@@ -342,6 +380,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     std::fs::write(&out, doc.pretty())?;
     eprintln!("written {out}");
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, runlog::chrome_trace_json(&all_spans))?;
+        if all_spans.is_empty() && !Counters::timing_enabled() {
+            eprintln!(
+                "written {path} (0 spans — build with --features telemetry-timing \
+                 to record phase spans)"
+            );
+        } else {
+            eprintln!("written {path} ({} spans)", all_spans.len());
+        }
+    }
 
     if let Some(path) = telemetry_out {
         let doc = obj(vec![

@@ -1,0 +1,96 @@
+//! Inspects `decay-runlog-v1` NDJSON streams — the validate / summarize
+//! / diff companion to `scenario_run --runlog`.
+//!
+//! ```text
+//! cargo run --release -p decay-bench --bin runlog_cat -- run.runlog
+//! cargo run --release -p decay-bench --bin runlog_cat -- --check a.runlog b.runlog
+//! cargo run --release -p decay-bench --bin runlog_cat -- --diff a.runlog b.runlog
+//! cargo run --release -p decay-bench --bin runlog_cat -- --check-trace trace.json
+//! ```
+//!
+//! Default mode parses each file and prints its summary. `--check`
+//! validates structure only (quiet on success) and exits non-zero on
+//! the first malformed stream — CI runs this over the logs the bench
+//! job produces. `--diff` compares two streams under the determinism
+//! contract (normalized: `resume` markers dropped, timing-gated
+//! `timers` stripped) and reports the first divergent record.
+//! `--check-trace` validates a Chrome Trace Event JSON file written by
+//! `--trace-out`.
+
+use std::fs;
+use std::process::ExitCode;
+
+use decay_scenario::runlog;
+
+const USAGE: &str = "usage: runlog_cat [--check] <file>... \
+                     | runlog_cat --diff <a> <b> \
+                     | runlog_cat --check-trace <file>...";
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") => Err(USAGE.to_string()),
+        Some("--diff") => {
+            let [a, b] = &args[1..] else {
+                return Err(USAGE.to_string());
+            };
+            match runlog::diff(&read(a)?, &read(b)?)? {
+                None => {
+                    println!("{a} == {b} (normalized)");
+                    Ok(())
+                }
+                Some(what) => Err(format!("{a} != {b}: {what}")),
+            }
+        }
+        Some("--check") => {
+            let files = &args[1..];
+            if files.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            for path in files {
+                let log =
+                    runlog::RunLog::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: ok ({} records)", log.records.len());
+            }
+            Ok(())
+        }
+        Some("--check-trace") => {
+            let files = &args[1..];
+            if files.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            for path in files {
+                let n = runlog::validate_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: ok ({n} trace events)");
+            }
+            Ok(())
+        }
+        Some(flag) if flag.starts_with('-') => Err(format!("unknown flag {flag}\n{USAGE}")),
+        Some(_) => {
+            for (idx, path) in args.iter().enumerate() {
+                let log =
+                    runlog::RunLog::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+                if idx > 0 {
+                    println!();
+                }
+                println!("{path}");
+                println!("{}", log.summary());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(what) => {
+            eprintln!("runlog_cat: {what}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -104,6 +104,46 @@ impl JsonValue {
         out
     }
 
+    /// Renders the value as compact single-line JSON (no whitespace, no
+    /// trailing newline) — the NDJSON record form used by run logs,
+    /// where one document per line is the framing.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => write_number(out, *x),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -506,6 +546,16 @@ mod tests {
         assert_eq!(JsonValue::Number(3.0).pretty(), "3\n");
         assert_eq!(JsonValue::Number(0.25).pretty(), "0.25\n");
         assert_eq!(JsonValue::Number(-2.0).pretty(), "-2\n");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = parse(r#"{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": []}"#).unwrap();
+        let line = v.compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '));
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(line, r#"{"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":[]}"#);
     }
 
     #[test]

@@ -88,5 +88,5 @@ pub use metricity::{
 pub use quasi::QuasiMetric;
 pub use separation::{greedy_separated_subset, is_separated, min_pairwise_decay};
 pub use space::{DecaySpace, NodeId, Symmetrization};
-pub use telemetry::{Counter, CounterSnapshot, Counters, Ring, TelemetrySample, Timer};
+pub use telemetry::{Counter, CounterSnapshot, Counters, Ring, SpanEvent, TelemetrySample, Timer};
 pub use util::{approx_eq, lg, riemann_zeta};

@@ -142,6 +142,49 @@ pub struct TimerStart {
     at: std::time::Instant,
 }
 
+/// One recorded wall-clock span: a named phase interval on one thread,
+/// timestamped against a process-wide epoch so spans from different
+/// sinks land on a common timeline. The type exists in every build so
+/// exporters compile unconditionally; spans are only ever *recorded*
+/// when `telemetry-timing` is enabled and a sink has been armed with
+/// [`Counters::arm_spans`].
+///
+/// Spans are timing artifacts: thread ids, timestamps, and durations
+/// are wall-clock facts of one particular execution and sit entirely
+/// outside the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name (`dispatch`, `resolve`, `row_build`, or a per-shard
+    /// phase like `resolve_shard`).
+    pub name: &'static str,
+    /// Recording thread, as a small stable-per-thread id (workers are
+    /// persistent, so a lane keeps its id for the process lifetime).
+    pub tid: u32,
+    /// Shard lane the span ran on, when it was a per-lane phase.
+    pub lane: Option<u32>,
+    /// Start offset from the process-wide span epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[cfg(feature = "telemetry-timing")]
+fn span_epoch() -> std::time::Instant {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+#[cfg(feature = "telemetry-timing")]
+fn current_tid() -> u32 {
+    use std::sync::atomic::AtomicU32;
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: u32 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
 /// A set of relaxed atomic counters (and, behind `telemetry-timing`,
 /// nanosecond phase accumulators) owned by one instrumented component.
 ///
@@ -156,6 +199,10 @@ pub struct Counters {
     timer_ns: [AtomicU64; TIMER_COUNT],
     #[cfg(feature = "telemetry-timing")]
     timer_calls: [AtomicU64; TIMER_COUNT],
+    #[cfg(feature = "telemetry-timing")]
+    spans_armed: std::sync::atomic::AtomicBool,
+    #[cfg(feature = "telemetry-timing")]
+    spans: std::sync::Mutex<Vec<SpanEvent>>,
 }
 
 impl Default for Counters {
@@ -174,6 +221,10 @@ impl Counters {
             timer_ns: [const { AtomicU64::new(0) }; TIMER_COUNT],
             #[cfg(feature = "telemetry-timing")]
             timer_calls: [const { AtomicU64::new(0) }; TIMER_COUNT],
+            #[cfg(feature = "telemetry-timing")]
+            spans_armed: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(feature = "telemetry-timing")]
+            spans: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -213,8 +264,10 @@ impl Counters {
     }
 
     /// Stops a phase timer started with [`Counters::timer_start`],
-    /// accumulating elapsed nanoseconds. Free when timing is compiled
-    /// out.
+    /// accumulating elapsed nanoseconds — and, when span recording is
+    /// armed, capturing the interval as a timeline [`SpanEvent`] under
+    /// the timer's name. Free when timing is compiled out; one relaxed
+    /// boolean load when compiled in but unarmed.
     #[inline]
     pub fn timer_stop(&self, timer: Timer, start: TimerStart) {
         #[cfg(feature = "telemetry-timing")]
@@ -222,11 +275,80 @@ impl Counters {
             let ns = start.at.elapsed().as_nanos() as u64;
             self.timer_ns[timer as usize].fetch_add(ns, Ordering::Relaxed);
             self.timer_calls[timer as usize].fetch_add(1, Ordering::Relaxed);
+            if self.spans_armed.load(Ordering::Relaxed) {
+                self.push_span(timer.name(), None, start, ns);
+            }
         }
         #[cfg(not(feature = "telemetry-timing"))]
         {
             let _ = (timer, start);
         }
+    }
+
+    /// Starts recording timeline spans into this sink. A no-op unless
+    /// `telemetry-timing` is compiled in; off by default even then, so
+    /// the enabled-timing overhead gate never pays the span path.
+    pub fn arm_spans(&self) {
+        #[cfg(feature = "telemetry-timing")]
+        self.spans_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether timeline spans are currently being recorded.
+    pub fn spans_armed(&self) -> bool {
+        #[cfg(feature = "telemetry-timing")]
+        {
+            self.spans_armed.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry-timing"))]
+        {
+            false
+        }
+    }
+
+    /// Drains every recorded span (oldest first). Always empty when
+    /// timing is compiled out or spans were never armed.
+    pub fn take_spans(&self) -> Vec<SpanEvent> {
+        #[cfg(feature = "telemetry-timing")]
+        {
+            std::mem::take(&mut *self.spans.lock().expect("span buffer poisoned"))
+        }
+        #[cfg(not(feature = "telemetry-timing"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Records a named span that began at `start`, attributed to shard
+    /// `lane`, ending now. A no-op unless timing is compiled in *and*
+    /// spans are armed.
+    #[inline]
+    pub fn span_record(&self, name: &'static str, lane: Option<u32>, start: TimerStart) {
+        #[cfg(feature = "telemetry-timing")]
+        {
+            if self.spans_armed.load(Ordering::Relaxed) {
+                let ns = start.at.elapsed().as_nanos() as u64;
+                self.push_span(name, lane, start, ns);
+            }
+        }
+        #[cfg(not(feature = "telemetry-timing"))]
+        {
+            let _ = (name, lane, start);
+        }
+    }
+
+    #[cfg(feature = "telemetry-timing")]
+    fn push_span(&self, name: &'static str, lane: Option<u32>, start: TimerStart, dur_ns: u64) {
+        // The epoch pins itself to the first span ever recorded, so the
+        // earliest span sits at t=0 and everything else is relative.
+        let start_ns = start.at.saturating_duration_since(span_epoch()).as_nanos() as u64;
+        let event = SpanEvent {
+            name,
+            tid: current_tid(),
+            lane,
+            start_ns,
+            dur_ns,
+        };
+        self.spans.lock().expect("span buffer poisoned").push(event);
     }
 
     /// A point-in-time copy of every counter (and timer, when enabled).
@@ -507,6 +629,37 @@ mod tests {
         assert_eq!(Timer::ALL.len(), TIMER_COUNT);
         for (i, t) in Timer::ALL.iter().enumerate() {
             assert_eq!(*t as usize, i, "{} out of order", t.name());
+        }
+    }
+
+    #[test]
+    fn spans_record_only_when_armed() {
+        let c = Counters::new();
+        assert!(!c.spans_armed());
+        // Unarmed: neither explicit spans nor timer-stop spans record.
+        let start = c.timer_start();
+        c.span_record("warmup", Some(0), start);
+        c.timer_stop(Timer::Resolve, start);
+        assert!(c.take_spans().is_empty());
+
+        c.arm_spans();
+        let start = c.timer_start();
+        c.span_record("resolve_shard", Some(2), start);
+        c.timer_stop(Timer::Dispatch, start);
+        let spans = c.take_spans();
+        if Counters::timing_enabled() {
+            assert!(c.spans_armed());
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].name, "resolve_shard");
+            assert_eq!(spans[0].lane, Some(2));
+            assert_eq!(spans[1].name, "dispatch");
+            assert_eq!(spans[1].lane, None);
+            assert!(spans.iter().all(|s| s.tid > 0));
+            // Drained: a second take is empty.
+            assert!(c.take_spans().is_empty());
+        } else {
+            assert!(!c.spans_armed());
+            assert!(spans.is_empty());
         }
     }
 

@@ -23,7 +23,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use decay_core::telemetry::{Counter, Counters, Ring, Timer};
+use decay_core::telemetry::{Counter, Counters, Ring, SpanEvent, Timer};
 use decay_core::NodeId;
 use decay_netsim::{FaultPlan, ReceptionModel};
 use decay_sinr::SinrParams;
@@ -1406,6 +1406,29 @@ impl<B: EventBehavior> Engine<B> {
         &self.telemetry
     }
 
+    /// Arms wall-clock timeline-span recording on the engine's sink and
+    /// the backend's (when it has one). Spans only actually record in
+    /// `telemetry-timing` builds; like the event log, arming is runtime
+    /// state that cannot change checkpoints, traces, or digests.
+    pub fn arm_span_recording(&self) {
+        self.telemetry.arm_spans();
+        if let Some(t) = self.backend.telemetry() {
+            t.arm_spans();
+        }
+    }
+
+    /// Drains every recorded timeline span from the engine's and the
+    /// backend's sinks, merged in start order. Always empty unless
+    /// [`Self::arm_span_recording`] ran on a `telemetry-timing` build.
+    pub fn take_spans(&self) -> Vec<SpanEvent> {
+        let mut spans = self.telemetry.take_spans();
+        if let Some(t) = self.backend.telemetry() {
+            spans.extend(t.take_spans());
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.tid));
+        spans
+    }
+
     /// Turns on the flight-recorder event ring: the last `capacity`
     /// dispatched events are retained for [`Self::recent_events`].
     /// Runtime state, deliberately not an [`EngineConfig`] field —
@@ -1625,14 +1648,19 @@ impl<B: EventBehavior> Engine<B> {
             let backend = &*self.backend;
             let now = self.now;
             let reach = self.config.reach_decay;
+            let telemetry = &self.telemetry;
             let cells: Vec<OnceLock<Vec<NodeId>>> =
                 (0..txs.len()).map(|_| OnceLock::new()).collect();
             pool.broadcast(&|lane| {
+                let span = telemetry.spans_armed().then(|| telemetry.timer_start());
                 let mut k = lane;
                 while k < txs.len() {
                     let (t, _, _) = txs[k];
                     let _ = cells[k].set(backend.potential_receivers_at(now, t, reach));
                     k += lanes;
+                }
+                if let Some(t0) = span {
+                    telemetry.span_record("shard_scan", Some(lane as u32), t0);
                 }
             });
             cells
@@ -1663,11 +1691,16 @@ impl<B: EventBehavior> Engine<B> {
             let pool = self.pool.as_ref().expect("pool");
             let recv = &recv;
             let bounds = &bounds;
+            let telemetry = &self.telemetry;
             let cells: Vec<OnceLock<Vec<(NodeId, usize)>>> =
                 (0..lanes).map(|_| OnceLock::new()).collect();
             pool.broadcast(&|lane| {
+                let span = telemetry.spans_armed().then(|| telemetry.timer_start());
                 let (lo, hi) = bounds[lane];
                 let _ = cells[lane].set(collect_shard_pairs(recv, lo, hi));
+                if let Some(t0) = span {
+                    telemetry.span_record("shard_pairs", Some(lane as u32), t0);
+                }
             });
             cells
                 .into_iter()
@@ -1734,14 +1767,19 @@ impl<B: EventBehavior> Engine<B> {
             let view = &view;
             let shard_pairs = &shard_pairs;
             let shard_fades = &shard_fades;
+            let telemetry = &self.telemetry;
             let cells: Vec<OnceLock<ShardOut>> = (0..lanes).map(|_| OnceLock::new()).collect();
             pool.broadcast(&|lane| {
+                let span = telemetry.spans_armed().then(|| telemetry.timer_start());
                 let _ = cells[lane].set(resolve_shard(
                     view,
                     backend,
                     &shard_pairs[lane],
                     &shard_fades[lane],
                 ));
+                if let Some(t0) = span {
+                    telemetry.span_record("resolve_shard", Some(lane as u32), t0);
+                }
             });
             cells
                 .into_iter()

@@ -110,6 +110,7 @@ pub mod golden;
 pub mod json;
 mod metrics;
 pub mod probes;
+pub mod runlog;
 mod runner;
 mod spec;
 mod topology;
@@ -120,7 +121,10 @@ pub use decay_engine::PrrWindowSample;
 pub use json::{JsonError, JsonValue};
 pub use metrics::{MetricsCollector, MetricsReport, BUCKET_LABELS, LATENCY_BUCKETS};
 pub use probes::{DigestProbe, MetricsProbe};
-pub use runner::{ScenarioError, ScenarioReport, ScenarioRunner, TraceDigest};
+pub use runlog::{
+    chrome_trace_json, spec_signature, RunLog, RunLogProbe, RunPhase, RunRecord, RUNLOG_FORMAT,
+};
+pub use runner::{RunOptions, ScenarioError, ScenarioReport, ScenarioRunner, TraceDigest};
 pub use spec::{
     AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, FaultSpec, LinkSpec, MobilitySpec,
     MonitorSpec, ProtocolSpec, ScenarioSpec, ShadowingSpec, SinrSpec, SpecError, TopologySpec,

@@ -15,7 +15,7 @@ use decay_core::telemetry::{Counter, Counters, TelemetrySample, Timer};
 use decay_engine::{DeliveryRecord, EngineStats, PrrWindowSample, Tick};
 use serde::{Deserialize, Serialize};
 
-use crate::json::{int, num, obj, JsonValue};
+use crate::json::{int, num, obj, s, JsonValue};
 
 /// Number of latency histogram buckets: delay 0, 1, then doubling ranges
 /// `[2,3] [4,7] [8,15] [16,31] [32,63]`, and `64+`.
@@ -99,9 +99,13 @@ impl MetricsCollector {
         prr_windows: Vec<PrrWindowSample>,
         telemetry: Vec<TelemetrySample>,
         scan_stats: Option<ScanStatsReport>,
+        threads: usize,
+        channel_signature: u64,
     ) -> MetricsReport {
         MetricsReport {
             horizon,
+            threads,
+            channel_signature,
             completed_at,
             prr,
             zeta_series,
@@ -165,6 +169,14 @@ impl ScanStatsReport {
 pub struct MetricsReport {
     /// The spec's horizon.
     pub horizon: Tick,
+    /// Resolved SINR lane count the run executed with (an execution
+    /// knob — never trace-defining — recorded so an archived report is
+    /// self-describing without the spec file).
+    pub threads: usize,
+    /// The backend's channel signature (0 = static backend), the same
+    /// fingerprint checkpoints fold in — ties an archived report to
+    /// the temporal-channel configuration that produced it.
+    pub channel_signature: u64,
     /// Tick the protocol goal was reached (`None` = budget exhausted or
     /// the protocol has no completion notion).
     pub completed_at: Option<Tick>,
@@ -210,6 +222,11 @@ impl MetricsReport {
         };
         let mut pairs = vec![
             ("horizon", int(self.horizon)),
+            ("threads", int(self.threads as u64)),
+            (
+                "channel_sig",
+                s(&format!("{:#018x}", self.channel_signature)),
+            ),
             ("completed_at", opt_tick(self.completed_at)),
             ("prr", num(self.prr)),
         ];
@@ -445,6 +462,8 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            1,
+            0,
         );
         assert_eq!(report.latency_hist[0], 1, "latency 0");
         assert_eq!(report.latency_hist[1], 1, "latency 1");
@@ -515,6 +534,8 @@ mod tests {
                 pairs: 40,
                 row_hits: 12,
             }),
+            4,
+            0x00AB_CDEF_0123_4567,
         );
         let text = report.to_string();
         assert!(text.contains("completed at tick 40"));
@@ -531,6 +552,11 @@ mod tests {
         );
         let json = report.to_json().pretty();
         assert!(json.contains("\"completed_at\": 40"));
+        assert!(json.contains("\"threads\": 4"), "{json}");
+        assert!(
+            json.contains("\"channel_sig\": \"0x00abcdef01234567\""),
+            "{json}"
+        );
         assert!(json.contains("\"prr\": 0.5"));
         assert!(json.contains("\"zeta_series\""));
         assert!(json.contains("\"zeta\": 2.75"));
@@ -559,6 +585,8 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            1,
+            0,
         );
         let json = report.to_json().pretty();
         assert!(!json.contains("zeta_series"), "{json}");
@@ -581,6 +609,8 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            1,
+            0,
         );
         assert_eq!(report.mean_latency, 0.0);
         assert!(report.first_delivery.is_none());

@@ -14,11 +14,12 @@
 //! to each other.
 
 use std::fmt;
+use std::io;
 use std::rc::Rc;
 use std::time::Instant;
 
 use decay_channel::AdaptiveContention;
-use decay_core::telemetry::Counter;
+use decay_core::telemetry::{Counter, SpanEvent};
 use decay_core::NodeId;
 use decay_distributed::{build_contention_engine, ContentionNode, EventBroadcaster};
 use decay_engine::probe::{apply_directives, Controller, Directive, Probe, Tunable, WindowedPrr};
@@ -31,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::json::{int, obj, s, JsonValue};
 use crate::metrics::{MetricsReport, ScanStatsReport};
 use crate::probes::{DigestProbe, MetricsProbe};
+use crate::runlog::{RunLogProbe, RunPhase};
 use crate::spec::{BackendSpec, ProtocolSpec, ScenarioSpec, SpecError};
 
 /// A failure constructing or running a scenario.
@@ -52,6 +54,8 @@ pub enum ScenarioError {
         /// The spec's horizon.
         horizon: Tick,
     },
+    /// An attached runlog or flight-dump writer failed.
+    RunLog(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -65,6 +69,7 @@ impl fmt::Display for ScenarioError {
                 "resume split {split} is outside (0, {horizon}): a checkpoint \
                  cycle needs a strictly mid-run tick"
             ),
+            ScenarioError::RunLog(what) => write!(f, "run-log stream failed: {what}"),
         }
     }
 }
@@ -233,6 +238,44 @@ impl fmt::Display for ScenarioReport {
     }
 }
 
+/// Optional attachments for [`ScenarioRunner::run_with_options`]: the
+/// backend override, the checkpoint split, and the observability
+/// sinks (none of which can perturb the run — the runlog is read-only
+/// like a probe, spans are timing-gated telemetry, and the flight dump
+/// is written after the engine stops).
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Backend override (`None` = the spec's declared backend).
+    pub backend: Option<BackendSpec>,
+    /// Checkpoint/restore split tick, as in
+    /// [`ScenarioRunner::run_with_resume`].
+    pub resume_at: Option<Tick>,
+    /// Writer receiving the `decay-runlog-v1` NDJSON stream (see
+    /// [`crate::runlog`]).
+    pub runlog: Option<&'a mut dyn io::Write>,
+    /// Sink for the engine's recorded span timeline. Arms span
+    /// recording for the run; spans only exist on the
+    /// `telemetry-timing` feature (the vec stays empty otherwise).
+    /// Render with [`crate::runlog::chrome_trace_json`].
+    pub trace_spans: Option<&'a mut Vec<SpanEvent>>,
+    /// Writer receiving the `flight-recorder v1` dump — always
+    /// written (after the final pause, or at the point of failure),
+    /// not just on restore errors, so bug reports can attach it.
+    pub flight_dump: Option<&'a mut dyn io::Write>,
+}
+
+impl fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("backend", &self.backend)
+            .field("resume_at", &self.resume_at)
+            .field("runlog", &self.runlog.is_some())
+            .field("trace_spans", &self.trace_spans.is_some())
+            .field("flight_dump", &self.flight_dump.is_some())
+            .finish()
+    }
+}
+
 /// Compiles and drives [`ScenarioSpec`]s.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
@@ -298,7 +341,13 @@ impl ScenarioRunner {
     ///
     /// Returns an error if the engine rejects the compiled configuration.
     pub fn run_on(&self, backend: BackendSpec) -> Result<ScenarioReport, ScenarioError> {
-        self.execute(backend, None, &mut [])
+        self.execute(
+            RunOptions {
+                backend: Some(backend),
+                ..RunOptions::default()
+            },
+            &mut [],
+        )
     }
 
     /// Runs the scenario with a checkpoint/restore cycle at tick
@@ -333,7 +382,32 @@ impl ScenarioRunner {
         resume_at: Option<Tick>,
         extra: &mut [&mut dyn Probe],
     ) -> Result<ScenarioReport, ScenarioError> {
-        if let Some(split) = resume_at {
+        self.run_with_options(
+            RunOptions {
+                backend: Some(backend),
+                resume_at,
+                ..RunOptions::default()
+            },
+            extra,
+        )
+    }
+
+    /// [`Self::run_instrumented`] plus the observability sinks: attach
+    /// a `decay-runlog-v1` writer, a span-timeline sink, and/or a
+    /// flight-recorder dump writer via [`RunOptions`]. All sinks are
+    /// pause-grid observers — attaching any subset leaves the digest,
+    /// the metrics series, and the runlog bytes unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::run_instrumented`] can return, plus
+    /// [`ScenarioError::RunLog`] when an attached writer fails.
+    pub fn run_with_options(
+        &self,
+        opts: RunOptions<'_>,
+        extra: &mut [&mut dyn Probe],
+    ) -> Result<ScenarioReport, ScenarioError> {
+        if let Some(split) = opts.resume_at {
             if split == 0 || split >= self.spec.horizon {
                 return Err(ScenarioError::InvalidSplit {
                     split,
@@ -341,16 +415,16 @@ impl ScenarioRunner {
                 });
             }
         }
-        self.execute(backend, resume_at, extra)
+        self.execute(opts, extra)
     }
 
     fn execute(
         &self,
-        backend: BackendSpec,
-        resume_at: Option<Tick>,
+        opts: RunOptions<'_>,
         extra: &mut [&mut dyn Probe],
     ) -> Result<ScenarioReport, ScenarioError> {
         let spec = &self.spec;
+        let backend = opts.backend.unwrap_or(spec.backend);
         // The static field the BackendSpec realizes, wrapped in the
         // temporal channel when the spec declares one. Rebuilding (for
         // checkpoint restore) reconstructs the same channel — layers are
@@ -395,7 +469,7 @@ impl ScenarioRunner {
                     covered_pairs(e, &done_req) == required_pairs
                 };
                 let prr_req = required;
-                self.drive(engine, build, resume_at, extra, done, move |e| {
+                self.drive(engine, build, opts, extra, done, move |e| {
                     if required_pairs == 0 {
                         1.0
                     } else {
@@ -427,7 +501,7 @@ impl ScenarioRunner {
                 };
                 let total = senders.len().max(1);
                 let prr_senders = senders;
-                self.drive(engine, build, resume_at, extra, done, move |e| {
+                self.drive(engine, build, opts, extra, done, move |e| {
                     prr_senders
                         .iter()
                         .filter(|&&s| {
@@ -459,7 +533,7 @@ impl ScenarioRunner {
                 self.drive(
                     engine,
                     build,
-                    resume_at,
+                    opts,
                     extra,
                     |_: &Engine<EventBroadcaster>| false,
                     |e| {
@@ -508,7 +582,7 @@ impl ScenarioRunner {
         &self,
         mut engine: Engine<B>,
         rebuild: F,
-        resume_at: Option<Tick>,
+        mut opts: RunOptions<'_>,
         extra: &mut [&mut dyn Probe],
         done: D,
         prr: P,
@@ -522,7 +596,7 @@ impl ScenarioRunner {
         let spec = &self.spec;
         let horizon = spec.horizon;
         let ci = spec.check_interval;
-        let mut resume_at = resume_at;
+        let mut resume_at = opts.resume_at;
 
         // The built-in probes. ζ(t) sampling and PRR windows fire only
         // on their own sub-grids of the pause grid (validated multiples
@@ -549,10 +623,22 @@ impl ScenarioRunner {
         let controller_sig = controller.as_ref().map_or(0, Controller::signature);
         engine.set_controller_signature(controller_sig);
 
+        // The observability sinks. The runlog writer is wrapped in its
+        // streaming probe; span recording is armed only when a sink
+        // asked for the timeline (one relaxed load per timer stop
+        // otherwise — the overhead gate pins that).
+        let mut runlog = opts
+            .runlog
+            .take()
+            .map(|w| RunLogProbe::new(w, spec, controller_sig));
+        if opts.trace_spans.is_some() {
+            engine.arm_span_recording();
+        }
+
         let wall_start = Instant::now();
         let mut completed_at = None;
         let mut checkpointed = None;
-        let mut restore_failure: Option<(EngineError, Vec<EventRecord>)> = None;
+        let mut restore_failure: Option<(ScenarioError, Vec<EventRecord>)> = None;
         {
             let mut probes: Vec<&mut dyn Probe> = Vec::with_capacity(5 + extra.len());
             probes.push(&mut metrics);
@@ -574,6 +660,7 @@ impl ScenarioRunner {
                 Phase::Start,
                 &mut probes,
                 controller.as_mut(),
+                runlog.as_mut(),
             );
             apply_directives(&mut engine, &directives);
             loop {
@@ -598,6 +685,7 @@ impl ScenarioRunner {
                             Phase::Pause,
                             &mut probes,
                             if on_grid { controller.as_mut() } else { None },
+                            runlog.as_mut(),
                         );
                         apply_directives(&mut engine, &directives);
                         if on_grid && done(&engine) {
@@ -615,8 +703,22 @@ impl ScenarioRunner {
                         // report a mark that started over at the split.
                         let prior_high_water = engine.stats().queue_high_water;
                         let bytes = engine.checkpoint().to_bytes();
-                        let decoded: Checkpoint<B> = Checkpoint::from_bytes(&bytes)
-                            .map_err(|e| ScenarioError::Checkpoint(e.to_string()))?;
+                        // The restore replaces the engine, so harvest the
+                        // pre-split span timeline first — the recorder's
+                        // buffer lives in the engine's telemetry sinks.
+                        if let Some(spans) = opts.trace_spans.as_deref_mut() {
+                            spans.extend(engine.take_spans());
+                        }
+                        let decoded: Checkpoint<B> = match Checkpoint::from_bytes(&bytes) {
+                            Ok(decoded) => decoded,
+                            Err(e) => {
+                                restore_failure = Some((
+                                    ScenarioError::Checkpoint(e.to_string()),
+                                    engine.recent_events(),
+                                ));
+                                break;
+                            }
+                        };
                         engine = match Engine::restore_with_controller(
                             rebuild(),
                             decoded,
@@ -629,7 +731,7 @@ impl ScenarioRunner {
                                 // sample tail is still borrowed by the
                                 // probe list) and dump both after the
                                 // borrow ends, below.
-                                restore_failure = Some((e, engine.recent_events()));
+                                restore_failure = Some((e.into(), engine.recent_events()));
                                 break;
                             }
                         };
@@ -640,6 +742,12 @@ impl ScenarioRunner {
                         // at every value, so this cannot fork the run).
                         engine.set_threads(spec.threads);
                         engine.note_queue_high_water(prior_high_water);
+                        if opts.trace_spans.is_some() {
+                            engine.arm_span_recording();
+                        }
+                        if let Some(rl) = runlog.as_mut() {
+                            rl.note_restore(split);
+                        }
                         checkpointed = Some(split);
                         resume_at = None;
                         continue;
@@ -655,6 +763,7 @@ impl ScenarioRunner {
                     Phase::Pause,
                     &mut probes,
                     controller.as_mut(),
+                    runlog.as_mut(),
                 );
                 apply_directives(&mut engine, &directives);
                 if done(&engine) {
@@ -663,17 +772,39 @@ impl ScenarioRunner {
                 }
             }
             if restore_failure.is_none() {
-                pause(&mut engine, horizon, Phase::Finish, &mut probes, None);
+                pause(
+                    &mut engine,
+                    horizon,
+                    Phase::Finish,
+                    &mut probes,
+                    None,
+                    runlog.as_mut(),
+                );
             }
         }
         if let Some((err, events)) = restore_failure {
+            let dump = dump_flight(&telemetry.recent(), &events);
+            if let Some(w) = opts.flight_dump.as_deref_mut() {
+                // Best-effort: the run already failed, and the caller
+                // gets the underlying error either way.
+                let _ = w.write_all(dump.as_bytes());
+                let _ = w.flush();
+            }
             eprintln!(
-                "scenario {}: restore failed at the checkpoint split; \
-                 flight recorder follows\n{}",
+                "scenario {}: checkpoint cycle failed at the split; \
+                 flight recorder follows\n{dump}",
                 spec.name,
-                dump_flight(&telemetry.recent(), &events)
             );
-            return Err(err.into());
+            return Err(err);
+        }
+        if let Some(spans) = opts.trace_spans.as_deref_mut() {
+            spans.extend(engine.take_spans());
+        }
+        if let Some(w) = opts.flight_dump.as_deref_mut() {
+            let dump = dump_flight(&telemetry.recent(), &engine.recent_events());
+            if let Err(e) = w.write_all(dump.as_bytes()).and_then(|()| w.flush()) {
+                return Err(ScenarioError::RunLog(format!("flight dump: {e}")));
+            }
         }
         // Channel-side scan totals come straight off the backend's sink.
         // After a restore the backend was rebuilt, so (like the telemetry
@@ -696,13 +827,22 @@ impl ScenarioRunner {
                 .unwrap_or_default(),
             telemetry.into_samples(),
             scan_stats,
+            spec.threads,
+            engine.backend().channel_signature(),
         );
-        Ok(ScenarioReport {
+        let report = ScenarioReport {
             digest: digest.into_digest(spec.name.clone(), completed_at),
             metrics,
             nodes: engine.len(),
             checkpointed,
-        })
+        };
+        if let Some(mut rl) = runlog {
+            rl.finish(&report);
+            if let Some(e) = rl.take_error() {
+                return Err(ScenarioError::RunLog(e));
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -738,6 +878,7 @@ fn pause<B: EventBehavior>(
     phase: Phase,
     probes: &mut [&mut dyn Probe],
     controller: Option<&mut AdaptiveContention>,
+    runlog: Option<&mut RunLogProbe<'_>>,
 ) -> Vec<Directive> {
     decay_engine::probe::with_pause(engine, horizon, |ctx| {
         for p in probes.iter_mut() {
@@ -747,10 +888,22 @@ fn pause<B: EventBehavior>(
                 Phase::Finish => p.on_finish(ctx),
             }
         }
-        match controller {
+        let directives = match controller {
             Some(c) if phase != Phase::Finish => c.decide(ctx),
             _ => Vec::new(),
+        };
+        // The runlog narrates last, after the probes have observed and
+        // the controller has decided, so the emitted record can carry
+        // this pause's directives alongside its sampled state.
+        if let Some(rl) = runlog {
+            let run_phase = match phase {
+                Phase::Start => RunPhase::Start,
+                Phase::Pause => RunPhase::Pause,
+                Phase::Finish => RunPhase::Finish,
+            };
+            rl.observe(run_phase, ctx, &directives);
         }
+        directives
     })
 }
 

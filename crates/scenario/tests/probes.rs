@@ -10,8 +10,8 @@ use decay_engine::probe::{PauseCtx, Probe};
 use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, TelemetryProbe, Tick, WindowedPrr};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
-    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec, ProtocolSpec,
-    ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
+    runlog, AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, MobilitySpec, MonitorSpec,
+    ProtocolSpec, RunOptions, ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -189,7 +189,17 @@ proptest! {
         };
         let runner =
             ScenarioRunner::new(observed_spec(protocol, seed, adaptive, threads)).unwrap();
-        let bare = runner.run_on(backend).unwrap();
+        let mut bare_log = Vec::new();
+        let bare = runner
+            .run_with_options(
+                RunOptions {
+                    backend: Some(backend),
+                    runlog: Some(&mut bare_log),
+                    ..RunOptions::default()
+                },
+                &mut [],
+            )
+            .unwrap();
 
         let mut counter = Counter::default();
         // Same grid and subset size as the built-in monitor, so the two
@@ -212,12 +222,35 @@ proptest! {
         if subset & 8 != 0 {
             extras.push(&mut extra_telemetry);
         }
+        let mut probed_log = Vec::new();
         let probed = runner
-            .run_instrumented(backend, split, &mut extras)
+            .run_with_options(
+                RunOptions {
+                    backend: Some(backend),
+                    resume_at: split,
+                    runlog: Some(&mut probed_log),
+                    ..RunOptions::default()
+                },
+                &mut extras,
+            )
             .unwrap();
         drop(extras);
 
         prop_assert_eq!(&bare.digest, &probed.digest, "digest drift");
+        // The runlog is part of the transparency contract: extra
+        // probes and a checkpoint split must leave its bytes
+        // unchanged, modulo the `resume` marker.
+        let bare_text = String::from_utf8(bare_log).unwrap();
+        let probed_text = String::from_utf8(probed_log).unwrap();
+        if !decay_core::telemetry::Counters::timing_enabled() {
+            let stripped: String = probed_text
+                .lines()
+                .filter(|l| !l.contains("\"record\":\"resume\""))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            prop_assert_eq!(&bare_text, &stripped, "runlog bytes drifted");
+        }
+        prop_assert_eq!(runlog::diff(&bare_text, &probed_text).unwrap(), None);
         prop_assert_eq!(&bare.metrics.zeta_series, &probed.metrics.zeta_series);
         prop_assert_eq!(&bare.metrics.prr_windows, &probed.metrics.prr_windows);
         prop_assert_eq!(bare.metrics.latency_hist, probed.metrics.latency_hist);

@@ -8,8 +8,9 @@ use decay_distributed::ContentionStrategy;
 use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, Tick};
 use decay_netsim::ReceptionModel;
 use decay_scenario::{
-    AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, FaultSpec, MobilitySpec, MonitorSpec,
-    ProtocolSpec, ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec, TopologySpec,
+    runlog, AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, FaultSpec, MobilitySpec,
+    MonitorSpec, ProtocolSpec, RunOptions, ScenarioRunner, ScenarioSpec, ShadowingSpec, SinrSpec,
+    TopologySpec,
 };
 use proptest::prelude::*;
 
@@ -119,9 +120,50 @@ proptest! {
     ) {
         let threads = if threads_knob == 0 { 1 } else { 4 };
         let runner = ScenarioRunner::new(stormy_spec(protocol, seed, threads)).unwrap();
-        let uninterrupted = runner.run().unwrap();
-        let resumed = runner.run_with_resume(split as Tick).unwrap();
+        let mut plain_log = Vec::new();
+        let uninterrupted = runner
+            .run_with_options(
+                RunOptions {
+                    runlog: Some(&mut plain_log),
+                    ..RunOptions::default()
+                },
+                &mut [],
+            )
+            .unwrap();
+        let mut resumed_log = Vec::new();
+        let resumed = runner
+            .run_with_options(
+                RunOptions {
+                    resume_at: Some(split as Tick),
+                    runlog: Some(&mut resumed_log),
+                    ..RunOptions::default()
+                },
+                &mut [],
+            )
+            .unwrap();
         prop_assert_eq!(&uninterrupted.digest, &resumed.digest, "split {}", split);
+        // The runlog determinism contract: the resumed run's byte
+        // stream equals the uninterrupted one's, modulo the `resume`
+        // marker — even the counter deltas in the sample spanning the
+        // split, which the probe accumulates across the restore.
+        let plain_text = String::from_utf8(plain_log).unwrap();
+        let resumed_text = String::from_utf8(resumed_log).unwrap();
+        if !decay_core::telemetry::Counters::timing_enabled() {
+            // In default builds this is exact byte equality once the
+            // marker line is dropped (timing builds carry wall-clock
+            // `timers` objects, normalized below).
+            let stripped: String = resumed_text
+                .lines()
+                .filter(|l| !l.contains("\"record\":\"resume\""))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            prop_assert_eq!(&plain_text, &stripped, "split {}", split);
+        }
+        prop_assert_eq!(runlog::diff(&plain_text, &resumed_text).unwrap(), None);
+        // When the run reached the split, the marker really is there.
+        if resumed.checkpointed.is_some() {
+            prop_assert!(resumed_text.contains("\"record\":\"resume\""));
+        }
         // Metrics built from the streamed trace agree too (everything
         // deterministic; wall-clock throughput is excluded).
         prop_assert_eq!(

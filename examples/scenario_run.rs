@@ -5,30 +5,52 @@
 //! cargo run --release --example scenario_run -- scenarios/drift_mobility_storm.json
 //! cargo run --release --example scenario_run -- my_spec.json --json    # machine-readable report
 //! cargo run --release --example scenario_run -- my_spec.json --metrics-json out.json
+//! cargo run --release --example scenario_run -- my_spec.json --runlog run.runlog
+//! cargo run --release --example scenario_run -- my_spec.json --flight-dump flight.txt
+//! cargo run --release --features telemetry-timing --example scenario_run -- \
+//!     my_spec.json --trace-out trace.json
 //! ```
 //!
 //! The same spec produces a bit-identical trace digest on every decay
 //! backend and across checkpoint/resume cycles — this driver prints the
-//! digest so you can pin it (see `tests/golden/`). `--metrics-json
-//! <path>` additionally writes the full JSON metrics report (latency
-//! histogram, PRR, ζ(t) series for monitored channels, counters) to a
-//! file for downstream tooling.
+//! digest so you can pin it (see `tests/golden/`). Output flags:
+//!
+//! - `--metrics-json <path>` writes the full JSON metrics report
+//!   (latency histogram, PRR, ζ(t) series for monitored channels,
+//!   counters) for downstream tooling.
+//! - `--runlog <path>` streams the run as `decay-runlog-v1` NDJSON —
+//!   one typed record per pause-grid sample; inspect with
+//!   `runlog_cat`. The stream is bit-identical across backends and
+//!   thread counts (default builds).
+//! - `--trace-out <path>` writes per-shard phase spans as Chrome Trace
+//!   Event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
+//!   `chrome://tracing`. Spans need `--features telemetry-timing`;
+//!   without it the file holds an empty timeline.
+//! - `--flight-dump <path>` writes the flight recorder's final ring
+//!   buffers (always on run end; also on engine errors, where it is
+//!   the post-mortem).
 
 use beyond_geometry::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let as_json = args.iter().any(|a| a == "--json");
-    let metrics_path = args
-        .iter()
-        .position(|a| a == "--metrics-json")
-        .map(|i| {
-            args.get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned()
-                .ok_or("--metrics-json needs a file path argument")
-        })
-        .transpose()?;
+    const PATH_FLAGS: [&str; 4] = ["--metrics-json", "--runlog", "--trace-out", "--flight-dump"];
+    let path_flag = |name: &str| -> Result<Option<String>, String> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .ok_or(format!("{name} needs a file path argument"))
+            })
+            .transpose()
+    };
+    let metrics_path = path_flag("--metrics-json")?;
+    let runlog_path = path_flag("--runlog")?;
+    let trace_path = path_flag("--trace-out")?;
+    let flight_path = path_flag("--flight-dump")?;
     let path = {
         let mut positional = Vec::new();
         let mut skip_next = false;
@@ -37,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 skip_next = false;
                 continue;
             }
-            if a == "--metrics-json" {
+            if PATH_FLAGS.contains(&a.as_str()) {
                 skip_next = true;
             } else if !a.starts_with("--") {
                 positional.push(a.clone());
@@ -55,7 +77,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loaded {path}: scenario \"{}\"\n", spec.name);
 
     let runner = ScenarioRunner::new(spec)?;
-    let report = runner.run()?;
+    let mut runlog_file = runlog_path
+        .as_ref()
+        .map(std::fs::File::create)
+        .transpose()
+        .map_err(|e| format!("cannot create runlog file: {e}"))?;
+    let mut flight_file = flight_path
+        .as_ref()
+        .map(std::fs::File::create)
+        .transpose()
+        .map_err(|e| format!("cannot create flight-dump file: {e}"))?;
+    let mut spans = Vec::new();
+    let report = runner.run_with_options(
+        RunOptions {
+            runlog: runlog_file.as_mut().map(|f| f as &mut dyn std::io::Write),
+            flight_dump: flight_file.as_mut().map(|f| f as &mut dyn std::io::Write),
+            trace_spans: trace_path.is_some().then_some(&mut spans),
+            ..RunOptions::default()
+        },
+        &mut [],
+    )?;
     if as_json {
         print!("{}", report.to_json().pretty());
     } else {
@@ -65,6 +106,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&out, report.metrics.to_json().pretty())
             .map_err(|e| format!("cannot write metrics to {out}: {e}"))?;
         println!("\nmetrics report written to {out}");
+    }
+    if let Some(out) = runlog_path {
+        println!("runlog written to {out} ({} format)", runlog::RUNLOG_FORMAT);
+    }
+    if let Some(out) = flight_path {
+        println!("flight-recorder dump written to {out}");
+    }
+    if let Some(out) = trace_path {
+        std::fs::write(&out, chrome_trace_json(&spans))
+            .map_err(|e| format!("cannot write trace to {out}: {e}"))?;
+        if spans.is_empty() {
+            println!("trace written to {out} (0 spans — rebuild with --features telemetry-timing)");
+        } else {
+            println!("trace written to {out} ({} spans)", spans.len());
+        }
     }
 
     // The reproducibility contract in action: re-running on a different

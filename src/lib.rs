@@ -81,9 +81,9 @@ pub mod prelude {
         PrrTracker, ReceptionModel, Simulator, SlotContext,
     };
     pub use decay_scenario::{
-        AdaptiveSpec, BackendSpec, ChannelSpec, DigestProbe, MetricsProbe, MetricsReport,
-        MobilitySpec, MonitorSpec, ProtocolSpec, ScenarioReport, ScenarioRunner, ScenarioSpec,
-        TopologySpec, TraceDigest,
+        chrome_trace_json, runlog, AdaptiveSpec, BackendSpec, ChannelSpec, DigestProbe,
+        MetricsProbe, MetricsReport, MobilitySpec, MonitorSpec, ProtocolSpec, RunLog, RunOptions,
+        ScenarioReport, ScenarioRunner, ScenarioSpec, TopologySpec, TraceDigest,
     };
     pub use decay_sinr::{
         inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,
