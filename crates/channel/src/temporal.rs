@@ -209,6 +209,19 @@ pub struct TemporalAdapter {
     telemetry: Counters,
 }
 
+/// Compile-time `Send + Sync` audit: the adapter is shared by resolver
+/// lanes during parallel SINR resolution and moves between worker
+/// threads when a run session is parked and resumed, so its whole cache
+/// machinery (`EpochCell`, `OnceLock` rows, telemetry sink) must be
+/// thread-safe. If a field regresses, this stops compiling.
+#[allow(dead_code)]
+fn _assert_adapter_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TemporalAdapter>();
+    assert_send_sync::<BlockSnapshot>();
+    assert_send_sync::<decay_core::EpochCell<BlockSnapshot>>();
+}
+
 impl TemporalAdapter {
     /// Wraps a temporal backend.
     ///

@@ -25,6 +25,7 @@
 //!   the caller, who may keep it alive — that is how the previous
 //!   epoch's snapshot outlives its replacement).
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -34,6 +35,12 @@ use std::sync::{Arc, Mutex};
 /// are mutually exclusive. `T` is expected to be an immutable epoch
 /// snapshot — the cell provides no way to mutate the held value in
 /// place.
+///
+/// The cell is `Send`/`Sync` exactly when `Arc<T>` is (`T: Send + Sync`)
+/// — it owns one strong count and hands out clones from any thread, so
+/// the auto-trait story must match an `Arc` field, not the raw
+/// `AtomicPtr` it actually stores (which would otherwise be
+/// unconditionally `Send + Sync`).
 pub struct EpochCell<T> {
     /// The published snapshot; owns one strong count of the `Arc`.
     ptr: AtomicPtr<T>,
@@ -41,6 +48,8 @@ pub struct EpochCell<T> {
     readers: AtomicUsize,
     /// Serializes publishers.
     writer: Mutex<()>,
+    /// Ties the auto traits to the `Arc<T>` the cell semantically owns.
+    _owns: PhantomData<Arc<T>>,
 }
 
 impl<T> EpochCell<T> {
@@ -50,6 +59,7 @@ impl<T> EpochCell<T> {
             ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
             readers: AtomicUsize::new(0),
             writer: Mutex::new(()),
+            _owns: PhantomData,
         }
     }
 
@@ -138,6 +148,20 @@ impl<T: std::fmt::Debug> std::fmt::Debug for EpochCell<T> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    /// The cell's auto traits must track `Arc<T>`: shareable snapshots
+    /// make a shareable cell, and nothing more. (The `Send` engine
+    /// stack hangs off this — `TemporalAdapter` embeds an `EpochCell`.)
+    #[test]
+    fn cell_is_send_and_sync_for_shareable_snapshots() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EpochCell<u64>>();
+        assert_send_sync::<EpochCell<Vec<u64>>>();
+        fn covariant_over_snapshot<T: Send + Sync>() {
+            assert_send_sync::<EpochCell<T>>();
+        }
+        let _ = covariant_over_snapshot::<String>;
+    }
 
     #[test]
     fn load_returns_the_published_value() {

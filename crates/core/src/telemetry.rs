@@ -63,6 +63,9 @@ pub enum Counter {
     EpochSwaps,
     /// `EpochCell` snapshot loads (readers pinning the current block).
     EpochLoads,
+    /// Compiled-scenario cache hits: submissions served an existing
+    /// `CompiledScenario` instead of rebuilding topology/backend state.
+    CompileHits,
 }
 
 impl Counter {
@@ -78,6 +81,7 @@ impl Counter {
         Counter::RowHits,
         Counter::EpochSwaps,
         Counter::EpochLoads,
+        Counter::CompileHits,
     ];
 
     /// Stable snake_case name used in JSON reports and bench columns.
@@ -93,12 +97,13 @@ impl Counter {
             Counter::RowHits => "row_hits",
             Counter::EpochSwaps => "epoch_swaps",
             Counter::EpochLoads => "epoch_loads",
+            Counter::CompileHits => "compile_hits",
         }
     }
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 11;
 
 /// One wall-clock phase measured when the `telemetry-timing` feature
 /// is enabled. In the default build timers are fully compiled out.

@@ -877,6 +877,18 @@ impl<B> fmt::Debug for Engine<B> {
     }
 }
 
+/// Compile-time `Send` audit: an engine is one self-contained unit of
+/// work that a serving layer parks, resumes, and migrates across worker
+/// threads, so `Engine<B>` must be `Send` whenever its behaviors are.
+/// If a field ever regresses (an `Rc`, a non-`Send` trait object, a
+/// thread-pinned cache), this stops compiling.
+#[allow(dead_code)]
+fn _assert_engine_is_send<B: Send>() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine<B>>();
+    assert_send::<Checkpoint<B>>();
+}
+
 /// The immutable per-tick state every resolution lane reads: the
 /// tick's transmissions, the radio modes, the fault plan, and the SINR
 /// constants. Built once per resolution round from field borrows, so

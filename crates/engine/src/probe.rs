@@ -112,7 +112,13 @@ impl std::fmt::Debug for PauseCtx<'_> {
 /// All callbacks default to no-ops, so a probe implements only the
 /// hooks it needs. See the [module docs](self) for the lifecycle and
 /// the determinism contract.
-pub trait Probe {
+///
+/// Probes are `Send`: a run — engine, probes, controller — is one
+/// self-contained unit of work that a serving layer parks, resumes,
+/// and migrates across worker threads, so every observer must move
+/// with it. Probes are plain accumulators (series, counters, digests),
+/// so the bound costs implementors nothing.
+pub trait Probe: Send {
     /// Called once before the first event fires (`ctx.tick == 0`, empty
     /// batch).
     fn on_start(&mut self, ctx: &PauseCtx<'_>) {
@@ -157,7 +163,11 @@ pub enum Directive {
 
 /// A run-steering extension: grid-aligned decisions that are part of
 /// the trace-defining configuration (see the [module docs](self)).
-pub trait Controller {
+///
+/// `Send` for the same reason [`Probe`] is: controllers travel with
+/// the run they steer when a session is parked and resumed on another
+/// worker thread.
+pub trait Controller: Send {
     /// A stable fingerprint of this controller's identity and
     /// parameters. Folded into every checkpoint the engine takes (0 =
     /// no controller); [`Engine::restore_with_controller`] refuses a

@@ -15,6 +15,7 @@ use decay_channel::{
     TemporalAdapter, TemporalChannel, TraceChannel,
 };
 use decay_engine::DecayBackend;
+use decay_spaces::Point;
 
 use crate::spec::{ChannelSpec, MobilitySpec, TopologySpec};
 
@@ -67,6 +68,19 @@ impl ChannelSpec {
         topology: &TopologySpec,
         base: impl FnOnce() -> Box<dyn DecayBackend>,
     ) -> Box<dyn DecayBackend> {
+        self.wrap_with_points(topology, &topology.points(), base)
+    }
+
+    /// [`Self::wrap`] reusing an already-deployed point set (it must be
+    /// `topology.points()` — a [`CompiledScenario`](crate::CompiledScenario)
+    /// caches exactly that), so repeated runs and checkpoint rebuilds
+    /// skip regenerating the deployment.
+    pub fn wrap_with_points(
+        &self,
+        topology: &TopologySpec,
+        points: &[Point],
+        base: impl FnOnce() -> Box<dyn DecayBackend>,
+    ) -> Box<dyn DecayBackend> {
         if let Some(trace) = &self.trace {
             return Box::new(TemporalAdapter::new(TraceChannel::new(trace.clone())));
         }
@@ -77,7 +91,7 @@ impl ChannelSpec {
         // re-filtered against the exact instantaneous field: they change
         // cost, never values, so trace digests are unaffected.
         let mut channel =
-            TemporalChannel::new(base(), topology.points(), topology.alpha(), self.block)
+            TemporalChannel::new(base(), points.to_vec(), topology.alpha(), self.block)
                 .with_geometric_hints();
         if let Some(m) = self.mobility {
             channel = channel.with_mobility(m.to_config());

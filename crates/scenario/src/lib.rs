@@ -112,6 +112,7 @@ mod metrics;
 pub mod probes;
 pub mod runlog;
 mod runner;
+mod session;
 mod spec;
 mod topology;
 
@@ -125,6 +126,7 @@ pub use runlog::{
     chrome_trace_json, spec_signature, RunLog, RunLogProbe, RunPhase, RunRecord, RUNLOG_FORMAT,
 };
 pub use runner::{RunOptions, ScenarioError, ScenarioReport, ScenarioRunner, TraceDigest};
+pub use session::{CompiledScenario, RunSession, ScenarioCache, SessionStep};
 pub use spec::{
     AdaptiveSpec, BackendSpec, ChannelSpec, FadingSpec, FaultSpec, LinkSpec, MobilitySpec,
     MonitorSpec, ProtocolSpec, ScenarioSpec, ShadowingSpec, SinrSpec, SpecError, TopologySpec,

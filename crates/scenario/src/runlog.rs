@@ -54,7 +54,7 @@ use std::fmt;
 use std::io::Write;
 
 use decay_core::telemetry::{Counter, CounterSnapshot, Counters, SpanEvent, Timer};
-use decay_engine::probe::{signature_hash, Directive, PauseCtx};
+use decay_engine::probe::{Directive, PauseCtx};
 use decay_engine::{EngineStats, Tick};
 
 use crate::json::{self, int, num, obj, s, JsonValue};
@@ -64,9 +64,11 @@ use crate::spec::{ProtocolSpec, ScenarioSpec};
 /// The format tag every runlog's `run_start` record carries.
 pub const RUNLOG_FORMAT: &str = "decay-runlog-v1";
 
-/// FNV tag domain-separating [`spec_signature`] from the other
-/// [`signature_hash`] users (controller and channel signatures).
-const SPEC_SIG_TAG: u64 = 0x5350_4543_5349_4731; // "SPECSIG1"
+/// The spec fingerprint the `run_start` header carries — defined in
+/// [`crate::spec`] (it doubles as the compiled-scenario cache key) and
+/// re-exported here because the runlog is where the signature first
+/// shipped.
+pub use crate::spec::spec_signature;
 
 /// The engine-side counters a `sample` record reports. These are the
 /// counters that are backend- *and* thread-invariant (they count trace
@@ -108,7 +110,7 @@ pub enum RunPhase {
 /// the run is in flight) and surfaced at the end via
 /// [`Self::take_error`].
 pub struct RunLogProbe<'w> {
-    out: &'w mut dyn Write,
+    out: &'w mut (dyn Write + Send),
     name: String,
     seed: u64,
     horizon: Tick,
@@ -157,7 +159,7 @@ impl<'w> RunLogProbe<'w> {
     /// signature is read off the live backend at the `Start` pause.
     ///
     /// [`Controller::signature`]: decay_engine::probe::Controller::signature
-    pub fn new(out: &'w mut dyn Write, spec: &ScenarioSpec, controller_sig: u64) -> Self {
+    pub fn new(out: &'w mut (dyn Write + Send), spec: &ScenarioSpec, controller_sig: u64) -> Self {
         RunLogProbe {
             out,
             name: spec.name.clone(),
@@ -425,19 +427,6 @@ fn protocol_kind(p: &ProtocolSpec) -> &'static str {
         ProtocolSpec::Contention { .. } => "contention",
         ProtocolSpec::Announce { .. } => "announce",
     }
-}
-
-/// FNV-1a fingerprint of the spec's *trace-defining* configuration:
-/// the canonical compact JSON with the `backend` and `threads` keys
-/// removed, because both are execution knobs the determinism contract
-/// promises cannot change the run. Two specs with equal signatures
-/// must produce byte-identical runlogs.
-pub fn spec_signature(spec: &ScenarioSpec) -> u64 {
-    let mut v = spec.to_json();
-    if let JsonValue::Object(pairs) = &mut v {
-        pairs.retain(|(k, _)| k != "backend" && k != "threads");
-    }
-    signature_hash(SPEC_SIG_TAG, v.compact().as_bytes())
 }
 
 fn hex(x: u64) -> JsonValue {

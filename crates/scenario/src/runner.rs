@@ -1,39 +1,34 @@
-//! The scenario runner: compiles a [`ScenarioSpec`] into a configured
-//! [`Engine`] run and drives it to completion, collecting metrics and
-//! the canonical trace digest.
+//! The scenario runner: a thin driver over the session core. A run is
+//! **compile** ([`crate::CompiledScenario`]) → **session**
+//! ([`crate::RunSession`]) → this module's drive loop, which just steps
+//! the session to completion (parking and resuming it once when a
+//! resume split is requested).
 //!
 //! # Determinism
 //!
 //! A run's [`TraceDigest`] is a pure function of the spec: it folds the
 //! engine's rolling delivery-trace hash with the final event counters.
-//! The runner only pauses the engine on a fixed boundary grid (multiples
-//! of `check_interval`), so pausing more often — to checkpoint, restore,
-//! or drain metrics — cannot change what the engine computes. That is
-//! what makes [`ScenarioRunner::run_with_resume`] digest-identical to
-//! [`ScenarioRunner::run`], and all three decay backends digest-identical
-//! to each other.
+//! The session only pauses the engine on a fixed boundary grid
+//! (multiples of `check_interval`), so pausing more often — to
+//! checkpoint, restore, or drain metrics — cannot change what the
+//! engine computes. That is what makes
+//! [`ScenarioRunner::run_with_resume`] digest-identical to
+//! [`ScenarioRunner::run`], and all three decay backends
+//! digest-identical to each other.
 
 use std::fmt;
 use std::io;
-use std::rc::Rc;
-use std::time::Instant;
+use std::sync::Arc;
 
-use decay_channel::AdaptiveContention;
-use decay_core::telemetry::{Counter, SpanEvent};
-use decay_core::NodeId;
-use decay_distributed::{build_contention_engine, ContentionNode, EventBroadcaster};
-use decay_engine::probe::{apply_directives, Controller, Directive, Probe, Tunable, WindowedPrr};
-use decay_engine::{
-    dump_flight, Checkpoint, Codec, DecayBackend, Engine, EngineError, EngineStats, EventBehavior,
-    EventRecord, TelemetryProbe, Tick,
-};
+use decay_core::telemetry::SpanEvent;
+use decay_engine::probe::Probe;
+use decay_engine::{EngineError, EngineStats, Tick};
 use serde::{Deserialize, Serialize};
 
 use crate::json::{int, obj, s, JsonValue};
-use crate::metrics::{MetricsReport, ScanStatsReport};
-use crate::probes::{DigestProbe, MetricsProbe};
-use crate::runlog::{RunLogProbe, RunPhase};
-use crate::spec::{BackendSpec, ProtocolSpec, ScenarioSpec, SpecError};
+use crate::metrics::MetricsReport;
+use crate::session::{CompiledScenario, RunSession, SessionStep};
+use crate::spec::{BackendSpec, ScenarioSpec, SpecError};
 
 /// A failure constructing or running a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -238,21 +233,26 @@ impl fmt::Display for ScenarioReport {
     }
 }
 
-/// Optional attachments for [`ScenarioRunner::run_with_options`]: the
-/// backend override, the checkpoint split, and the observability
-/// sinks (none of which can perturb the run — the runlog is read-only
-/// like a probe, spans are timing-gated telemetry, and the flight dump
-/// is written after the engine stops).
+/// Optional attachments for [`ScenarioRunner::run_with_options`] and
+/// [`RunSession::new`]: the execution-knob overrides (backend, lane
+/// count — exactly the knobs [`crate::spec_signature`] excludes, so a
+/// cached compilation runs under the submitted knobs), the checkpoint
+/// split, and the observability sinks (none of which can perturb the
+/// run — the runlog is read-only like a probe, spans are timing-gated
+/// telemetry, and the flight dump is written after the engine stops).
 #[derive(Default)]
 pub struct RunOptions<'a> {
     /// Backend override (`None` = the spec's declared backend).
     pub backend: Option<BackendSpec>,
+    /// Worker-lane override (`None` = the spec's declared `threads`).
+    /// An execution knob: the trace is bit-identical at every value.
+    pub threads: Option<usize>,
     /// Checkpoint/restore split tick, as in
     /// [`ScenarioRunner::run_with_resume`].
     pub resume_at: Option<Tick>,
     /// Writer receiving the `decay-runlog-v1` NDJSON stream (see
     /// [`crate::runlog`]).
-    pub runlog: Option<&'a mut dyn io::Write>,
+    pub runlog: Option<&'a mut (dyn io::Write + Send)>,
     /// Sink for the engine's recorded span timeline. Arms span
     /// recording for the run; spans only exist on the
     /// `telemetry-timing` feature (the vec stays empty otherwise).
@@ -261,13 +261,14 @@ pub struct RunOptions<'a> {
     /// Writer receiving the `flight-recorder v1` dump — always
     /// written (after the final pause, or at the point of failure),
     /// not just on restore errors, so bug reports can attach it.
-    pub flight_dump: Option<&'a mut dyn io::Write>,
+    pub flight_dump: Option<&'a mut (dyn io::Write + Send)>,
 }
 
 impl fmt::Debug for RunOptions<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RunOptions")
             .field("backend", &self.backend)
+            .field("threads", &self.threads)
             .field("resume_at", &self.resume_at)
             .field("runlog", &self.runlog.is_some())
             .field("trace_spans", &self.trace_spans.is_some())
@@ -276,14 +277,17 @@ impl fmt::Debug for RunOptions<'_> {
     }
 }
 
-/// Compiles and drives [`ScenarioSpec`]s.
+/// Compiles and drives [`ScenarioSpec`]s. Holds the compilation behind
+/// an `Arc`, so cloning a runner — or building one from a
+/// [`crate::ScenarioCache`] hit via [`Self::from_compiled`] — shares
+/// the deployment and protocol plan instead of rebuilding them.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
-    spec: ScenarioSpec,
+    compiled: Arc<CompiledScenario>,
 }
 
 impl ScenarioRunner {
-    /// Wraps a validated spec, resolving any `channel.trace_path`
+    /// Compiles a validated spec, resolving any `channel.trace_path`
     /// against the repository root — or, when the compile-time root is
     /// not present (a binary deployed outside its build checkout), the
     /// current working directory. The loaded trace is inlined, so the
@@ -295,13 +299,9 @@ impl ScenarioRunner {
     /// Returns the first validation failure, including an unreadable or
     /// malformed gain-trace file.
     pub fn new(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
-        let baked = crate::golden::repo_root();
-        let root = if baked.is_dir() {
-            baked
-        } else {
-            std::path::PathBuf::from(".")
-        };
-        Self::new_with_root(spec, &root)
+        Ok(ScenarioRunner {
+            compiled: Arc::new(CompiledScenario::compile(spec)?),
+        })
     }
 
     /// [`Self::new`] with an explicit root directory for
@@ -312,17 +312,28 @@ impl ScenarioRunner {
     /// Returns the first validation failure, including an unreadable or
     /// malformed gain-trace file.
     pub fn new_with_root(
-        mut spec: ScenarioSpec,
+        spec: ScenarioSpec,
         root: &std::path::Path,
     ) -> Result<Self, ScenarioError> {
-        spec.validate()?;
-        spec.resolve_trace_path(root)?;
-        Ok(ScenarioRunner { spec })
+        Ok(ScenarioRunner {
+            compiled: Arc::new(CompiledScenario::compile_with_root(spec, root)?),
+        })
+    }
+
+    /// Wraps an existing compilation (e.g. a [`crate::ScenarioCache`]
+    /// hit) without recompiling anything.
+    pub fn from_compiled(compiled: Arc<CompiledScenario>) -> Self {
+        ScenarioRunner { compiled }
     }
 
     /// The spec being run.
     pub fn spec(&self) -> &ScenarioSpec {
-        &self.spec
+        self.compiled.spec()
+    }
+
+    /// The compilation this runner drives.
+    pub fn compiled(&self) -> &Arc<CompiledScenario> {
+        &self.compiled
     }
 
     /// Runs the scenario on the backend the spec declares.
@@ -331,7 +342,7 @@ impl ScenarioRunner {
     ///
     /// Returns an error if the engine rejects the compiled configuration.
     pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
-        self.run_on(self.spec.backend)
+        self.run_on(self.spec().backend)
     }
 
     /// Runs the scenario on an explicit backend (the cross-backend
@@ -361,7 +372,7 @@ impl ScenarioRunner {
     /// `0 < split < horizon`, and an error if the engine rejects the
     /// configuration or the checkpoint fails to round-trip.
     pub fn run_with_resume(&self, split: Tick) -> Result<ScenarioReport, ScenarioError> {
-        self.run_instrumented(self.spec.backend, Some(split), &mut [])
+        self.run_instrumented(self.spec().backend, Some(split), &mut [])
     }
 
     /// The fully general entry point: runs on `backend`, optionally
@@ -402,521 +413,41 @@ impl ScenarioRunner {
     ///
     /// Everything [`Self::run_instrumented`] can return, plus
     /// [`ScenarioError::RunLog`] when an attached writer fails.
-    pub fn run_with_options(
+    pub fn run_with_options<'a>(
         &self,
-        opts: RunOptions<'_>,
-        extra: &mut [&mut dyn Probe],
+        opts: RunOptions<'a>,
+        extra: &'a mut [&mut dyn Probe],
     ) -> Result<ScenarioReport, ScenarioError> {
         if let Some(split) = opts.resume_at {
-            if split == 0 || split >= self.spec.horizon {
+            if split == 0 || split >= self.spec().horizon {
                 return Err(ScenarioError::InvalidSplit {
                     split,
-                    horizon: self.spec.horizon,
+                    horizon: self.spec().horizon,
                 });
             }
         }
         self.execute(opts, extra)
     }
 
-    fn execute(
+    /// The drive loop: step the session to completion, and when it
+    /// reports the breakpoint (the requested resume split), run one
+    /// full park/resume cycle through checkpoint bytes.
+    fn execute<'a>(
         &self,
-        opts: RunOptions<'_>,
-        extra: &mut [&mut dyn Probe],
+        opts: RunOptions<'a>,
+        extra: &'a mut [&mut dyn Probe],
     ) -> Result<ScenarioReport, ScenarioError> {
-        let spec = &self.spec;
-        let backend = opts.backend.unwrap_or(spec.backend);
-        // The static field the BackendSpec realizes, wrapped in the
-        // temporal channel when the spec declares one. Rebuilding (for
-        // checkpoint restore) reconstructs the same channel — layers are
-        // pure functions of their config, and the engine verifies the
-        // channel signature on restore.
-        let build = || -> Box<dyn DecayBackend> {
-            match &spec.channel {
-                Some(channel) => channel.wrap(&spec.topology, || backend.build(&spec.topology)),
-                None => backend.build(&spec.topology),
-            }
-        };
-        match &spec.protocol {
-            ProtocolSpec::Broadcast {
-                neighborhood_decay,
-                probability,
-                power,
-            } => {
-                // The EventBroadcaster protocol from decay-distributed,
-                // wired with the spec's full dynamics (its own driver,
-                // `run_local_broadcast_event`, covers churn/jamming/
-                // latency but not faults or checkpoint cycles).
-                let backend = build();
-                let n = backend.len();
-                let required: Vec<Vec<NodeId>> = (0..n)
-                    .map(|u| backend.potential_receivers(NodeId::new(u), Some(*neighborhood_decay)))
-                    .collect();
-                let delta = required.iter().map(Vec::len).max().unwrap_or(0);
-                let p = probability.unwrap_or((0.5 / delta.max(1) as f64).min(0.5));
-                let behaviors: Vec<EventBroadcaster> =
-                    (0..n).map(|_| EventBroadcaster::new(p, *power)).collect();
-                let engine = Engine::new(
-                    backend,
-                    behaviors,
-                    spec.sinr_params(),
-                    spec.engine_config(),
-                    spec.seed,
-                )?;
-                let required = Rc::new(required);
-                let required_pairs: usize = required.iter().map(Vec::len).sum();
-                let done_req = Rc::clone(&required);
-                let done = move |e: &Engine<EventBroadcaster>| {
-                    covered_pairs(e, &done_req) == required_pairs
-                };
-                let prr_req = required;
-                self.drive(engine, build, opts, extra, done, move |e| {
-                    if required_pairs == 0 {
-                        1.0
-                    } else {
-                        covered_pairs(e, &prr_req) as f64 / required_pairs as f64
-                    }
-                })
-            }
-            ProtocolSpec::Contention { strategy, .. } => {
-                let links = spec.contention_links();
-                let (engine, senders) = build_contention_engine(
-                    build(),
-                    &links,
-                    &spec.sinr_params(),
-                    *strategy,
-                    spec.engine_config(),
-                    spec.seed,
-                );
-                let done_senders = senders.clone();
-                let done = move |e: &Engine<ContentionNode>| {
-                    done_senders.iter().all(|&s| {
-                        matches!(
-                            e.behavior(s),
-                            ContentionNode::Sender {
-                                delivered_at: Some(_),
-                                ..
-                            } | ContentionNode::Sender { viable: false, .. }
-                        )
-                    })
-                };
-                let total = senders.len().max(1);
-                let prr_senders = senders;
-                self.drive(engine, build, opts, extra, done, move |e| {
-                    prr_senders
-                        .iter()
-                        .filter(|&&s| {
-                            matches!(
-                                e.behavior(s),
-                                ContentionNode::Sender {
-                                    delivered_at: Some(_),
-                                    ..
-                                }
-                            )
-                        })
-                        .count() as f64
-                        / total as f64
-                })
-            }
-            ProtocolSpec::Announce { probability, power } => {
-                let n = spec.node_count();
-                let behaviors: Vec<EventBroadcaster> = (0..n)
-                    .map(|_| EventBroadcaster::new(*probability, *power))
-                    .collect();
-                let engine = Engine::new(
-                    build(),
-                    behaviors,
-                    spec.sinr_params(),
-                    spec.engine_config(),
-                    spec.seed,
-                )?;
-                // Announce has no completion notion: run the horizon out.
-                self.drive(
-                    engine,
-                    build,
-                    opts,
-                    extra,
-                    |_: &Engine<EventBroadcaster>| false,
-                    |e| {
-                        let s = e.stats();
-                        let total = s.deliveries + s.dropped_deliveries;
-                        if total == 0 {
-                            0.0
-                        } else {
-                            s.deliveries as f64 / total as f64
-                        }
-                    },
-                )
-            }
-        }
-    }
-
-    /// The controller this spec's `adaptive` block compiles to, if any
-    /// (parameters were validated by [`ScenarioSpec::validate`], so
-    /// construction cannot panic).
-    fn build_controller(&self) -> Option<AdaptiveContention> {
-        self.spec.adaptive.map(|a| {
-            AdaptiveContention::new(
-                a.interval,
-                a.max_nodes,
-                a.base_p,
-                a.zeta_ref,
-                a.floor,
-                a.cap,
-            )
-        })
-    }
-
-    /// Drives an engine to completion or the horizon, pausing only on
-    /// the `check_interval` grid (plus at most once at `resume_at` for
-    /// the checkpoint cycle, which is invisible to the engine's event
-    /// schedule).
-    ///
-    /// The loop itself is a thin composition over the probe API: every
-    /// observer — metrics, ζ(t) monitor, windowed PRR, digest capture,
-    /// caller extras — sees the identical [`PauseCtx`] stream, and the
-    /// only state the loop owns is control flow (completion, the
-    /// checkpoint cycle, and controller decisions, which are
-    /// grid-aligned so both runs of a resume pair derive them at
-    /// identical ticks).
-    fn drive<B, F, D, P>(
-        &self,
-        mut engine: Engine<B>,
-        rebuild: F,
-        mut opts: RunOptions<'_>,
-        extra: &mut [&mut dyn Probe],
-        done: D,
-        prr: P,
-    ) -> Result<ScenarioReport, ScenarioError>
-    where
-        B: EventBehavior + Codec + Clone + PartialEq + fmt::Debug + Tunable,
-        F: Fn() -> Box<dyn DecayBackend>,
-        D: Fn(&Engine<B>) -> bool,
-        P: Fn(&Engine<B>) -> f64,
-    {
-        let spec = &self.spec;
-        let horizon = spec.horizon;
-        let ci = spec.check_interval;
-        let mut resume_at = opts.resume_at;
-
-        // The built-in probes. ζ(t) sampling and PRR windows fire only
-        // on their own sub-grids of the pause grid (validated multiples
-        // of check_interval), so neither series can depend on backend
-        // choice or on an extra checkpoint pause.
-        let mut metrics = MetricsProbe::new();
-        let mut monitor = spec.channel.as_ref().and_then(|c| c.build_monitor());
-        let mut windowed_prr = spec
-            .prr_window
-            .map(|w| WindowedPrr::new(spec.node_count(), w, PRR_KEEP_WINDOWS));
-        let mut digest = DigestProbe::new();
-        // Telemetry is always on: the counters are relaxed-atomic
-        // increments and the probe only reads them on the pause grid,
-        // so arming it costs nothing the digest could see (the
-        // probe-transparency proptest pins that). The engine-side event
-        // ring feeds the flight recorder dumped on restore failure.
-        let mut telemetry = TelemetryProbe::new(ci, FLIGHT_KEEP_SAMPLES);
-        engine.enable_event_log(FLIGHT_KEEP_EVENTS);
-
-        // The controller, when the spec declares one, is part of the
-        // trace-defining configuration: its identity is folded into
-        // every checkpoint, and restore refuses a mismatch.
-        let mut controller = self.build_controller();
-        let controller_sig = controller.as_ref().map_or(0, Controller::signature);
-        engine.set_controller_signature(controller_sig);
-
-        // The observability sinks. The runlog writer is wrapped in its
-        // streaming probe; span recording is armed only when a sink
-        // asked for the timeline (one relaxed load per timer stop
-        // otherwise — the overhead gate pins that).
-        let mut runlog = opts
-            .runlog
-            .take()
-            .map(|w| RunLogProbe::new(w, spec, controller_sig));
-        if opts.trace_spans.is_some() {
-            engine.arm_span_recording();
-        }
-
-        let wall_start = Instant::now();
-        let mut completed_at = None;
-        let mut checkpointed = None;
-        let mut restore_failure: Option<(ScenarioError, Vec<EventRecord>)> = None;
-        {
-            let mut probes: Vec<&mut dyn Probe> = Vec::with_capacity(5 + extra.len());
-            probes.push(&mut metrics);
-            if let Some(m) = monitor.as_mut() {
-                probes.push(m);
-            }
-            if let Some(w) = windowed_prr.as_mut() {
-                probes.push(w);
-            }
-            probes.push(&mut digest);
-            probes.push(&mut telemetry);
-            for p in extra.iter_mut() {
-                probes.push(&mut **p);
-            }
-
-            let directives = pause(
-                &mut engine,
-                horizon,
-                Phase::Start,
-                &mut probes,
-                controller.as_mut(),
-                runlog.as_mut(),
-            );
-            apply_directives(&mut engine, &directives);
-            loop {
-                let now = engine.now();
-                if now >= horizon {
-                    break;
+        let mut session = RunSession::new(Arc::clone(&self.compiled), opts, extra)?;
+        loop {
+            match session.step_to_next_pause() {
+                SessionStep::Paused => {}
+                SessionStep::Breakpoint => {
+                    let bytes = session.park();
+                    session.resume(&bytes)?;
                 }
-                let grid_next = ((now / ci + 1) * ci).min(horizon);
-                if let Some(split) = resume_at {
-                    if split > now && split <= grid_next {
-                        engine.run_until(split);
-                        // An off-grid split pause is invisible: probes
-                        // that sample (monitor, PRR windows) ignore
-                        // off-grid ticks, and completion/decisions are
-                        // only evaluated on the grid — so the
-                        // uninterrupted and resumed runs observe, steer,
-                        // and stop identically.
-                        let on_grid = split == grid_next;
-                        let directives = pause(
-                            &mut engine,
-                            horizon,
-                            Phase::Pause,
-                            &mut probes,
-                            if on_grid { controller.as_mut() } else { None },
-                            runlog.as_mut(),
-                        );
-                        apply_directives(&mut engine, &directives);
-                        if on_grid && done(&engine) {
-                            completed_at = Some(engine.now());
-                            break;
-                        }
-                        // Decisions precede the snapshot, so the
-                        // checkpoint carries the re-tuned behaviors and
-                        // the restored run continues bit-identically.
-                        //
-                        // The queue high-water mark is runtime telemetry,
-                        // not codec state (format v4 is frozen), so the
-                        // runner carries the pre-split peak across the
-                        // cycle itself — otherwise a resumed run would
-                        // report a mark that started over at the split.
-                        let prior_high_water = engine.stats().queue_high_water;
-                        let bytes = engine.checkpoint().to_bytes();
-                        // The restore replaces the engine, so harvest the
-                        // pre-split span timeline first — the recorder's
-                        // buffer lives in the engine's telemetry sinks.
-                        if let Some(spans) = opts.trace_spans.as_deref_mut() {
-                            spans.extend(engine.take_spans());
-                        }
-                        let decoded: Checkpoint<B> = match Checkpoint::from_bytes(&bytes) {
-                            Ok(decoded) => decoded,
-                            Err(e) => {
-                                restore_failure = Some((
-                                    ScenarioError::Checkpoint(e.to_string()),
-                                    engine.recent_events(),
-                                ));
-                                break;
-                            }
-                        };
-                        engine = match Engine::restore_with_controller(
-                            rebuild(),
-                            decoded,
-                            controller_sig,
-                        ) {
-                            Ok(restored) => restored,
-                            Err(e) => {
-                                // The flight recorder's moment: grab the
-                                // pre-restore event tail now (the probe's
-                                // sample tail is still borrowed by the
-                                // probe list) and dump both after the
-                                // borrow ends, below.
-                                restore_failure = Some((e.into(), engine.recent_events()));
-                                break;
-                            }
-                        };
-                        engine.enable_event_log(FLIGHT_KEEP_EVENTS);
-                        // Execution knobs live outside the checkpoint:
-                        // the codec decodes `threads: 1`, so re-apply the
-                        // spec's lane count (the trace is bit-identical
-                        // at every value, so this cannot fork the run).
-                        engine.set_threads(spec.threads);
-                        engine.note_queue_high_water(prior_high_water);
-                        if opts.trace_spans.is_some() {
-                            engine.arm_span_recording();
-                        }
-                        if let Some(rl) = runlog.as_mut() {
-                            rl.note_restore(split);
-                        }
-                        checkpointed = Some(split);
-                        resume_at = None;
-                        continue;
-                    }
-                    if split <= now {
-                        resume_at = None;
-                    }
-                }
-                engine.run_until(grid_next);
-                let directives = pause(
-                    &mut engine,
-                    horizon,
-                    Phase::Pause,
-                    &mut probes,
-                    controller.as_mut(),
-                    runlog.as_mut(),
-                );
-                apply_directives(&mut engine, &directives);
-                if done(&engine) {
-                    completed_at = Some(engine.now());
-                    break;
-                }
-            }
-            if restore_failure.is_none() {
-                pause(
-                    &mut engine,
-                    horizon,
-                    Phase::Finish,
-                    &mut probes,
-                    None,
-                    runlog.as_mut(),
-                );
+                SessionStep::Finished => break,
             }
         }
-        if let Some((err, events)) = restore_failure {
-            let dump = dump_flight(&telemetry.recent(), &events);
-            if let Some(w) = opts.flight_dump.as_deref_mut() {
-                // Best-effort: the run already failed, and the caller
-                // gets the underlying error either way.
-                let _ = w.write_all(dump.as_bytes());
-                let _ = w.flush();
-            }
-            eprintln!(
-                "scenario {}: checkpoint cycle failed at the split; \
-                 flight recorder follows\n{dump}",
-                spec.name,
-            );
-            return Err(err);
-        }
-        if let Some(spans) = opts.trace_spans.as_deref_mut() {
-            spans.extend(engine.take_spans());
-        }
-        if let Some(w) = opts.flight_dump.as_deref_mut() {
-            let dump = dump_flight(&telemetry.recent(), &engine.recent_events());
-            if let Err(e) = w.write_all(dump.as_bytes()).and_then(|()| w.flush()) {
-                return Err(ScenarioError::RunLog(format!("flight dump: {e}")));
-            }
-        }
-        // Channel-side scan totals come straight off the backend's sink.
-        // After a restore the backend was rebuilt, so (like the telemetry
-        // series) these cover the post-split portion only.
-        let scan_stats = engine.backend().telemetry().map(|t| ScanStatsReport {
-            scans: t.get(Counter::RowsBuilt),
-            pairs: t.get(Counter::RowPairs),
-            row_hits: t.get(Counter::RowHits),
-        });
-        let stats = engine.stats();
-        let metrics = metrics.into_collector().finish(
-            stats,
-            horizon,
-            prr(&engine),
-            completed_at,
-            wall_start.elapsed(),
-            monitor.map(|m| m.into_samples()).unwrap_or_default(),
-            windowed_prr
-                .map(WindowedPrr::into_samples)
-                .unwrap_or_default(),
-            telemetry.into_samples(),
-            scan_stats,
-            spec.threads,
-            engine.backend().channel_signature(),
-        );
-        let report = ScenarioReport {
-            digest: digest.into_digest(spec.name.clone(), completed_at),
-            metrics,
-            nodes: engine.len(),
-            checkpointed,
-        };
-        if let Some(mut rl) = runlog {
-            rl.finish(&report);
-            if let Some(e) = rl.take_error() {
-                return Err(ScenarioError::RunLog(e));
-            }
-        }
-        Ok(report)
+        session.finish()
     }
-}
-
-/// Windows of pair-level traffic the [`WindowedPrr`] tracker retains
-/// for windowed per-pair queries (the report series is unbounded; this
-/// only caps the tracker's memory).
-const PRR_KEEP_WINDOWS: usize = 8;
-
-/// Pause-grid samples the flight recorder retains (the report series is
-/// unbounded; this only caps the crash-dump tail).
-const FLIGHT_KEEP_SAMPLES: usize = 32;
-
-/// Dispatched events the engine-side flight-recorder ring retains.
-const FLIGHT_KEEP_EVENTS: usize = 64;
-
-/// Which probe callback a pause dispatches.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Start,
-    Pause,
-    Finish,
-}
-
-/// Shows every probe the same [`PauseCtx`] (assembled once by
-/// [`decay_engine::probe::with_pause`], the shared single source of
-/// that context) and collects the controller's grid-aligned directives
-/// (pass `None` to suppress decisions — off-grid split pauses, the
-/// final drain). The context borrows the engine only inside this call,
-/// so the caller applies the returned directives afterwards.
-fn pause<B: EventBehavior>(
-    engine: &mut Engine<B>,
-    horizon: Tick,
-    phase: Phase,
-    probes: &mut [&mut dyn Probe],
-    controller: Option<&mut AdaptiveContention>,
-    runlog: Option<&mut RunLogProbe<'_>>,
-) -> Vec<Directive> {
-    decay_engine::probe::with_pause(engine, horizon, |ctx| {
-        for p in probes.iter_mut() {
-            match phase {
-                Phase::Start => p.on_start(ctx),
-                Phase::Pause => p.on_pause(ctx),
-                Phase::Finish => p.on_finish(ctx),
-            }
-        }
-        let directives = match controller {
-            Some(c) if phase != Phase::Finish => c.decide(ctx),
-            _ => Vec::new(),
-        };
-        // The runlog narrates last, after the probes have observed and
-        // the controller has decided, so the emitted record can carry
-        // this pause's directives alongside its sampled state.
-        if let Some(rl) = runlog {
-            let run_phase = match phase {
-                Phase::Start => RunPhase::Start,
-                Phase::Pause => RunPhase::Pause,
-                Phase::Finish => RunPhase::Finish,
-            };
-            rl.observe(run_phase, ctx, &directives);
-        }
-        directives
-    })
-}
-
-/// Delivered required pairs of a broadcast run (the completion check).
-fn covered_pairs(engine: &Engine<EventBroadcaster>, required: &[Vec<NodeId>]) -> usize {
-    required
-        .iter()
-        .enumerate()
-        .map(|(u, receivers)| {
-            receivers
-                .iter()
-                .filter(|&&z| engine.behavior(z).has_heard(NodeId::new(u)))
-                .count()
-        })
-        .sum()
 }

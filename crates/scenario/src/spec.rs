@@ -1070,6 +1070,27 @@ const SPEC_FIELDS: &[&str] = &[
     "threads",
 ];
 
+/// FNV tag domain-separating [`spec_signature`] from the other
+/// [`signature_hash`](decay_engine::probe::signature_hash) users
+/// (controller and channel signatures).
+const SPEC_SIG_TAG: u64 = 0x5350_4543_5349_4731; // "SPECSIG1"
+
+/// FNV-1a fingerprint of the spec's *trace-defining* configuration:
+/// the canonical compact JSON with the `backend` and `threads` keys
+/// removed, because both are execution knobs the determinism contract
+/// promises cannot change the run. Two specs with equal signatures
+/// must produce byte-identical runlogs — which is also what makes the
+/// signature the [`ScenarioCache`](crate::ScenarioCache) key: a cached
+/// [`CompiledScenario`](crate::CompiledScenario) is reusable across
+/// every backend and lane count.
+pub fn spec_signature(spec: &ScenarioSpec) -> u64 {
+    let mut v = spec.to_json();
+    if let JsonValue::Object(pairs) = &mut v {
+        pairs.retain(|(k, _)| k != "backend" && k != "threads");
+    }
+    decay_engine::probe::signature_hash(SPEC_SIG_TAG, v.compact().as_bytes())
+}
+
 impl ScenarioSpec {
     /// Serializes the spec to a [`JsonValue`] (field order is fixed, so
     /// output is byte-stable).

@@ -85,7 +85,19 @@ impl BackendSpec {
     /// the decay closure, so construction stays `O(n)` even for seeded
     /// random deployments.
     pub fn build(&self, topology: &TopologySpec) -> Box<dyn DecayBackend> {
-        let points: Arc<Vec<Point>> = Arc::new(topology.points());
+        self.build_with_points(topology, Arc::new(topology.points()))
+    }
+
+    /// [`Self::build`] reusing an already-deployed point set (it must be
+    /// `topology.points()` — a [`CompiledScenario`](crate::CompiledScenario)
+    /// caches exactly that). Rebuilding a backend for a checkpoint
+    /// restore or a repeated run then shares the deployment instead of
+    /// regenerating it.
+    pub fn build_with_points(
+        &self,
+        topology: &TopologySpec,
+        points: Arc<Vec<Point>>,
+    ) -> Box<dyn DecayBackend> {
         let n = points.len();
         let alpha = topology.alpha();
         let f = {

@@ -1,0 +1,322 @@
+//! Session-driver conformance: a [`RunSession`] driven externally —
+//! stepped pause by pause, parked to bytes at an arbitrary split, and
+//! resumed — must be byte-identical (runlog, digest, ζ(t), windowed
+//! PRR, latency histogram) to the one-shot [`ScenarioRunner`] drivers,
+//! on every backend and lane count. This is the contract that makes
+//! external schedulers (preemption, migration across threads) free.
+
+use std::sync::Arc;
+
+use decay_channel::ZetaSample;
+use decay_distributed::ContentionStrategy;
+use decay_engine::{ChurnConfig, JamSchedule, LatencyModel, PrrWindowSample, Tick};
+use decay_netsim::ReceptionModel;
+use decay_scenario::{
+    runlog, AdaptiveSpec, BackendSpec, ChannelSpec, CompiledScenario, FadingSpec, MobilitySpec,
+    MonitorSpec, ProtocolSpec, RunOptions, RunSession, ScenarioCache, ScenarioReport,
+    ScenarioRunner, ScenarioSpec, SessionStep, ShadowingSpec, SinrSpec, TopologySpec,
+};
+use proptest::prelude::*;
+
+/// A spec with every observable stream active: temporal channel, ζ(t)
+/// monitor, windowed PRR, and (optionally) the adaptive controller.
+fn observed_spec(protocol: u8, seed: u64, adaptive: bool, threads: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "sessioned".to_string(),
+        seed,
+        horizon: 260,
+        threads,
+        check_interval: 16,
+        topology: TopologySpec::Line {
+            n: 18,
+            spacing: 1.0,
+            alpha: 2.2,
+        },
+        backend: BackendSpec::Lazy,
+        sinr: SinrSpec {
+            beta: 1.0,
+            noise: 0.05,
+        },
+        reception: ReceptionModel::Rayleigh,
+        protocol: match protocol % 3 {
+            0 => ProtocolSpec::Announce {
+                probability: 0.2,
+                power: 1.0,
+            },
+            1 => ProtocolSpec::Broadcast {
+                neighborhood_decay: 4.0,
+                probability: Some(0.1),
+                power: 1.0,
+            },
+            _ => ProtocolSpec::Contention {
+                links: vec![],
+                strategy: ContentionStrategy::Fixed { p: 0.15 },
+            },
+        },
+        churn: Some(ChurnConfig {
+            interval: 5,
+            leave_prob: 0.25,
+            join_prob: 0.75,
+        }),
+        faults: vec![],
+        jamming: JamSchedule::Periodic { period: 7 },
+        latency: LatencyModel::Jittered { base: 1, jitter: 3 },
+        reach_decay: Some(100.0),
+        top_k: Some(6),
+        channel: Some(ChannelSpec {
+            block: 8,
+            mobility: Some(MobilitySpec::Waypoint {
+                speed: 0.4,
+                pause: 1,
+                seed: 51,
+            }),
+            shadowing: Some(ShadowingSpec {
+                sigma_db: 3.0,
+                corr_dist: 3.0,
+                time_corr: 0.6,
+                seed: 52,
+            }),
+            fading: Some(FadingSpec { seed: 53 }),
+            trace: None,
+            trace_path: None,
+            monitor: Some(MonitorSpec {
+                interval: 32,
+                max_nodes: 10,
+            }),
+        }),
+        prr_window: Some(32),
+        adaptive: adaptive.then_some(AdaptiveSpec {
+            interval: 16,
+            max_nodes: 10,
+            base_p: 0.12,
+            zeta_ref: 2.2,
+            floor: 0.02,
+            cap: 0.4,
+        }),
+    }
+}
+
+fn backend_for(which: u8) -> BackendSpec {
+    match which % 3 {
+        0 => BackendSpec::Dense,
+        1 => BackendSpec::Lazy,
+        _ => BackendSpec::Tiled {
+            tile_size: 5,
+            max_tiles: 3,
+        },
+    }
+}
+
+/// The deterministic slice of a report the conformance checks compare
+/// (wall-clock rates, post-split scan/telemetry coverage, and the lane
+/// count are execution-dependent by design).
+#[allow(clippy::type_complexity)]
+fn deterministic_view(
+    r: &ScenarioReport,
+) -> (
+    &decay_scenario::TraceDigest,
+    &Vec<ZetaSample>,
+    &Vec<PrrWindowSample>,
+    f64,
+    Option<Tick>,
+    &[u64; decay_scenario::LATENCY_BUCKETS],
+    u64,
+) {
+    (
+        &r.digest,
+        &r.metrics.zeta_series,
+        &r.metrics.prr_windows,
+        r.metrics.prr,
+        r.metrics.completed_at,
+        &r.metrics.latency_hist,
+        r.metrics.channel_signature,
+    )
+}
+
+/// Drives a session by hand: step to every pause, and at the requested
+/// breakpoint run a full checkpoint + park + resume cycle through
+/// bytes. Returns the report, the runlog text, and the parked bytes.
+fn drive_session(
+    spec: ScenarioSpec,
+    backend: BackendSpec,
+    split: Tick,
+) -> (ScenarioReport, String, Option<Vec<u8>>) {
+    let compiled = Arc::new(CompiledScenario::compile(spec).expect("compiles"));
+    let mut log: Vec<u8> = Vec::new();
+    let mut parked_bytes = None;
+    let report = {
+        let mut session = RunSession::new(
+            Arc::clone(&compiled),
+            RunOptions {
+                backend: Some(backend),
+                runlog: Some(&mut log),
+                ..RunOptions::default()
+            },
+            &mut [],
+        )
+        .expect("session opens");
+        session.set_breakpoint(split);
+        loop {
+            match session.step_to_next_pause() {
+                SessionStep::Paused => {}
+                SessionStep::Breakpoint => {
+                    assert_eq!(session.now(), split, "breakpoint paused off-split");
+                    // A passive snapshot and a park must serialize the
+                    // same state.
+                    let peek = session.checkpoint();
+                    let bytes = session.park();
+                    assert_eq!(peek, bytes, "checkpoint() and park() bytes diverge");
+                    assert!(session.is_parked());
+                    session.resume(&bytes).expect("resume succeeds");
+                    assert!(!session.is_parked());
+                    parked_bytes = Some(bytes);
+                }
+                SessionStep::Finished => break,
+            }
+        }
+        session.finish().expect("finish succeeds")
+    };
+    // `parked_bytes` stays `None` when the run completed before the
+    // split — the one-shot driver reports `checkpointed: None` there
+    // too, and the caller checks the two agree.
+    (
+        report,
+        String::from_utf8(log).expect("runlog is utf-8"),
+        parked_bytes,
+    )
+}
+
+/// The uninterrupted one-shot reference run, with runlog attached.
+fn reference_run(spec: ScenarioSpec, backend: BackendSpec) -> (ScenarioReport, String) {
+    let mut log: Vec<u8> = Vec::new();
+    let report = ScenarioRunner::new(spec)
+        .expect("spec compiles")
+        .run_with_options(
+            RunOptions {
+                backend: Some(backend),
+                runlog: Some(&mut log),
+                ..RunOptions::default()
+            },
+            &mut [],
+        )
+        .expect("reference run succeeds");
+    (report, String::from_utf8(log).expect("runlog is utf-8"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An externally stepped session — parked to bytes at an arbitrary
+    /// split and resumed — reproduces the uninterrupted dense
+    /// single-lane reference byte for byte: runlog (modulo the resume
+    /// marker), digest, ζ(t), windowed PRR, and latency histogram.
+    /// The checkpoint bytes themselves are pinned identical across
+    /// backend and lane-count choices.
+    #[test]
+    fn stepped_session_matches_oneshot_driver(
+        protocol in 0u8..3,
+        seed in 0u64..1_000,
+        adaptive_knob in 0u8..2,
+        backend_a in 0u8..3,
+        backend_b in 0u8..3,
+        split in 1u64..260,
+    ) {
+        let adaptive = adaptive_knob == 1;
+        let (reference, ref_log) =
+            reference_run(observed_spec(protocol, seed, adaptive, 1), BackendSpec::Dense);
+
+        // Axis A: arbitrary backend, single lane.
+        let (run_a, log_a, bytes_a) =
+            drive_session(observed_spec(protocol, seed, adaptive, 1), backend_for(backend_a), split);
+        // Axis B: independently chosen backend, four lanes.
+        let (run_b, log_b, bytes_b) =
+            drive_session(observed_spec(protocol, seed, adaptive, 4), backend_for(backend_b), split);
+
+        for (run, bytes) in [(&run_a, &bytes_a), (&run_b, &bytes_b)] {
+            prop_assert_eq!(deterministic_view(run), deterministic_view(&reference));
+            prop_assert_eq!(run.nodes, reference.nodes);
+            // The cycle runs unless the goal was reached first — and
+            // completion is deterministic, so both sessions agree.
+            prop_assert_eq!(run.checkpointed, bytes.as_ref().map(|_| split));
+        }
+        prop_assert_eq!(run_a.checkpointed, run_b.checkpointed);
+        prop_assert_eq!(reference.checkpointed, None);
+
+        // The runlog byte stream is session-, backend-, and
+        // lane-invariant once the resume marker is normalized away.
+        let ref_norm = runlog::normalize(&ref_log).expect("reference log parses");
+        prop_assert_eq!(&runlog::normalize(&log_a).expect("log parses"), &ref_norm);
+        prop_assert_eq!(&runlog::normalize(&log_b).expect("log parses"), &ref_norm);
+
+        // Checkpoint bytes are a pure function of (spec, tick):
+        // identical across backend and lane-count choices.
+        prop_assert_eq!(&bytes_a, &bytes_b);
+    }
+}
+
+/// The checkpoint codec deliberately excludes execution knobs and
+/// decodes single-lane; [`RunSession::resume`] is the one place the
+/// session's lane count is re-applied. A parked-then-resumed session
+/// must come back with the spec's (or the override's) lanes, not the
+/// codec default.
+#[test]
+fn resume_reapplies_lane_count() {
+    for (spec_threads, override_threads, want) in [(4, None, 4), (1, Some(4), 4), (2, Some(3), 3)] {
+        let spec = observed_spec(0, 11, false, spec_threads);
+        let compiled = Arc::new(CompiledScenario::compile(spec).expect("compiles"));
+        let mut session = RunSession::new(
+            Arc::clone(&compiled),
+            RunOptions {
+                threads: override_threads,
+                ..RunOptions::default()
+            },
+            &mut [],
+        )
+        .expect("session opens");
+        assert_eq!(session.engine_threads(), want);
+        session.set_breakpoint(24);
+        loop {
+            match session.step_to_next_pause() {
+                SessionStep::Paused => {}
+                SessionStep::Breakpoint => break,
+                SessionStep::Finished => panic!("hit the horizon before the breakpoint"),
+            }
+        }
+        let bytes = session.park();
+        session.resume(&bytes).expect("resume succeeds");
+        assert_eq!(
+            session.engine_threads(),
+            want,
+            "resume dropped the session's lane count"
+        );
+        while session.step_to_next_pause() != SessionStep::Finished {}
+        session.finish().expect("finish succeeds");
+    }
+}
+
+/// A warm [`ScenarioCache`] hit shares the compilation — points and
+/// plan untouched, `compile_hits` bumped — and the shared compilation
+/// runs to the same digest as the cold one.
+#[test]
+fn warm_cache_skips_recompilation() {
+    let cache = ScenarioCache::new(4);
+    let spec = observed_spec(1, 9, true, 1);
+    let cold = cache.compile(spec.clone()).expect("cold compile");
+    assert_eq!(cache.compile_hits(), 0);
+    let first = ScenarioRunner::from_compiled(Arc::clone(&cold))
+        .run()
+        .expect("cold run");
+
+    let warm = cache.compile(spec).expect("warm compile");
+    assert_eq!(cache.compile_hits(), 1, "second submission must hit");
+    assert!(
+        Arc::ptr_eq(&cold, &warm),
+        "warm hit rebuilt the compilation"
+    );
+    assert!(
+        Arc::ptr_eq(cold.points(), warm.points()),
+        "warm hit redeployed the topology"
+    );
+    let second = ScenarioRunner::from_compiled(warm).run().expect("warm run");
+    assert_eq!(first.digest, second.digest);
+}

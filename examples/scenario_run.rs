@@ -90,8 +90,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spans = Vec::new();
     let report = runner.run_with_options(
         RunOptions {
-            runlog: runlog_file.as_mut().map(|f| f as &mut dyn std::io::Write),
-            flight_dump: flight_file.as_mut().map(|f| f as &mut dyn std::io::Write),
+            runlog: runlog_file
+                .as_mut()
+                .map(|f| f as &mut (dyn std::io::Write + Send)),
+            flight_dump: flight_file
+                .as_mut()
+                .map(|f| f as &mut (dyn std::io::Write + Send)),
             trace_spans: trace_path.is_some().then_some(&mut spans),
             ..RunOptions::default()
         },

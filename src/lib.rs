@@ -81,9 +81,10 @@ pub mod prelude {
         PrrTracker, ReceptionModel, Simulator, SlotContext,
     };
     pub use decay_scenario::{
-        chrome_trace_json, runlog, AdaptiveSpec, BackendSpec, ChannelSpec, DigestProbe,
-        MetricsProbe, MetricsReport, MobilitySpec, MonitorSpec, ProtocolSpec, RunLog, RunOptions,
-        ScenarioReport, ScenarioRunner, ScenarioSpec, TopologySpec, TraceDigest,
+        chrome_trace_json, runlog, AdaptiveSpec, BackendSpec, ChannelSpec, CompiledScenario,
+        DigestProbe, MetricsProbe, MetricsReport, MobilitySpec, MonitorSpec, ProtocolSpec, RunLog,
+        RunOptions, RunSession, ScenarioCache, ScenarioReport, ScenarioRunner, ScenarioSpec,
+        SessionStep, TopologySpec, TraceDigest,
     };
     pub use decay_sinr::{
         inductive_independence, sample_feasible_sets, AffectanceMatrix, ConflictGraph, Link,
