@@ -176,6 +176,7 @@ fn measure(
     if record_spans {
         engine.arm_span_recording();
     }
+    #[allow(clippy::disallowed_methods)] // report-only harness timing
     let start = Instant::now();
     engine.run_until(horizon);
     let secs = start.elapsed().as_secs_f64().max(1e-9);
@@ -390,6 +391,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cache = ScenarioCache::new(4);
         let submit = || {
             let spec = ScenarioSpec::from_json_str(spec_json).expect("bench spec parses");
+            #[allow(clippy::disallowed_methods)] // report-only harness timing
             let start = Instant::now();
             let compiled = cache.compile(spec).expect("bench spec compiles");
             let report = ScenarioRunner::from_compiled(compiled)

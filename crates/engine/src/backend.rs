@@ -335,6 +335,8 @@ struct Tile {
 
 /// Cache bookkeeping shared behind a mutex.
 struct TileCache {
+    // decay-lint: allow(hash-iteration) — lookup-only: tiles are read
+    // and evicted by key; iteration order never reaches a computation.
     tiles: HashMap<(usize, usize), Tile>,
     /// FIFO order for eviction.
     order: VecDeque<(usize, usize)>,

@@ -897,6 +897,8 @@ struct ResolveView<'a> {
     txs: &'a [(NodeId, f64, u64)],
     modes: &'a [NodeMode],
     faults: &'a FaultPlan,
+    // decay-lint: allow(hash-iteration) — lookup-only: shards only call
+    // `.contains`; nothing ever iterates the set.
     transmitting: &'a HashSet<NodeId>,
     now: Tick,
     reception: ReceptionModel,
@@ -1690,6 +1692,8 @@ impl<B: EventBehavior> Engine<B> {
         self.telemetry.add(Counter::ReachScans, txs.len() as u64);
         self.telemetry.add(
             Counter::SinrPairs,
+            // decay-lint: allow(unordered-reduce) — integer addition over
+            // u64 counts is order-free; no floats involved.
             recv.iter().map(|r| r.len() as u64).sum(),
         );
 
@@ -1723,8 +1727,9 @@ impl<B: EventBehavior> Engine<B> {
         };
         drop(recv);
 
-        // O(1) transmitter-exclusion lookups (only membership is
-        // queried, so hash order cannot leak into the trace).
+        // decay-lint: allow(hash-iteration) — lookup-only: O(1)
+        // transmitter-exclusion membership; hash order cannot leak into
+        // the trace because the set is never iterated.
         let transmitting: HashSet<NodeId> = txs.iter().map(|&(t, _, _)| t).collect();
         let view = ResolveView {
             txs,

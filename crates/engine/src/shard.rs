@@ -116,8 +116,10 @@ impl ShardPool {
     /// re-raised here (after the barrier, so the borrowed job is never
     /// left visible to a worker).
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
-        // Erase the borrow's lifetime; the completion barrier below is
-        // what keeps the pointer valid for as long as workers hold it.
+        // SAFETY: the lifetime erasure is sound because the completion
+        // barrier below keeps `f` borrowed for as long as any worker can
+        // hold the pointer — broadcast() does not return until every
+        // lane has finished and the job slot has been cleared.
         let job = JobPtr(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync + '_),

@@ -1,0 +1,594 @@
+//! A lightweight Rust lexer: enough structure for determinism linting,
+//! nothing more.
+//!
+//! Two passes over each file:
+//!
+//! 1. **Strip**: comments and the *contents* of string/char literals are
+//!    removed from a per-line "code" view (so a rule matching
+//!    `thread_rng` can never fire on a doc comment or a fixture string),
+//!    while comment text is kept separately for annotation parsing
+//!    (`// decay-lint: allow(...)`, `// SAFETY:`).
+//! 2. **Regions**: brace/paren/bracket depth is tracked to resolve
+//!    `#[cfg(test)]` and `#[cfg(feature = "telemetry-timing")]` regions
+//!    (attribute → the `{ ... }` block or `;`/`,`-terminated item it
+//!    gates) and the current `mod` path, so rules can exempt test code
+//!    and timing-gated code without a real parser.
+//!
+//! Known, accepted approximations (this is a lint, not a compiler):
+//! `#[cfg(...)]` attributes are classified from their own source line
+//! (multi-line attributes gate nothing), and a `cfg`-gated `struct`'s
+//! region ends at its closing brace rather than covering later impls.
+
+/// One source line, stripped and classified.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// The line with comments removed and literal contents blanked.
+    pub code: String,
+    /// The original line, verbatim.
+    pub raw: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` region (or a file-level test context).
+    pub in_test: bool,
+    /// Inside a `#[cfg(feature = "telemetry-timing")]` region.
+    pub in_timing: bool,
+    /// `::`-joined path of enclosing inline modules, `""` at top level.
+    pub module_path: String,
+}
+
+impl LineInfo {
+    /// Whether the stripped code on this line is blank.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// One `// decay-lint: allow(<rules>) — <justification>` annotation.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// 1-based code line the annotation suppresses (same line for a
+    /// trailing comment, the next non-blank code line otherwise).
+    pub target_line: usize,
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Text after the separator; empty means the annotation is bare.
+    pub justification: String,
+}
+
+/// A lexed file: stripped lines plus parsed allow annotations.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    pub lines: Vec<LineInfo>,
+    pub allows: Vec<AllowSite>,
+}
+
+impl FileModel {
+    /// Lexes `source` as the file at `rel_path`.
+    pub fn lex(rel_path: &str, source: &str) -> FileModel {
+        let stripped = strip(source);
+        let raws: Vec<&str> = source.lines().collect();
+        let merged: Vec<StrippedLine> = stripped
+            .into_iter()
+            .enumerate()
+            .map(|(i, (code, comment))| StrippedLine {
+                code,
+                comment,
+                raw: raws.get(i).unwrap_or(&"").to_string(),
+            })
+            .collect();
+        let lines = assign_regions(merged);
+        let allows = parse_allows(&lines);
+        FileModel {
+            rel_path: rel_path.replace('\\', "/"),
+            lines,
+            allows,
+        }
+    }
+
+    /// 1-based accessor (panics on 0 or out of range).
+    pub fn line(&self, n: usize) -> &LineInfo {
+        &self.lines[n - 1]
+    }
+}
+
+struct StrippedLine {
+    code: String,
+    comment: String,
+    raw: String,
+}
+
+/// Pass 1: per-line `(code, comment)` with literals blanked.
+fn strip(source: &str) -> Vec<(String, String)> {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !prev_is_ident(&chars, i)
+                    && raw_str_hashes(&chars, i).is_some()
+                {
+                    let hashes = raw_str_hashes(&chars, i).expect("checked above");
+                    let mut j = i;
+                    while chars.get(j) != Some(&'"') {
+                        j += 1;
+                    }
+                    code.push('"');
+                    code.push('"');
+                    state = State::RawStr(hashes);
+                    i = j + 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            i += 1;
+                        }
+                        if chars.get(i) == Some(&'\'') {
+                            i += 1; // past the closing quote; a newline stays
+                        }
+                        code.push_str("' '");
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push('\''); // lifetime
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && next.is_some() {
+                    // A `\<newline>` continuation must leave the newline
+                    // for the top-of-loop line emitter, or every line
+                    // after it mis-numbers.
+                    i += if next == Some('\n') { 1 } else { 2 };
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_str(&chars, i, hashes) {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push((code, comment));
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If position `i` (at `r`, or `b` before `r`) starts a raw string
+/// literal, returns its hash count.
+fn raw_str_hashes(chars: &[char], mut i: usize) -> Option<u32> {
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None // raw identifier like r#fn, or a plain `r` / `b` ident
+    }
+}
+
+fn closes_raw_str(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// What a `#[cfg(...)]` attribute gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CfgKind {
+    Test,
+    Timing,
+    Neutral,
+}
+
+/// Classifies the inner text of a `cfg(...)` attribute. `-` stays a
+/// word character so `feature = "slow-tests"` never reads as `test`.
+fn classify_cfg(inner: &str) -> CfgKind {
+    let inner = inner.trim();
+    if inner.starts_with("not") {
+        return CfgKind::Neutral;
+    }
+    for w in inner.split(|c: char| !(c.is_alphanumeric() || c == '-' || c == '_')) {
+        if w == "test" {
+            return CfgKind::Test;
+        }
+        if w == "telemetry-timing" {
+            return CfgKind::Timing;
+        }
+    }
+    CfgKind::Neutral
+}
+
+/// Extracts the balanced-paren inner of the first `#[cfg(` on `raw`.
+fn cfg_inner(raw: &str) -> Option<&str> {
+    let start = raw.find("#[cfg(")? + "#[cfg(".len();
+    let mut depth = 1;
+    for (off, c) in raw[start..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&raw[start..start + off]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The module name if the stripped line declares an inline module.
+fn mod_decl_name(code: &str) -> Option<String> {
+    let tokens: Vec<&str> = code.split_whitespace().collect();
+    for (i, t) in tokens.iter().enumerate() {
+        if *t == "mod" {
+            let name = tokens.get(i + 1)?;
+            let name: String = name
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Pass 2: cfg-region and mod-path resolution via nesting depth.
+fn assign_regions(stripped: Vec<StrippedLine>) -> Vec<LineInfo> {
+    struct Region {
+        kind: CfgKind,
+        baseline: i64,
+    }
+    struct ModFrame {
+        name: String,
+        baseline: i64,
+    }
+    let mut depth: i64 = 0;
+    let mut regions: Vec<Region> = Vec::new();
+    let mut mods: Vec<ModFrame> = Vec::new();
+    // Attributes waiting for the item they gate.
+    let mut pending: Vec<CfgKind> = Vec::new();
+    let mut pending_baseline: i64 = 0;
+    // A `mod <name>` waiting for its `{` (cleared by `;`).
+    let mut pending_mod: Option<(String, i64)> = None;
+
+    let mut out = Vec::new();
+    for sl in stripped {
+        let mut saw_test = regions.iter().any(|r| r.kind == CfgKind::Test);
+        let mut saw_timing = regions.iter().any(|r| r.kind == CfgKind::Timing);
+        let module_path = mods
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect::<Vec<_>>()
+            .join("::");
+
+        // The stripped code proves a real attribute exists (a comment
+        // can't reach it); the raw line still has the feature string
+        // the classifier needs.
+        if sl.code.contains("#[cfg(") {
+            if pending.is_empty() {
+                pending_baseline = depth;
+            }
+            pending.push(classify_cfg(cfg_inner(&sl.raw).unwrap_or("")));
+        }
+        if pending.contains(&CfgKind::Test) {
+            saw_test = true;
+        }
+        if pending.contains(&CfgKind::Timing) {
+            saw_timing = true;
+        }
+
+        if pending_mod.is_none() && !sl.code.contains("#[cfg(") {
+            if let Some(name) = mod_decl_name(&sl.code) {
+                pending_mod = Some((name, depth));
+            }
+        }
+
+        for c in sl.code.chars() {
+            match c {
+                '{' | '(' | '[' => {
+                    if c == '{' {
+                        if !pending.is_empty() && depth == pending_baseline {
+                            for kind in pending.drain(..) {
+                                regions.push(Region {
+                                    kind,
+                                    baseline: depth,
+                                });
+                            }
+                        }
+                        if let Some((name, base)) = pending_mod.take() {
+                            if depth == base {
+                                mods.push(ModFrame {
+                                    name,
+                                    baseline: depth,
+                                });
+                            }
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' | ')' | ']' => {
+                    depth -= 1;
+                    regions.retain(|r| depth > r.baseline);
+                    mods.retain(|m| depth > m.baseline);
+                }
+                ';' | ',' => {
+                    if !pending.is_empty() && depth == pending_baseline {
+                        // The attribute gated a braceless item (a use,
+                        // a struct-literal field init, ...) ending here.
+                        pending.clear();
+                    }
+                    if c == ';' {
+                        pending_mod = None; // `mod name;` — out-of-line
+                    }
+                }
+                _ => {}
+            }
+            if regions.iter().any(|r| r.kind == CfgKind::Test) {
+                saw_test = true;
+            }
+            if regions.iter().any(|r| r.kind == CfgKind::Timing) {
+                saw_timing = true;
+            }
+        }
+
+        out.push(LineInfo {
+            code: sl.code,
+            raw: sl.raw,
+            comment: sl.comment,
+            in_test: saw_test,
+            in_timing: saw_timing,
+            module_path,
+        });
+    }
+    out
+}
+
+/// The annotation marker. Rules are named inside `allow(...)`; the
+/// justification after the separator is mandatory (enforced by the
+/// rule engine, which reports bare annotations). The directive must
+/// *start* its comment — prose that merely mentions the marker (like
+/// this doc comment) is not an annotation.
+pub const ALLOW_MARKER: &str = "decay-lint: allow(";
+
+fn parse_allows(lines: &[LineInfo]) -> Vec<AllowSite> {
+    let mut allows = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let n = idx + 1;
+        // Strip the doc-comment sigil (`/` or `!` after the consumed
+        // `//`) and leading space, then require the directive up front.
+        let content = line.comment.trim_start_matches(['/', '!']).trim_start();
+        if !content.starts_with(ALLOW_MARKER) {
+            continue;
+        }
+        let after = &content[ALLOW_MARKER.len()..];
+        let (inner, rest) = match after.find(')') {
+            Some(close) => (&after[..close], &after[close + 1..]),
+            None => (after, ""),
+        };
+        let rules: Vec<String> = inner
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let justification = rest
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', ' '])
+            .trim()
+            .to_string();
+        let target_line = if !line.is_code_blank() {
+            n
+        } else {
+            // Attach to the next non-blank code line.
+            lines[idx + 1..]
+                .iter()
+                .position(|l| !l.is_code_blank())
+                .map(|off| n + 1 + off)
+                .unwrap_or(n)
+        };
+        allows.push(AllowSite {
+            line: n,
+            target_line,
+            rules,
+            justification,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src =
+            "let x = \"thread_rng\"; // Instant::now\nlet y = 1; /* SystemTime */ let z = 2;\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(!m.line(1).code.contains("thread_rng"));
+        assert!(!m.line(1).code.contains("Instant"));
+        assert!(m.line(1).comment.contains("Instant::now"));
+        assert!(m.line(2).code.contains("let z = 2;"));
+        assert!(!m.line(2).code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = "let s = r#\"Instant::now()\"#;\nlet c = '\\n';\nlet l: &'static str = \"x\";\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(!m.line(1).code.contains("Instant"));
+        assert!(m.line(2).code.contains("let c ="));
+        assert!(m.line(3).code.contains("'static"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_block() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(!m.line(1).in_test);
+        assert!(m.line(2).in_test, "attribute line itself is gated");
+        assert!(m.line(4).in_test);
+        assert!(!m.line(6).in_test);
+        assert_eq!(m.line(4).module_path, "tests");
+    }
+
+    #[test]
+    fn timing_region_covers_fn_and_field_init() {
+        let src = concat!(
+            "#[cfg(feature = \"telemetry-timing\")]\n",
+            "fn span_epoch() {\n",
+            "    now();\n",
+            "}\n",
+            "fn build() -> T {\n",
+            "    T {\n",
+            "        #[cfg(feature = \"telemetry-timing\")]\n",
+            "        at: now(),\n",
+            "        other: 1,\n",
+            "    }\n",
+            "}\n",
+        );
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(m.line(3).in_timing);
+        assert!(!m.line(5).in_timing);
+        assert!(m.line(8).in_timing, "field init is gated");
+        assert!(!m.line(9).in_timing, "next field is not");
+    }
+
+    #[test]
+    fn cfg_not_timing_is_not_a_timing_region() {
+        let src = "#[cfg(not(feature = \"telemetry-timing\"))]\nfn fallback() {\n    x();\n}\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(!m.line(3).in_timing);
+    }
+
+    #[test]
+    fn slow_tests_feature_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"slow-tests\")]\nfn e2e() {\n    x();\n}\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(!m.line(3).in_test);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"first \\\n    second\";\nlet t = 1;\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert_eq!(m.lines.len(), src.lines().count());
+        assert!(m.line(3).code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn marker_mentioned_mid_comment_is_not_an_annotation() {
+        let src = "// see the decay-lint: allow(...) syntax in the README\nlet x = 1;\n";
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert!(m.allows.is_empty());
+    }
+
+    #[test]
+    fn allow_annotations_parse_with_targets() {
+        let src = concat!(
+            "// decay-lint: allow(wall-clock) — report-only elapsed\n",
+            "let t = now();\n",
+            "let u = now(); // decay-lint: allow(wall-clock, ambient-entropy) — two rules\n",
+            "// decay-lint: allow(wall-clock)\n",
+            "let v = now();\n",
+        );
+        let m = FileModel::lex("crates/core/src/x.rs", src);
+        assert_eq!(m.allows.len(), 3);
+        assert_eq!(m.allows[0].target_line, 2);
+        assert_eq!(m.allows[0].rules, vec!["wall-clock"]);
+        assert!(m.allows[0].justification.contains("report-only"));
+        assert_eq!(m.allows[1].target_line, 3);
+        assert_eq!(m.allows[1].rules.len(), 2);
+        assert_eq!(m.allows[2].target_line, 5);
+        assert!(m.allows[2].justification.is_empty(), "bare allow");
+    }
+}

@@ -1,0 +1,141 @@
+//! Text and JSON rendering of lint results.
+//!
+//! The JSON artifact (`--json <path>`) is `decay-lint-report-v1`: a
+//! stable machine-readable record CI uploads next to the job, so a
+//! red lint step always leaves the full finding list behind.
+
+use crate::rules::{AllowReport, Violation};
+
+/// Aggregated results across the whole walk.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub allows: Vec<AllowReport>,
+}
+
+impl Report {
+    /// Human-readable rendering, grouped by file.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_file = "";
+        for v in &self.violations {
+            if v.path != last_file {
+                if !last_file.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&v.path);
+                out.push('\n');
+                last_file = &v.path;
+            }
+            let module = if v.module_path.is_empty() {
+                String::new()
+            } else {
+                format!(" (in {})", v.module_path)
+            };
+            out.push_str(&format!(
+                "  {}:{} [{}]{} {}\n      > {}\n",
+                v.path, v.line, v.rule, module, v.message, v.snippet
+            ));
+        }
+        let unused: Vec<&AllowReport> = self.allows.iter().filter(|a| !a.used).collect();
+        if !unused.is_empty() {
+            out.push_str("\nnote: allow annotations that suppressed nothing (stale?):\n");
+            for a in unused {
+                out.push_str(&format!(
+                    "  {}:{} allow({})\n",
+                    a.path,
+                    a.line,
+                    a.rules.join(", ")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\n{} violation{} across {} file{} scanned; {} allow annotation{} ({} active)\n",
+            self.violations.len(),
+            plural(self.violations.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+            self.allows.len(),
+            plural(self.allows.len()),
+            self.allows.iter().filter(|a| a.used).count(),
+        ));
+        out
+    }
+
+    /// The `decay-lint-report-v1` JSON artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"format\": \"decay-lint-report-v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"violation_count\": {},\n",
+            self.violations.len()
+        ));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"module\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.module_path),
+                json_str(&v.message),
+                json_str(&v.snippet),
+            ));
+        }
+        out.push_str("\n  ],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rules = a
+                .rules
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"rules\": [{}], \"justification\": {}, \"used\": {}}}",
+                json_str(&a.path),
+                a.line,
+                rules,
+                json_str(&a.justification),
+                a.used,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Minimal JSON string escaping (the linter is dependency-free by
+/// design, so it carries its own ten lines of escaping).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,419 @@
+//! Per-rule fixture tests: each rule catches its violation, an
+//! annotated site passes, and out-of-scope code (tests, timing-gated
+//! regions, excluded crates) is exempt.
+
+use decay_lint::rules::{
+    Config, RULE_ALLOW_SYNTAX, RULE_AMBIENT_ENTROPY, RULE_ATOMIC_ORDERING, RULE_HASH_ITERATION,
+    RULE_UNORDERED_REDUCE, RULE_UNSAFE_SAFETY, RULE_WALL_CLOCK,
+};
+use decay_lint::{lint_source, Violation};
+
+fn cfg() -> Config {
+    Config::workspace()
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_hash_decl_in_trace_crate_is_flagged() {
+    let src = "pub struct S {\n    map: HashMap<u64, u32>,\n}\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_HASH_ITERATION]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn d1_annotated_lookup_only_decl_passes() {
+    let src = concat!(
+        "pub struct S {\n",
+        "    // decay-lint: allow(hash-iteration) — lookup-only: keyed get/insert\n",
+        "    map: HashMap<u64, u32>,\n",
+        "}\n",
+    );
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert!(r.allows[0].used);
+}
+
+#[test]
+fn d1_iteration_over_tracked_binding_is_flagged_even_when_decl_is_annotated() {
+    let src = concat!(
+        "// decay-lint: allow(hash-iteration) — lookup-only: keyed access\n",
+        "let map: HashMap<u64, u32> = HashMap::new();\n",
+        "for (k, v) in map.iter() {\n",
+        "    use_it(k, v);\n",
+        "}\n",
+    );
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_HASH_ITERATION]);
+    assert_eq!(r.violations[0].line, 3, "the .iter() call site");
+}
+
+#[test]
+fn d1_for_loop_over_tracked_binding_is_flagged() {
+    let src = concat!(
+        "// decay-lint: allow(hash-iteration) — lookup-only: keyed access\n",
+        "let seen: HashSet<u64> = HashSet::new();\n",
+        "for id in &seen {\n",
+        "    use_it(id);\n",
+        "}\n",
+    );
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_HASH_ITERATION]);
+    assert_eq!(r.violations[0].line, 3);
+}
+
+#[test]
+fn d1_does_not_apply_outside_trace_affecting_crates() {
+    let src = "pub struct S {\n    map: HashMap<u64, u32>,\n}\n";
+    let r = lint_source("crates/bench/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d1_test_code_is_exempt() {
+    let src = concat!(
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    fn t() {\n",
+        "        let map: HashMap<u64, u32> = HashMap::new();\n",
+        "        for (k, _) in map.iter() {}\n",
+        "    }\n",
+        "}\n",
+    );
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_ungated_instant_now_is_flagged() {
+    let src = "fn f() {\n    let t = Instant::now();\n}\n";
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_WALL_CLOCK]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn d2_timing_gated_code_passes() {
+    let src = concat!(
+        "#[cfg(feature = \"telemetry-timing\")]\n",
+        "fn f() {\n",
+        "    let t = Instant::now();\n",
+        "}\n",
+    );
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d2_annotated_report_only_site_passes() {
+    let src = concat!(
+        "fn f() {\n",
+        "    // decay-lint: allow(wall-clock) — report-only elapsed display\n",
+        "    let t = Instant::now();\n",
+        "}\n",
+    );
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d2_excluded_crates_and_imports_are_exempt() {
+    let bench = "fn f() {\n    let t = Instant::now();\n}\n";
+    let r = lint_source("crates/bench/src/x.rs", bench, &cfg());
+    assert!(r.violations.is_empty(), "bench is report-only harness");
+
+    let import = "use std::time::Instant;\nfn f() {}\n";
+    let r = lint_source("crates/engine/src/x.rs", import, &cfg());
+    assert!(r.violations.is_empty(), "imports alone leak nothing");
+}
+
+#[test]
+fn d2_systemtime_is_flagged() {
+    let src = "fn f() -> SystemTime {\n    SystemTime::now()\n}\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert_eq!(
+        rules_of(&r.violations),
+        vec![RULE_WALL_CLOCK, RULE_WALL_CLOCK]
+    );
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_ambient_entropy_is_flagged_everywhere_even_in_tests() {
+    let src = concat!(
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    fn t() {\n",
+        "        let mut rng = thread_rng();\n",
+        "    }\n",
+        "}\n",
+    );
+    // Support files (benches, integration tests) get D3 too.
+    for path in ["crates/core/src/x.rs", "crates/bench/benches/x.rs"] {
+        let r = lint_source(path, src, &cfg());
+        assert_eq!(
+            rules_of(&r.violations),
+            vec![RULE_AMBIENT_ENTROPY],
+            "{path}"
+        );
+        assert_eq!(r.violations[0].line, 4);
+    }
+}
+
+#[test]
+fn d3_all_entropy_tokens_are_caught() {
+    for snippet in [
+        "let r = rand::random::<u64>();",
+        "let rng = SmallRng::from_entropy();",
+        "let mut os = OsRng;",
+        "getrandom(&mut buf);",
+    ] {
+        let src = format!("fn f() {{\n    {snippet}\n}}\n");
+        let r = lint_source("crates/core/src/x.rs", &src, &cfg());
+        assert_eq!(
+            rules_of(&r.violations),
+            vec![RULE_AMBIENT_ENTROPY],
+            "{snippet}"
+        );
+    }
+}
+
+#[test]
+fn d3_never_fires_on_comments_or_strings() {
+    let src = "// thread_rng is forbidden\nlet s = \"thread_rng\";\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d3_seeded_rng_passes() {
+    let src = "let rng = SmallRng::seed_from_u64(seed);\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_relaxed_outside_telemetry_sink_is_flagged() {
+    let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_ATOMIC_ORDERING]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn d4_relaxed_inside_telemetry_sink_passes() {
+    let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+    let r = lint_source("crates/core/src/telemetry.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d4_cmp_ordering_is_not_an_atomic_ordering() {
+    let src = "fn f(a: u32, b: u32) -> Ordering {\n    if a < b { Ordering::Less } else { Ordering::Equal }\n}\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+fn cfg_with_table(table: &str) -> Config {
+    let mut c = cfg();
+    c.parse_table(table).expect("fixture table parses");
+    c
+}
+
+#[test]
+fn d4_table_match_passes() {
+    let c = cfg_with_table("crates/core/src/fixture.rs swap SeqCst 1\n");
+    let src = "fn f(p: &AtomicPtr<u8>, q: *mut u8) {\n    p.swap(q, Ordering::SeqCst);\n}\n";
+    let r = lint_source("crates/core/src/fixture.rs", src, &c);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d4_missing_audited_atomic_is_flagged() {
+    let c = cfg_with_table("crates/core/src/fixture.rs swap SeqCst 1\n");
+    let src = "fn f() {}\n";
+    let r = lint_source("crates/core/src/fixture.rs", src, &c);
+    assert_eq!(rules_of(&r.violations), vec![RULE_ATOMIC_ORDERING]);
+    assert!(r.violations[0].message.contains("expected 1 `swap`"));
+}
+
+#[test]
+fn d4_atomic_not_in_table_is_flagged() {
+    let c = cfg_with_table("crates/core/src/fixture.rs swap SeqCst 1\n");
+    let src = concat!(
+        "fn f(p: &AtomicPtr<u8>, q: *mut u8, c: &AtomicU64) {\n",
+        "    p.swap(q, Ordering::SeqCst);\n",
+        "    c.store(1, Ordering::Release);\n",
+        "}\n",
+    );
+    let r = lint_source("crates/core/src/fixture.rs", src, &c);
+    assert_eq!(rules_of(&r.violations), vec![RULE_ATOMIC_ORDERING]);
+    assert!(r.violations[0]
+        .message
+        .contains("`store` with `Ordering::Release`"));
+}
+
+#[test]
+fn d4_weakened_ordering_is_flagged_both_ways() {
+    // Table says SeqCst; the code drifted to Acquire.
+    let c = cfg_with_table("crates/core/src/fixture.rs load SeqCst 1\n");
+    let src = "fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Acquire)\n}\n";
+    let r = lint_source("crates/core/src/fixture.rs", src, &c);
+    let rules = rules_of(&r.violations);
+    assert_eq!(rules, vec![RULE_ATOMIC_ORDERING, RULE_ATOMIC_ORDERING]);
+}
+
+#[test]
+fn d4_test_code_is_not_audited() {
+    let c = cfg_with_table("crates/core/src/fixture.rs swap SeqCst 1\n");
+    let src = concat!(
+        "fn f(p: &AtomicPtr<u8>, q: *mut u8) {\n",
+        "    p.swap(q, Ordering::SeqCst);\n",
+        "}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    fn t(c: &AtomicU64) {\n",
+        "        c.store(1, Ordering::Relaxed);\n",
+        "    }\n",
+        "}\n",
+    );
+    let r = lint_source("crates/core/src/fixture.rs", src, &c);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_unsafe_without_safety_comment_is_flagged() {
+    let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_UNSAFE_SAFETY]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn d5_safety_comment_same_line_or_above_passes() {
+    let same =
+        "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: caller upholds validity\n}\n";
+    let above = concat!(
+        "fn f(p: *const u8) -> u8 {\n",
+        "    // SAFETY: `p` is derived from a live &u8 two frames up and\n",
+        "    // cannot dangle while this borrow is held.\n",
+        "    unsafe { *p }\n",
+        "}\n",
+    );
+    for src in [same, above] {
+        let r = lint_source("crates/core/src/x.rs", src, &cfg());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+}
+
+#[test]
+fn d5_safety_comment_above_attributes_passes() {
+    let src = concat!(
+        "// SAFETY: JobPtr is only dereferenced before the barrier releases.\n",
+        "#[allow(dead_code)]\n",
+        "unsafe impl Send for JobPtr {}\n",
+    );
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// ---------------------------------------------------------------- D6
+
+#[test]
+fn d6_unannotated_float_sum_in_merge_path_is_flagged() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().sum()\n}\n";
+    let r = lint_source("crates/sinr/src/affectance.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_UNORDERED_REDUCE]);
+    assert_eq!(r.violations[0].line, 2);
+}
+
+#[test]
+fn d6_annotated_sum_passes() {
+    let src = concat!(
+        "fn f(xs: &[f64]) -> f64 {\n",
+        "    // decay-lint: allow(unordered-reduce) — slice order is the contract\n",
+        "    xs.iter().sum()\n",
+        "}\n",
+    );
+    let r = lint_source("crates/sinr/src/affectance.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d6_min_max_folds_are_exempt() {
+    let src =
+        "fn f(xs: &[f64]) -> f64 {\n    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)\n}\n";
+    let r = lint_source("crates/sinr/src/affectance.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d6_general_fold_is_flagged() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().fold(0.0, |a, b| a + b)\n}\n";
+    let r = lint_source("crates/engine/src/engine.rs", src, &cfg());
+    // engine.rs is a real D6 file; the fixture source stands in for it.
+    assert!(rules_of(&r.violations).contains(&RULE_UNORDERED_REDUCE));
+}
+
+#[test]
+fn d6_only_applies_to_listed_files() {
+    let src = "fn f(xs: &[f64]) -> f64 {\n    xs.iter().sum()\n}\n";
+    let r = lint_source("crates/core/src/zeta.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// ------------------------------------------------------- allow-syntax
+
+#[test]
+fn bare_allow_without_justification_is_a_violation_and_suppresses_nothing() {
+    let src = concat!(
+        "// decay-lint: allow(wall-clock)\n",
+        "let t = Instant::now();\n",
+    );
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    let rules = rules_of(&r.violations);
+    assert!(rules.contains(&RULE_ALLOW_SYNTAX), "{rules:?}");
+    assert!(
+        rules.contains(&RULE_WALL_CLOCK),
+        "bare allow must not suppress"
+    );
+}
+
+#[test]
+fn unknown_rule_name_in_allow_is_a_violation() {
+    let src = "// decay-lint: allow(hash-order) — typo'd rule name\nlet x = 1;\n";
+    let r = lint_source("crates/core/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_ALLOW_SYNTAX]);
+    assert!(r.violations[0].message.contains("hash-order"));
+}
+
+#[test]
+fn unused_allow_is_reported_but_not_a_violation() {
+    let src = "// decay-lint: allow(wall-clock) — stale: the call moved away\nlet x = 1;\n";
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.allows.len(), 1);
+    assert!(!r.allows[0].used);
+}
+
+#[test]
+fn allow_only_suppresses_the_named_rule() {
+    let src = concat!(
+        "// decay-lint: allow(hash-iteration) — wrong rule for this site\n",
+        "let t = Instant::now();\n",
+    );
+    let r = lint_source("crates/engine/src/x.rs", src, &cfg());
+    assert_eq!(rules_of(&r.violations), vec![RULE_WALL_CLOCK]);
+}

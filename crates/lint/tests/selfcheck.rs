@@ -1,0 +1,66 @@
+//! The linter's strongest test: the live workspace itself.
+//!
+//! * `workspace_is_lint_clean` is the same gate CI runs — every
+//!   violation in tree is either fixed or carries a justified allow.
+//! * `lexer_line_accounting_matches_every_file` pins the stripped view
+//!   to the raw view line-for-line, so findings always point at the
+//!   right source line (a regression here once mis-attributed every
+//!   engine.rs finding by two lines, thanks to a `\<newline>` string
+//!   continuation).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = decay_lint::lint_workspace(&workspace_root()).expect("workspace lints");
+    assert!(
+        report.violations.is_empty(),
+        "the workspace must be decay-lint clean:\n{}",
+        report.to_text()
+    );
+    assert!(report.files_scanned > 100, "walker found the workspace");
+}
+
+#[test]
+fn workspace_has_no_stale_allows() {
+    let report = decay_lint::lint_workspace(&workspace_root()).expect("workspace lints");
+    let stale: Vec<String> = report
+        .allows
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| format!("{}:{}", a.path, a.line))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "allow annotations that suppress nothing (delete them): {stale:?}"
+    );
+}
+
+#[test]
+fn lexer_line_accounting_matches_every_file() {
+    let root = workspace_root();
+    for rel in decay_lint::walk::rust_sources(&root).expect("walk") {
+        let source = std::fs::read_to_string(root.join(&rel)).expect("read");
+        let model = decay_lint::FileModel::lex(&rel, &source);
+        assert_eq!(
+            model.lines.len(),
+            source.lines().count(),
+            "{rel}: stripped line count diverges from the raw file"
+        );
+        for (i, line) in model.lines.iter().enumerate() {
+            assert_eq!(
+                line.raw,
+                source.lines().nth(i).unwrap(),
+                "{rel}:{}: raw line mismatch",
+                i + 1
+            );
+        }
+    }
+}
